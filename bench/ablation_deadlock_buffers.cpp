@@ -1,0 +1,93 @@
+//===- bench/ablation_deadlock_buffers.cpp - Fig. 4/8 ablation ----------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the delay-buffer analysis (Fig. 4, Fig. 8, Sec. IV-B): runs
+// the reconvergent diamond DAG with channel capacities swept from the
+// bare minimum up to the analysis-computed depth. Capacities below the
+// required delay deadlock (detected and reported by the simulator);
+// capacities at or above it stream to completion in exactly C = L + N
+// cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchUtils.h"
+#include "frontend/Parser.h"
+#include "frontend/SemanticAnalysis.h"
+
+#include <cstdio>
+
+using namespace stencilflow;
+using namespace stencilflow::bench;
+
+namespace {
+
+StencilProgram buildDiamond(int64_t Size) {
+  StencilProgram Program;
+  Program.Name = "diamond";
+  Program.IterationSpace = Shape({Size, Size});
+  Field Input;
+  Input.Name = "in";
+  Input.DimensionMask = {true, true};
+  Input.Source = DataSource::random(4);
+  Program.Inputs.push_back(std::move(Input));
+  auto addNode = [&](const std::string &Name, const std::string &Source) {
+    StencilNode Node;
+    Node.Name = Name;
+    Node.Code = parseStencilCode(Source).takeValue();
+    Program.Nodes.push_back(std::move(Node));
+  };
+  addNode("A", "A = in[0, 0] * 2.0;");
+  addNode("B", "B = A[-1, 0] + A[1, 0] + A[0, -1] + A[0, 1];");
+  addNode("C", "C = A[0, 0] + B[0, 0];");
+  Program.Outputs = {"C"};
+  Error Err = analyzeProgram(Program);
+  assert(!Err);
+  (void)Err;
+  return Program;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablation - delay buffers vs. deadlock (Fig. 4 diamond)");
+  const int64_t Size = 48;
+  auto Compiled = CompiledProgram::compile(buildDiamond(Size));
+  auto Dataflow = analyzeDataflow(*Compiled);
+  const DataflowEdge *Critical = Dataflow->findEdge("A", "C");
+  std::printf("analysis: edge A->C requires a delay buffer of %lld "
+              "vectors (B's initialization %lld + circuit %lld minus "
+              "A->C's own fill)\n\n",
+              static_cast<long long>(Critical->BufferDepth),
+              static_cast<long long>(Dataflow->nodeInfo("B").InitCycles),
+              static_cast<long long>(
+                  Dataflow->nodeInfo("B").CircuitLatency));
+
+  std::printf("%16s %10s %12s %10s\n", "channel depth", "outcome",
+              "cycles", "C=L+N");
+  for (int64_t Depth :
+       {static_cast<int64_t>(4), static_cast<int64_t>(16),
+        Critical->BufferDepth / 2, Critical->BufferDepth - 1,
+        Critical->BufferDepth + 2, Critical->BufferDepth + 8}) {
+    sim::SimConfig Config;
+    Config.UnconstrainedMemory = true;
+    Config.ClampChannelsToMinimum = Depth <= Critical->BufferDepth;
+    Config.MinChannelDepth = Depth;
+    SimPoint Sim = simulate(*Compiled, *Dataflow, nullptr, Config);
+    if (Sim.Succeeded)
+      std::printf("%16lld %10s %12lld %10lld\n",
+                  static_cast<long long>(Depth), "completes",
+                  static_cast<long long>(Sim.Cycles),
+                  static_cast<long long>(Sim.ExpectedCycles));
+    else
+      std::printf("%16lld %10s %12s %10s\n",
+                  static_cast<long long>(Depth), "DEADLOCK", "-", "-");
+  }
+
+  std::printf("\nwith analysis-sized buffers the program streams to "
+              "completion at the Eq. 1 bound; undersized channels "
+              "reproduce the Fig. 4 deadlock.\n");
+  return 0;
+}

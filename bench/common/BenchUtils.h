@@ -1,0 +1,102 @@
+//===- bench/common/BenchUtils.h - Shared benchmark helpers -------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark harnesses: model-based performance
+/// evaluation of a program (resource estimate, frequency, Eq. 1 runtime)
+/// and simulator-based verification on scaled domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_BENCH_COMMON_BENCHUTILS_H
+#define STENCILFLOW_BENCH_COMMON_BENCHUTILS_H
+
+#include "core/DataflowAnalysis.h"
+#include "core/Partitioner.h"
+#include "core/ResourceModel.h"
+#include "core/RuntimeModel.h"
+#include "runtime/InputData.h"
+#include "sim/Machine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+
+namespace stencilflow {
+namespace bench {
+
+/// Model-based evaluation of a single-device program: Eq. 1 cycles at the
+/// utilization-derived frequency.
+struct ModelPoint {
+  RuntimeEstimate Runtime;
+  ResourceUsage Resources;
+  double FrequencyMHz = 0.0;
+  double GOps = 0.0;
+  bool Fits = true;
+};
+
+inline ModelPoint evaluateModel(const CompiledProgram &Compiled,
+                                const DataflowAnalysis &Dataflow,
+                                const DeviceResources &Device =
+                                    DeviceResources::stratix10GX2800()) {
+  ModelPoint Point;
+  Point.Runtime = computeRuntimeEstimate(Compiled, Dataflow);
+  Point.Resources = estimateProgramResources(Compiled, Dataflow);
+  Point.FrequencyMHz = estimateFrequencyMHz(Point.Resources, Device);
+  Point.GOps =
+      Point.Runtime.opsPerSecond(Point.FrequencyMHz * 1e6) / 1e9;
+  Point.Fits = Point.Resources.fitsWithin(Device);
+  return Point;
+}
+
+/// Runs the cycle simulator and reports the achieved fraction of the
+/// model bound (1.0 = the pipeline sustained II=1 end to end).
+struct SimPoint {
+  int64_t Cycles = 0;
+  int64_t ExpectedCycles = 0;
+  double EfficiencyVsModel = 0.0;
+  double AchievedBytesPerCycle = 0.0;
+  bool Succeeded = false;
+  std::string Message;
+};
+
+inline SimPoint simulate(const CompiledProgram &Compiled,
+                         const DataflowAnalysis &Dataflow,
+                         const Partition *Placement = nullptr,
+                         sim::SimConfig Config = {}) {
+  SimPoint Point;
+  auto M = sim::Machine::build(Compiled, Dataflow, Placement, Config);
+  if (!M) {
+    Point.Message = M.message();
+    return Point;
+  }
+  auto Inputs = materializeInputs(Compiled.program());
+  auto Result = M->run(Inputs);
+  if (!Result) {
+    Point.Message = Result.message();
+    return Point;
+  }
+  Point.Succeeded = true;
+  Point.Cycles = Result->Stats.Cycles;
+  Point.ExpectedCycles = M->expectedCycles();
+  Point.EfficiencyVsModel = static_cast<double>(Point.ExpectedCycles) /
+                            static_cast<double>(Point.Cycles);
+  for (double Bytes : Result->Stats.AchievedMemoryBytesPerCycle)
+    Point.AchievedBytesPerCycle += Bytes;
+  return Point;
+}
+
+/// Prints a horizontal rule and a centered title.
+inline void printHeader(const std::string &Title) {
+  std::printf("\n%s\n%s\n%s\n",
+              std::string(78, '=').c_str(), Title.c_str(),
+              std::string(78, '=').c_str());
+}
+
+} // namespace bench
+} // namespace stencilflow
+
+#endif // STENCILFLOW_BENCH_COMMON_BENCHUTILS_H

@@ -1,0 +1,105 @@
+//===- bench/fig14_iterative_scaling.cpp - Fig. 14 reproduction ---------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Fig. 14: performance scaling of chained Jacobi 3D stencils
+// (the iterative-stencil workload of Sec. VIII-C) without vectorization,
+// on a single device and spanning up to 8 devices. For every chain length
+// the harness reports the Eq. 1 upper bound at the modeled frequency (the
+// paper's dashed line) and — for chains that are cheap enough to simulate
+// cycle by cycle — the simulator's achieved fraction of that bound.
+//
+// Paper reference points: 264 GOp/s on one device, 1.5 TOp/s on 8 FPGAs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchUtils.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace stencilflow;
+using namespace stencilflow::bench;
+
+int main() {
+  printHeader("Fig. 14 - Jacobi 3D chain scaling, W=1 (paper: 264 GOp/s "
+              "single device, 1.5 TOp/s on 8 FPGAs)");
+
+  // Large analysis domain (L negligible relative to N, as in the paper)
+  // and a small simulation domain for cycle-level verification.
+  const int64_t K = 16384, J = 64, I = 64; // Large domain: L << N.
+  const int64_t SimK = 12, SimJ = 24, SimI = 24;
+  const int SimulateUpTo = 64;
+
+  std::printf("%8s %8s %9s %9s %11s %10s %9s\n", "stencils", "devices",
+              "freq/MHz", "GOp/s", "ALM-util", "DSP-util", "sim-eff");
+
+  DeviceResources Device = DeviceResources::stratix10GX2800();
+  PartitionOptions PartOptions;
+  double SingleDeviceBest = 0.0;
+  double MultiDeviceBest = 0.0;
+
+  for (int Chain : {1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128, 160,
+                    224, 336, 448, 672, 896, 1024}) {
+    StencilProgram Program = workloads::jacobi3dChain(Chain, K, J, I);
+    auto Compiled = CompiledProgram::compile(std::move(Program));
+    if (!Compiled) {
+      std::printf("%8d  error: %s\n", Chain, Compiled.message().c_str());
+      continue;
+    }
+    auto Dataflow = analyzeDataflow(*Compiled);
+    auto Placement = partitionProgram(*Compiled, *Dataflow, PartOptions);
+    if (!Placement) {
+      std::printf("%8d  does not fit on 8 devices\n", Chain);
+      continue;
+    }
+    size_t Devices = Placement->numDevices();
+
+    // Per-device frequency is set by the fullest device.
+    double Frequency = 1e9;
+    double PeakUtilALM = 0.0, PeakUtilDSP = 0.0;
+    for (const DevicePlacement &D : Placement->Devices) {
+      Frequency = std::min(Frequency,
+                           estimateFrequencyMHz(D.Resources, Device));
+      PeakUtilALM = std::max(
+          PeakUtilALM, static_cast<double>(D.Resources.ALMs) /
+                           static_cast<double>(Device.ALMs));
+      PeakUtilDSP = std::max(
+          PeakUtilDSP, static_cast<double>(D.Resources.DSPs) /
+                           static_cast<double>(Device.DSPs));
+    }
+    RuntimeEstimate Runtime = computeRuntimeEstimate(*Compiled, *Dataflow);
+    double GOps = Runtime.opsPerSecond(Frequency * 1e6) / 1e9;
+    if (Devices == 1)
+      SingleDeviceBest = std::max(SingleDeviceBest, GOps);
+    MultiDeviceBest = std::max(MultiDeviceBest, GOps);
+
+    // Cycle-level verification on a scaled domain.
+    std::string SimText = "-";
+    if (Chain <= SimulateUpTo) {
+      StencilProgram SimProgram =
+          workloads::jacobi3dChain(Chain, SimK, SimJ, SimI);
+      auto SimCompiled = CompiledProgram::compile(std::move(SimProgram));
+      auto SimDataflow = analyzeDataflow(*SimCompiled);
+      sim::SimConfig Config;
+      Config.UnconstrainedMemory = true;
+      SimPoint Sim = simulate(*SimCompiled, *SimDataflow, nullptr, Config);
+      SimText = Sim.Succeeded
+                    ? formatString("%.3f", Sim.EfficiencyVsModel)
+                    : "FAIL";
+    }
+
+    std::printf("%8d %8zu %9.0f %9.1f %10.1f%% %9.1f%% %9s\n", Chain,
+                Devices, Frequency, GOps, 100.0 * PeakUtilALM,
+                100.0 * PeakUtilDSP, SimText.c_str());
+  }
+
+  std::printf("\nbest single device: %.1f GOp/s (paper: 264)\n",
+              SingleDeviceBest);
+  std::printf("best multi device:  %.1f GOp/s across 8 devices (paper: "
+              "1500)\n",
+              MultiDeviceBest);
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- bench/fig15_vectorized_scaling.cpp - Fig. 15 reproduction --------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Fig. 15: the same chained-Jacobi scaling experiment with
+// 4-way vectorization. Vectorization coarsens the stencil units (the
+// useful-logic ratio improves) and multiplies throughput per stencil by
+// W, at the cost of W-times the DSPs per stencil; the per-device chain is
+// shorter but each link is W-times faster. Crossing edges carry W
+// elements per cycle and are checked against the network link budget.
+//
+// Paper reference points: 568.2 GOp/s on one device, 4.2 TOp/s on 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchUtils.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace stencilflow;
+using namespace stencilflow::bench;
+
+int main() {
+  const int W = 4;
+  printHeader(formatString(
+      "Fig. 15 - Jacobi 3D chain scaling, W=%d (paper: 568.2 GOp/s single "
+      "device, 4.2 TOp/s on 8 FPGAs)",
+      W));
+
+  const int64_t K = 16384, J = 64, I = 64; // Large domain: L << N.
+  const int64_t SimK = 12, SimJ = 24, SimI = 24;
+  const int SimulateUpTo = 48;
+
+  // Network feasibility of W=4 crossing streams: W * 4 B at 300 MHz =
+  // 4.8 GB/s against 2 x 5 GB/s links per hop.
+  sim::SimConfig NetworkCheck;
+  double CrossingBytesPerCycle = W * 4.0;
+  double HopBudget =
+      NetworkCheck.LinkBytesPerCycle * NetworkCheck.LinksPerHop;
+  std::printf("crossing stream demand: %.1f B/cycle of %.1f B/cycle hop "
+              "budget (%s)\n\n",
+              CrossingBytesPerCycle, HopBudget,
+              CrossingBytesPerCycle <= HopBudget ? "feasible"
+                                                 : "network bound");
+
+  std::printf("%8s %8s %9s %9s %11s %10s %9s\n", "stencils", "devices",
+              "freq/MHz", "GOp/s", "ALM-util", "DSP-util", "sim-eff");
+
+  DeviceResources Device = DeviceResources::stratix10GX2800();
+  PartitionOptions PartOptions;
+  double SingleDeviceBest = 0.0, MultiDeviceBest = 0.0;
+
+  for (int Chain : {1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128, 160,
+                    224, 320, 448, 640, 896, 960}) {
+    StencilProgram Program = workloads::jacobi3dChain(Chain, K, J, I, W);
+    auto Compiled = CompiledProgram::compile(std::move(Program));
+    if (!Compiled) {
+      std::printf("%8d  error: %s\n", Chain, Compiled.message().c_str());
+      continue;
+    }
+    auto Dataflow = analyzeDataflow(*Compiled);
+    auto Placement = partitionProgram(*Compiled, *Dataflow, PartOptions);
+    if (!Placement) {
+      std::printf("%8d  does not fit on 8 devices\n", Chain);
+      continue;
+    }
+    size_t Devices = Placement->numDevices();
+    double Frequency = 1e9;
+    double PeakUtilALM = 0.0, PeakUtilDSP = 0.0;
+    for (const DevicePlacement &D : Placement->Devices) {
+      Frequency = std::min(Frequency,
+                           estimateFrequencyMHz(D.Resources, Device));
+      PeakUtilALM = std::max(
+          PeakUtilALM, static_cast<double>(D.Resources.ALMs) /
+                           static_cast<double>(Device.ALMs));
+      PeakUtilDSP = std::max(
+          PeakUtilDSP, static_cast<double>(D.Resources.DSPs) /
+                           static_cast<double>(Device.DSPs));
+    }
+    RuntimeEstimate Runtime = computeRuntimeEstimate(*Compiled, *Dataflow);
+    double GOps = Runtime.opsPerSecond(Frequency * 1e6) / 1e9;
+    if (Devices == 1)
+      SingleDeviceBest = std::max(SingleDeviceBest, GOps);
+    MultiDeviceBest = std::max(MultiDeviceBest, GOps);
+
+    std::string SimText = "-";
+    if (Chain <= SimulateUpTo) {
+      StencilProgram SimProgram =
+          workloads::jacobi3dChain(Chain, SimK, SimJ, SimI, W);
+      auto SimCompiled = CompiledProgram::compile(std::move(SimProgram));
+      auto SimDataflow = analyzeDataflow(*SimCompiled);
+      sim::SimConfig Config;
+      Config.UnconstrainedMemory = true;
+      SimPoint Sim = simulate(*SimCompiled, *SimDataflow, nullptr, Config);
+      SimText = Sim.Succeeded
+                    ? formatString("%.3f", Sim.EfficiencyVsModel)
+                    : "FAIL";
+    }
+    std::printf("%8d %8zu %9.0f %9.1f %10.1f%% %9.1f%% %9s\n", Chain,
+                Devices, Frequency, GOps, 100.0 * PeakUtilALM,
+                100.0 * PeakUtilDSP, SimText.c_str());
+  }
+
+  std::printf("\nbest single device: %.1f GOp/s (paper: 568.2)\n",
+              SingleDeviceBest);
+  std::printf("best multi device:  %.1f GOp/s across 8 devices (paper: "
+              "4200)\n",
+              MultiDeviceBest);
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- bench/micro_pipeline.cpp - Framework micro-benchmarks ------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings of the framework itself: parsing, semantic
+// analysis, kernel compilation, dataflow analysis, code generation,
+// reference execution and cycle-level simulation throughput. These
+// correspond to the "compilation" half of the paper's stack (Sec. VII) —
+// everything short of vendor synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/OpenCLEmitter.h"
+#include "core/DataflowAnalysis.h"
+#include "frontend/Parser.h"
+#include "runtime/InputData.h"
+#include "runtime/ReferenceExecutor.h"
+#include "sdfg/StencilFusion.h"
+#include "sim/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace stencilflow;
+
+namespace {
+
+void BM_ParseStencilCode(benchmark::State &State) {
+  const char *Source =
+      "t = a[0,0,-1] + a[0,0,1] + a[0,-1,0] + a[0,1,0];"
+      "u = sqrt(t * t + 1.0);"
+      "out = a[0,0,0] > 0.5 ? u : t * 0.25;";
+  for (auto _ : State) {
+    auto Code = parseStencilCode(Source);
+    benchmark::DoNotOptimize(Code);
+  }
+}
+BENCHMARK(BM_ParseStencilCode);
+
+void BM_CompileHdiff(benchmark::State &State) {
+  StencilProgram Program = workloads::horizontalDiffusion(8, 16, 16);
+  for (auto _ : State) {
+    auto Compiled = CompiledProgram::compile(Program.clone());
+    benchmark::DoNotOptimize(Compiled);
+  }
+}
+BENCHMARK(BM_CompileHdiff);
+
+void BM_DataflowAnalysisHdiff(benchmark::State &State) {
+  auto Compiled = CompiledProgram::compile(
+      workloads::horizontalDiffusion(8, 16, 16));
+  for (auto _ : State) {
+    auto Dataflow = analyzeDataflow(*Compiled);
+    benchmark::DoNotOptimize(Dataflow);
+  }
+}
+BENCHMARK(BM_DataflowAnalysisHdiff);
+
+void BM_FuseHdiff(benchmark::State &State) {
+  StencilProgram Program = workloads::horizontalDiffusion(8, 16, 16);
+  for (auto _ : State) {
+    StencilProgram Copy = Program.clone();
+    auto Report = fuseAllStencils(Copy);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_FuseHdiff);
+
+void BM_EmitOpenCLHdiff(benchmark::State &State) {
+  auto Compiled = CompiledProgram::compile(
+      workloads::horizontalDiffusion(8, 16, 16));
+  auto Dataflow = analyzeDataflow(*Compiled);
+  for (auto _ : State) {
+    auto Sources = emitOpenCL(*Compiled, *Dataflow);
+    benchmark::DoNotOptimize(Sources);
+  }
+}
+BENCHMARK(BM_EmitOpenCLHdiff);
+
+void BM_ReferenceExecutorCellsPerSecond(benchmark::State &State) {
+  auto Compiled = CompiledProgram::compile(
+      workloads::horizontalDiffusion(8, 32, 32));
+  auto Inputs = materializeInputs(Compiled->program());
+  int64_t Cells = Compiled->program().IterationSpace.numCells();
+  for (auto _ : State) {
+    auto Result = runReference(*Compiled, Inputs);
+    benchmark::DoNotOptimize(Result);
+  }
+  State.SetItemsProcessed(State.iterations() * Cells);
+}
+BENCHMARK(BM_ReferenceExecutorCellsPerSecond);
+
+void BM_SimulatorCyclesPerSecond(benchmark::State &State) {
+  auto Compiled = CompiledProgram::compile(
+      workloads::jacobi3dChain(8, 8, 16, 16));
+  auto Dataflow = analyzeDataflow(*Compiled);
+  sim::SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  auto Inputs = materializeInputs(Compiled->program());
+  int64_t Cycles = 0;
+  for (auto _ : State) {
+    auto M = sim::Machine::build(*Compiled, *Dataflow, nullptr, Config);
+    auto Result = M->run(Inputs);
+    benchmark::DoNotOptimize(Result);
+    if (Result)
+      Cycles = Result->Stats.Cycles;
+  }
+  State.SetItemsProcessed(State.iterations() * Cycles);
+}
+BENCHMARK(BM_SimulatorCyclesPerSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+//===- bench/sec9a_hdiff_analysis.cpp - Sec. IX-A reproduction ----------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the horizontal-diffusion analysis of Sec. IX-A: the
+// operation census of the DAG, the off-chip data volumes under perfect
+// reuse (reads 5*IJK + 5 line elements, writes 4*IJK), the arithmetic
+// intensity (Eq. 2), the bandwidth-bound performance roofline (Eq. 3) and
+// the bandwidth required to saturate the peak measured compute (Eq. 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchUtils.h"
+#include "sdfg/StencilFusion.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace stencilflow;
+using namespace stencilflow::bench;
+
+namespace {
+
+void report(const char *Title, const CompiledProgram &Compiled) {
+  compute::OpCensus Census = Compiled.totalCensus();
+  std::printf("\n--- %s (%zu stencil nodes) ---\n", Title,
+              Compiled.program().Nodes.size());
+  std::printf("ops/cell: %lld add, %lld mul, %lld sqrt, %lld min/max, "
+              "%lld cmp, %lld branches  (paper: 87 add, 41 mul, 2 sqrt, "
+              "2+2 min/max, 20 branches)\n",
+              static_cast<long long>(Census.Additions),
+              static_cast<long long>(Census.Multiplications),
+              static_cast<long long>(Census.SquareRoots),
+              static_cast<long long>(Census.MinMax),
+              static_cast<long long>(Census.Comparisons),
+              static_cast<long long>(Census.Branches));
+
+  MemoryTraffic Traffic = computeMemoryTraffic(Compiled);
+  const Shape &Space = Compiled.program().IterationSpace;
+  int64_t KJI = Space.numCells();
+  std::printf("reads %lld elements (5*KJI = %lld + lines), writes %lld "
+              "(4*KJI = %lld)\n",
+              static_cast<long long>(Traffic.ReadElements),
+              static_cast<long long>(5 * KJI),
+              static_cast<long long>(Traffic.WriteElements),
+              static_cast<long long>(4 * KJI));
+  std::printf("steady-state operands/cycle: %lld (paper: ~9)\n",
+              static_cast<long long>(Traffic.OperandsPerCycle));
+
+  RooflineAnalysis Roofline = computeRoofline(Compiled);
+  std::printf("arithmetic intensity: %.3f Op/operand, %.3f Op/B  (paper "
+              "Eq. 2: %.3f Op/operand, %.3f Op/B)\n",
+              Roofline.OpsPerOperand, Roofline.OpsPerByte, 130.0 / 9.0,
+              65.0 / 18.0);
+  std::printf("roofline at 58.3 GB/s measured bandwidth: %.1f GOp/s "
+              "(paper Eq. 3: 210.5)\n",
+              Roofline.boundPerformance(58.3e9) / 1e9);
+  std::printf("roofline at 76.8 GB/s datasheet bandwidth: %.1f GOp/s "
+              "(paper: 277.3)\n",
+              Roofline.boundPerformance(76.8e9) / 1e9);
+  std::printf("bandwidth to saturate 917.1 GOp/s compute: %.1f GB/s "
+              "(paper Eq. 4: 254.0)\n",
+              Roofline.requiredBandwidth(917.1e9) / 1e9);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Sec. IX-A - horizontal diffusion analysis (128x128x80 "
+              "domain)");
+
+  StencilProgram Program = workloads::horizontalDiffusion(80, 128, 128);
+  auto Unfused = CompiledProgram::compile(Program.clone());
+  if (!Unfused) {
+    std::printf("error: %s\n", Unfused.message().c_str());
+    return 1;
+  }
+  report("as written (Fig. 17b form)", *Unfused);
+
+  auto Fusion = fuseAllStencils(Program);
+  if (!Fusion) {
+    std::printf("error: %s\n", Fusion.message().c_str());
+    return 1;
+  }
+  auto Fused = CompiledProgram::compile(std::move(Program));
+  report(formatString("after aggressive fusion (%d pairs, Fig. 17c form)",
+                      Fusion->FusedPairs)
+             .c_str(),
+         *Fused);
+
+  // The initialization-latency fraction the paper quotes (~0.7%).
+  auto Dataflow = analyzeDataflow(*Fused);
+  RuntimeEstimate Runtime = computeRuntimeEstimate(*Fused, *Dataflow);
+  std::printf("\ninitialization latency L = %lld cycles = %.2f%% of N "
+              "(paper: ~0.7%%)\n",
+              static_cast<long long>(Runtime.LatencyCycles),
+              100.0 * static_cast<double>(Runtime.LatencyCycles) /
+                  static_cast<double>(Runtime.StreamedCycles));
+  return 0;
+}

@@ -1,0 +1,191 @@
+//===- bench/tab2_horizontal_diffusion.cpp - Table II reproduction ------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table II (horizontal diffusion benchmarks, 128x128x80
+// domain) and the silicon-efficiency comparison of Sec. IX-C:
+//
+//   - "Stratix 10": the fused program, 8-way vectorized, simulated with
+//     the DDR4 memory-controller model (memory bound, Sec. IX-B);
+//   - "Stratix 10*": 16-way vectorized with simulated infinite memory
+//     bandwidth (compute bound);
+//   - "Xeon 12C" / "P100" / "V100": roofline comparator models at the
+//     program's arithmetic intensity, plus an actual multi-threaded run
+//     of the reference executor on this host for a real load/store
+//     measurement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Comparators.h"
+#include "common/BenchUtils.h"
+#include "runtime/ReferenceExecutor.h"
+#include "sdfg/StencilFusion.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace stencilflow;
+using namespace stencilflow::bench;
+using namespace stencilflow::baselines;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double RuntimeUs = 0.0;
+  double GOps = 0.0;
+  std::string PeakBW;
+  double PercentRoof = 0.0;
+  double SiliconEff = -1.0;
+};
+
+void printRow(const Row &R) {
+  std::printf("%-14s %10.0f %10.1f %12s ", R.Name.c_str(), R.RuntimeUs,
+              R.GOps, R.PeakBW.c_str());
+  if (R.PercentRoof > 0)
+    std::printf("%7.0f%%", R.PercentRoof);
+  else
+    std::printf("%8s", "-");
+  if (R.SiliconEff >= 0)
+    std::printf(" %10.2f", R.SiliconEff);
+  else
+    std::printf(" %10s", "-");
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const int64_t K = 80, J = 128, I = 128;
+  printHeader("Table II - horizontal diffusion benchmarks (128x128x80)");
+
+  // The fused program defines the executed operation count.
+  StencilProgram Fused = workloads::horizontalDiffusion(K, J, I, 8);
+  auto Fusion = fuseAllStencils(Fused);
+  if (!Fusion) {
+    std::printf("error: %s\n", Fusion.message().c_str());
+    return 1;
+  }
+  auto Compiled = CompiledProgram::compile(Fused.clone());
+  if (!Compiled) {
+    std::printf("error: %s\n", Compiled.message().c_str());
+    return 1;
+  }
+  RooflineAnalysis Roofline = computeRoofline(*Compiled);
+  double TotalOps = static_cast<double>(Compiled->totalCensus().flops()) *
+                    static_cast<double>(K * J * I);
+  std::printf("program: %zu fused stencils, %.0f MOp per evaluation, "
+              "intensity %.2f Op/B\n\n",
+              Compiled->program().Nodes.size(), TotalOps / 1e6,
+              Roofline.OpsPerByte);
+
+  std::printf("%-14s %10s %10s %12s %8s %10s\n", "platform",
+              "runtime/us", "GOp/s", "peak BW", "%Roof.",
+              "GOp/s/mm2");
+
+  // --- Stratix 10 (DDR4-bound, W=8) ---------------------------------------
+  {
+    auto Dataflow = analyzeDataflow(*Compiled);
+    ModelPoint Model = evaluateModel(*Compiled, *Dataflow);
+    sim::SimConfig Config; // Constrained memory.
+    SimPoint Sim = simulate(*Compiled, *Dataflow, nullptr, Config);
+    Row R;
+    R.Name = "Stratix 10";
+    if (Sim.Succeeded) {
+      double Seconds = static_cast<double>(Sim.Cycles) /
+                       (Model.FrequencyMHz * 1e6);
+      R.RuntimeUs = Seconds * 1e6;
+      R.GOps = TotalOps / Seconds / 1e9;
+      R.PeakBW = formatString(
+          "%.0f GB/s", Sim.AchievedBytesPerCycle * Model.FrequencyMHz *
+                           1e6 / 1e9);
+      R.PercentRoof =
+          100.0 * R.GOps * 1e9 / Roofline.boundPerformance(76.8e9);
+      R.SiliconEff = R.GOps / PlatformSpec::stratix10DieAreaMM2();
+    } else {
+      R.PeakBW = "FAILED: " + Sim.Message;
+    }
+    printRow(R);
+    std::printf("%-14s %10s %10s %12s (paper)\n", "", "1178", "145",
+                "77 GB/s");
+  }
+
+  // --- Stratix 10* (simulated infinite bandwidth, W=16) -------------------
+  {
+    StencilProgram Wide = workloads::horizontalDiffusion(K, J, I, 16);
+    auto WideFusion = fuseAllStencils(Wide);
+    (void)WideFusion;
+    auto WideCompiled = CompiledProgram::compile(std::move(Wide));
+    auto Dataflow = analyzeDataflow(*WideCompiled);
+    ModelPoint Model = evaluateModel(*WideCompiled, *Dataflow);
+    sim::SimConfig Config;
+    Config.UnconstrainedMemory = true;
+    SimPoint Sim = simulate(*WideCompiled, *Dataflow, nullptr, Config);
+    Row R;
+    R.Name = "Stratix 10*";
+    if (Sim.Succeeded) {
+      double Seconds = static_cast<double>(Sim.Cycles) /
+                       (Model.FrequencyMHz * 1e6);
+      R.RuntimeUs = Seconds * 1e6;
+      R.GOps = TotalOps / Seconds / 1e9;
+      R.PeakBW = "inf";
+      R.SiliconEff = R.GOps / PlatformSpec::stratix10DieAreaMM2();
+    } else {
+      R.PeakBW = "FAILED: " + Sim.Message;
+    }
+    printRow(R);
+    std::printf("%-14s %10s %10s %12s (paper)\n", "", "332", "513", "inf");
+  }
+
+  // --- Load/store comparators (roofline models, Sec. IX-B) ----------------
+  struct PaperRow {
+    PlatformSpec Spec;
+    double PaperRuntime;
+    double PaperGOps;
+  };
+  for (const PaperRow &Comparator :
+       {PaperRow{PlatformSpec::xeon12c(), 5270, 32},
+        PaperRow{PlatformSpec::p100(), 810, 210},
+        PaperRow{PlatformSpec::v100(), 201, 849}}) {
+    PlatformResult Result = modelPlatform(Comparator.Spec, TotalOps,
+                                          Roofline.OpsPerByte);
+    Row R;
+    R.Name = Comparator.Spec.Name;
+    R.RuntimeUs = Result.RuntimeSeconds * 1e6;
+    R.GOps = Result.OpsPerSecond / 1e9;
+    R.PeakBW = formatString(
+        "%.0f GB/s", Comparator.Spec.PeakBandwidthBytesPerSec / 1e9);
+    R.PercentRoof = 100.0 * Result.FractionOfRoofline;
+    R.SiliconEff = Result.SiliconEfficiency >= 0 &&
+                           Comparator.Spec.DieAreaMM2 > 0
+                       ? Result.SiliconEfficiency
+                       : -1.0;
+    printRow(R);
+    std::printf("%-14s %10.0f %10.0f %12s (paper)\n", "",
+                Comparator.PaperRuntime, Comparator.PaperGOps, "");
+  }
+
+  // --- A real load/store measurement on this host -------------------------
+  {
+    unsigned Threads = std::max(1u, std::thread::hardware_concurrency());
+    auto Inputs = materializeInputs(Compiled->program());
+    auto Start = std::chrono::steady_clock::now();
+    auto Result = runReferenceParallel(*Compiled, Inputs,
+                                       static_cast<int>(Threads));
+    auto End = std::chrono::steady_clock::now();
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (Result)
+      std::printf("\nthis host (%u thread(s), interpreted reference "
+                  "executor): %.0f us, %.2f GOp/s\n",
+                  Threads, Seconds * 1e6, TotalOps / Seconds / 1e9);
+  }
+
+  std::printf("\npaper silicon efficiency (Sec. IX-C): Stratix 10 "
+              "0.21 / 0.71 (with/without memory bottleneck), P100 0.34, "
+              "V100 1.04 GOp/s/mm2\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/run_program.cpp - The Fig. 13 one-shot driver ------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "StencilFlow can directly run the stencil program from the input
+// description, transparently executing parsing, dependency analysis,
+// buffering analysis, [dataflow] generation, domain-specific optimization,
+// ... code generation, ... execution of the program, and validation of
+// results." (paper Sec. VII)
+//
+// Usage:  ./run_program <program.json>
+//             [--fuse] [--emit] [--dot] [--vectorize W]
+//             [--constrained-memory] [--report]
+//
+// Sample descriptions live in examples/programs/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ProgramLoader.h"
+#include "runtime/Pipeline.h"
+#include "sdfg/Lowering.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace stencilflow;
+
+int main(int argc, char **argv) {
+  auto Args = CommandLine::parse(
+      argc, argv,
+      {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report"});
+  if (!Args) {
+    std::fprintf(stderr, "error: %s\n", Args.message().c_str());
+    return 1;
+  }
+  if (Args->positional().size() != 1) {
+    std::fprintf(stderr, "usage: run_program <program.json> [--fuse] "
+                         "[--emit] [--dot] [--vectorize W] "
+                         "[--constrained-memory] [--report]\n");
+    return 1;
+  }
+
+  Expected<StencilProgram> Program =
+      loadProgramFile(Args->positional()[0]);
+  if (!Program) {
+    std::fprintf(stderr, "error: %s\n", Program.message().c_str());
+    return 1;
+  }
+  if (Args->has("vectorize")) {
+    Program->VectorWidth = static_cast<int>(Args->getInt("vectorize", 1));
+    if (Error Err = Program->validate()) {
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", Program->summary().c_str());
+
+  PipelineOptions Options;
+  Options.FuseStencils = Args->has("fuse");
+  Options.EmitCode = Args->has("emit");
+  Options.Simulator.UnconstrainedMemory = !Args->has("constrained-memory");
+
+  Expected<PipelineResult> Result = runPipeline(Program.takeValue(),
+                                                Options);
+  if (!Result) {
+    std::fprintf(stderr, "error: %s\n", Result.message().c_str());
+    return 1;
+  }
+
+  if (Args->has("report"))
+    std::printf("%s\n", Result->Dataflow.report().c_str());
+
+  if (Args->has("dot")) {
+    auto G = sdfg::buildSDFG(Result->Compiled, Result->Dataflow);
+    if (G)
+      std::printf("%s\n", G->toDot().c_str());
+  }
+
+  std::printf("devices: %zu, frequency %.0f MHz, resources %s\n",
+              Result->Placement.numDevices(), Result->FrequencyMHz,
+              Result->Resources
+                  .report(DeviceResources::stratix10GX2800())
+                  .c_str());
+  std::printf("cycles: %lld simulated vs %lld modeled (Eq. 1); %.2f GOp/s "
+              "at the modeled frequency\n",
+              static_cast<long long>(Result->Simulation.Stats.Cycles),
+              static_cast<long long>(Result->Runtime.TotalCycles),
+              Result->simulatedOpsPerSecond() / 1e9);
+  for (const ValidationReport &Report : Result->Validations)
+    std::printf("validation: %s\n", Report.Summary.c_str());
+
+  if (Options.EmitCode)
+    for (const GeneratedSource &Source : Result->Sources)
+      std::printf("\n===== %s =====\n%s", Source.FileName.c_str(),
+                  Source.Source.c_str());
+  return Result->ValidationPassed ? 0 : 1;
+}

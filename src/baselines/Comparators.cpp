@@ -1,0 +1,130 @@
+//===- baselines/Comparators.cpp - Comparator platforms & baselines -----------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Comparators.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+using namespace stencilflow;
+using namespace stencilflow::baselines;
+
+PlatformSpec PlatformSpec::xeon12c() {
+  PlatformSpec Spec;
+  Spec.Name = "Xeon 12C";
+  Spec.PeakBandwidthBytesPerSec = 68e9;
+  Spec.PeakOpsPerSec = 0.5e12;
+  Spec.MeasuredRooflineFraction = 0.13;
+  Spec.DieAreaMM2 = 0.0; // Not part of the silicon-efficiency comparison.
+  return Spec;
+}
+
+PlatformSpec PlatformSpec::p100() {
+  PlatformSpec Spec;
+  Spec.Name = "P100";
+  Spec.PeakBandwidthBytesPerSec = 732e9;
+  Spec.PeakOpsPerSec = 9.3e12;
+  Spec.MeasuredRooflineFraction = 0.08;
+  Spec.DieAreaMM2 = 610.0;
+  return Spec;
+}
+
+PlatformSpec PlatformSpec::v100() {
+  PlatformSpec Spec;
+  Spec.Name = "V100";
+  Spec.PeakBandwidthBytesPerSec = 900e9;
+  Spec.PeakOpsPerSec = 14e12;
+  Spec.MeasuredRooflineFraction = 0.26;
+  Spec.DieAreaMM2 = 815.0;
+  return Spec;
+}
+
+PlatformResult baselines::modelPlatform(const PlatformSpec &Spec,
+                                        double TotalOps,
+                                        double OpsPerByte) {
+  PlatformResult Result;
+  Result.RooflineBound =
+      std::min(Spec.PeakOpsPerSec,
+               Spec.PeakBandwidthBytesPerSec * OpsPerByte);
+  Result.OpsPerSecond =
+      Result.RooflineBound * Spec.MeasuredRooflineFraction;
+  Result.RuntimeSeconds = TotalOps / Result.OpsPerSecond;
+  Result.FractionOfRoofline = Spec.MeasuredRooflineFraction;
+  if (Spec.DieAreaMM2 > 0)
+    Result.SiliconEfficiency =
+        Result.OpsPerSecond / 1e9 / Spec.DieAreaMM2;
+  return Result;
+}
+
+std::vector<PublishedResult> baselines::publishedStencilResults() {
+  return {
+      {"Diffusion 2D (Zohouri et al.)", "Stratix 10 GX 2800", 913.0},
+      {"Diffusion 3D (Zohouri et al.)", "Stratix 10 GX 2800", 934.0},
+      {"Waidyasooriya and Hariyama", "Arria 10 GX 1150", 630.0},
+      {"SODA (Jacobi 3D)", "ADM-PCIE-KU3", 135.0},
+      {"Niu et al.", "Virtex-6 SX475T", 119.0},
+      {"Ben-Nun et al. (DaCe)", "Virtex UltraScale+ VCU1525", 139.0},
+  };
+}
+
+TemporalBlockingEstimate
+baselines::estimateTemporalBlocking(int64_t FlopsPerCell,
+                                    int64_t DSPsPerCell,
+                                    int64_t ALMsPerCell, size_t Dimensions,
+                                    const TemporalBlockingConfig &Config) {
+  TemporalBlockingEstimate Estimate;
+  int W = Config.VectorWidth;
+
+  // Deepest replication that fits: each time step instantiates the full
+  // per-cell datapath W-wide plus fixed block-management overhead.
+  int64_t DSPPerStep = DSPsPerCell * W;
+  int64_t ALMPerStep =
+      ALMsPerCell * W + Config.Resources.ALMsPerStencilBase;
+  int64_t ByDSP = DSPPerStep > 0 ? Config.Device.DSPs / DSPPerStep
+                                 : std::numeric_limits<int64_t>::max();
+  int64_t ByALM = ALMPerStep > 0 ? Config.Device.ALMs * 85 / 100 /
+                                       ALMPerStep
+                                 : std::numeric_limits<int64_t>::max();
+  Estimate.TemporalDegree = static_cast<int>(std::min(ByDSP, ByALM));
+  if (Estimate.TemporalDegree < 1)
+    Estimate.TemporalDegree = 1;
+
+  // Spatial blocking wastes the halo ring: the design streams along the
+  // innermost dimension and blocks the remaining d-1, each losing
+  // 2 * halo * T cells of useful edge.
+  double Edge = static_cast<double>(Config.BlockEdge);
+  double MaxDepthByHalo =
+      (Edge / 2.0 - 2.0) / static_cast<double>(Config.HaloPerStep);
+  if (static_cast<double>(Estimate.TemporalDegree) > MaxDepthByHalo)
+    Estimate.TemporalDegree = static_cast<int>(MaxDepthByHalo);
+  double UsefulEdge =
+      Edge - 2.0 * Config.HaloPerStep *
+                 static_cast<double>(Estimate.TemporalDegree);
+  Estimate.RedundancyFactor =
+      std::pow(Edge / UsefulEdge, static_cast<double>(Dimensions - 1));
+
+  double RawOpsPerSec = static_cast<double>(Estimate.TemporalDegree) *
+                        static_cast<double>(FlopsPerCell) *
+                        static_cast<double>(W) * Config.FrequencyMHz * 1e6;
+  Estimate.EffectiveGOpPerSecond =
+      RawOpsPerSec / Estimate.RedundancyFactor / 1e9;
+
+  Estimate.Resources.DSPs = DSPPerStep * Estimate.TemporalDegree;
+  Estimate.Resources.ALMs = ALMPerStep * Estimate.TemporalDegree;
+  Estimate.Resources.FFs = static_cast<int64_t>(
+      Config.Resources.FFsPerALM *
+      static_cast<double>(Estimate.Resources.ALMs));
+  // Each time step buffers its block working set (one slice of the
+  // blocked region) on chip.
+  int64_t SliceCells = 1;
+  for (size_t Dim = 1; Dim < Dimensions; ++Dim)
+    SliceCells *= Config.BlockEdge;
+  Estimate.Resources.M20Ks =
+      Estimate.TemporalDegree *
+      (SliceCells * 4 / Config.Resources.M20KBytes + 8);
+  return Estimate;
+}

@@ -1,0 +1,114 @@
+//===- baselines/Comparators.h - Comparator platforms & baselines -*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparator models for the paper's evaluation tables:
+///
+///  - roofline models of the CPU/GPU platforms in Tab. II (Xeon E5-2690v3,
+///    Tesla P100, Tesla V100), parameterized by datasheet bandwidth, peak
+///    compute, empirical efficiency and die area (Sec. IX-B/C);
+///  - a temporal-blocking FPGA baseline in the style of Zohouri et al.
+///    (combined spatial and temporal blocking), the hand-tuned design
+///    compared against in Tab. I;
+///  - the published literature results carried as constants in Tab. I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_BASELINES_COMPARATORS_H
+#define STENCILFLOW_BASELINES_COMPARATORS_H
+
+#include "core/ResourceModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+namespace baselines {
+
+/// A load/store comparator platform.
+struct PlatformSpec {
+  std::string Name;
+  double PeakBandwidthBytesPerSec = 0.0;
+  double PeakOpsPerSec = 0.0;
+  /// Fraction of the bandwidth roofline the platform reaches on the
+  /// horizontal-diffusion program (the %Roof column of Tab. II: memory-
+  /// latency-bound kernels fall well short of streaming bandwidth).
+  double MeasuredRooflineFraction = 1.0;
+  double DieAreaMM2 = 0.0;
+
+  /// 12-core Intel Xeon E5-2690v3: 68 GB/s, ~0.5 TFLOP/s fp32, 13% of
+  /// roofline measured by the paper.
+  static PlatformSpec xeon12c();
+  /// NVIDIA Tesla P100: 732 GB/s, 9.3 TFLOP/s fp32, 8% of roofline,
+  /// 610 mm^2 (TSMC 16 nm).
+  static PlatformSpec p100();
+  /// NVIDIA Tesla V100: 900 GB/s, 14 TFLOP/s fp32, 26% of roofline,
+  /// 815 mm^2 (TSMC 12 nm).
+  static PlatformSpec v100();
+  /// The Stratix 10 die for silicon-efficiency accounting: ~700 mm^2
+  /// (Intel 14 nm, half a Stratix 10M).
+  static double stratix10DieAreaMM2() { return 700.0; }
+};
+
+/// Modeled execution of a program on a load/store platform.
+struct PlatformResult {
+  double RuntimeSeconds = 0.0;
+  double OpsPerSecond = 0.0;
+  double RooflineBound = 0.0;     ///< Ops/s at full streaming bandwidth.
+  double FractionOfRoofline = 0.0;
+  double SiliconEfficiency = 0.0; ///< GOp/s per mm^2.
+};
+
+/// Applies the roofline model (Eq. 3) with the platform's measured
+/// efficiency: performance = min(peak, eff * bw * intensity).
+PlatformResult modelPlatform(const PlatformSpec &Spec, double TotalOps,
+                             double OpsPerByte);
+
+/// One published result carried for comparison (Tab. I).
+struct PublishedResult {
+  std::string Name;
+  std::string Device;
+  double GOpPerSecond = 0.0;
+};
+
+/// The literature rows of Tab. I.
+std::vector<PublishedResult> publishedStencilResults();
+
+/// Configuration of the temporal-blocking baseline (Zohouri et al.: one
+/// stencil pipeline replicated T times in depth, iterating over spatial
+/// blocks with halos, vector width 16).
+struct TemporalBlockingConfig {
+  int VectorWidth = 16;
+  /// Spatial block edge per blocked dimension (the stencil streams along
+  /// the innermost dimension and blocks the remaining d-1).
+  int64_t BlockEdge = 512;
+  int HaloPerStep = 1; ///< Halo cells consumed per time step per side.
+  double FrequencyMHz = 300.0;
+  DeviceResources Device = DeviceResources::stratix10GX2800();
+  ResourceModelConfig Resources;
+};
+
+/// Estimated performance of the temporal-blocking baseline.
+struct TemporalBlockingEstimate {
+  int TemporalDegree = 0;       ///< Replicated time steps T.
+  double EffectiveGOpPerSecond = 0.0;
+  double RedundancyFactor = 1.0; ///< Wasted work from block halos.
+  ResourceUsage Resources;
+};
+
+/// Sizes the deepest temporal-blocking pipeline that fits the device for a
+/// stencil with the given per-cell operation counts, then derates it by
+/// the halo redundancy of spatial blocking.
+TemporalBlockingEstimate
+estimateTemporalBlocking(int64_t FlopsPerCell, int64_t DSPsPerCell,
+                         int64_t ALMsPerCell, size_t Dimensions,
+                         const TemporalBlockingConfig &Config = {});
+
+} // namespace baselines
+} // namespace stencilflow
+
+#endif // STENCILFLOW_BASELINES_COMPARATORS_H

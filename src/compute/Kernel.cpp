@@ -1,0 +1,477 @@
+//===- compute/Kernel.cpp - Compiled stencil kernels -------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compute/Kernel.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+using namespace stencilflow;
+using namespace stencilflow::compute;
+
+namespace {
+
+/// Applies the element type's rounding after each operation. Float32
+/// kernels round every intermediate to float, matching the per-operation
+/// rounding of hardware fp32 units (and of the fp32 OpenCL kernels the
+/// real system generates).
+double applyRounding(double Value, DataType Type) {
+  switch (Type) {
+  case DataType::Float32:
+    return static_cast<double>(static_cast<float>(Value));
+  case DataType::Float64:
+    return Value;
+  case DataType::Int32:
+    return static_cast<double>(static_cast<int32_t>(Value));
+  case DataType::Int64:
+    return static_cast<double>(static_cast<int64_t>(Value));
+  }
+  return Value;
+}
+
+/// Evaluates one operation on already-rounded operands (no rounding).
+double evalOp(OpCode Op, double A, double B, double C) {
+  switch (Op) {
+  case OpCode::Neg:
+    return -A;
+  case OpCode::Not:
+    return A == 0.0 ? 1.0 : 0.0;
+  case OpCode::Add:
+    return A + B;
+  case OpCode::Sub:
+    return A - B;
+  case OpCode::Mul:
+    return A * B;
+  case OpCode::Div:
+    return A / B;
+  case OpCode::Lt:
+    return A < B ? 1.0 : 0.0;
+  case OpCode::Le:
+    return A <= B ? 1.0 : 0.0;
+  case OpCode::Gt:
+    return A > B ? 1.0 : 0.0;
+  case OpCode::Ge:
+    return A >= B ? 1.0 : 0.0;
+  case OpCode::Eq:
+    return A == B ? 1.0 : 0.0;
+  case OpCode::Ne:
+    return A != B ? 1.0 : 0.0;
+  case OpCode::And:
+    return (A != 0.0 && B != 0.0) ? 1.0 : 0.0;
+  case OpCode::Or:
+    return (A != 0.0 || B != 0.0) ? 1.0 : 0.0;
+  case OpCode::Sqrt:
+    return std::sqrt(A);
+  case OpCode::Abs:
+    return std::fabs(A);
+  case OpCode::Exp:
+    return std::exp(A);
+  case OpCode::Log:
+    return std::log(A);
+  case OpCode::Sin:
+    return std::sin(A);
+  case OpCode::Cos:
+    return std::cos(A);
+  case OpCode::Tanh:
+    return std::tanh(A);
+  case OpCode::Floor:
+    return std::floor(A);
+  case OpCode::Ceil:
+    return std::ceil(A);
+  case OpCode::Min:
+    return std::fmin(A, B);
+  case OpCode::Max:
+    return std::fmax(A, B);
+  case OpCode::Pow:
+    return std::pow(A, B);
+  case OpCode::Select:
+    return A != 0.0 ? B : C;
+  case OpCode::Const:
+  case OpCode::Input:
+    break;
+  }
+  assert(false && "evalOp on a non-computing opcode");
+  return 0.0;
+}
+
+OpCode binaryOpCode(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return OpCode::Add;
+  case BinaryOp::Sub:
+    return OpCode::Sub;
+  case BinaryOp::Mul:
+    return OpCode::Mul;
+  case BinaryOp::Div:
+    return OpCode::Div;
+  case BinaryOp::Lt:
+    return OpCode::Lt;
+  case BinaryOp::Le:
+    return OpCode::Le;
+  case BinaryOp::Gt:
+    return OpCode::Gt;
+  case BinaryOp::Ge:
+    return OpCode::Ge;
+  case BinaryOp::Eq:
+    return OpCode::Eq;
+  case BinaryOp::Ne:
+    return OpCode::Ne;
+  case BinaryOp::And:
+    return OpCode::And;
+  case BinaryOp::Or:
+    return OpCode::Or;
+  }
+  assert(false && "unknown binary op");
+  return OpCode::Add;
+}
+
+OpCode intrinsicOpCode(Intrinsic Fn) {
+  switch (Fn) {
+  case Intrinsic::Sqrt:
+    return OpCode::Sqrt;
+  case Intrinsic::Abs:
+    return OpCode::Abs;
+  case Intrinsic::Exp:
+    return OpCode::Exp;
+  case Intrinsic::Log:
+    return OpCode::Log;
+  case Intrinsic::Sin:
+    return OpCode::Sin;
+  case Intrinsic::Cos:
+    return OpCode::Cos;
+  case Intrinsic::Tanh:
+    return OpCode::Tanh;
+  case Intrinsic::Floor:
+    return OpCode::Floor;
+  case Intrinsic::Ceil:
+    return OpCode::Ceil;
+  case Intrinsic::Min:
+    return OpCode::Min;
+  case Intrinsic::Max:
+    return OpCode::Max;
+  case Intrinsic::Pow:
+    return OpCode::Pow;
+  }
+  assert(false && "unknown intrinsic");
+  return OpCode::Sqrt;
+}
+
+/// Incrementally builds the instruction tape with value numbering.
+class KernelBuilder {
+public:
+  KernelBuilder(const StencilNode &Node, const KernelOptions &Options)
+      : Node(Node), Options(Options) {}
+
+  Expected<int> build() {
+    int OutputReg = -1;
+    for (const Assignment &Stmt : Node.Code.Statements) {
+      Expected<int> Reg = emitExpr(*Stmt.Value);
+      if (!Reg)
+        return Reg;
+      Locals[Stmt.Target] = *Reg;
+      OutputReg = *Reg;
+    }
+    return OutputReg;
+  }
+
+  std::vector<KernelInput> takeInputs() { return std::move(Inputs); }
+  std::vector<Instruction> takeCode() { return std::move(Code); }
+
+private:
+  const StencilNode &Node;
+  KernelOptions Options;
+  std::vector<KernelInput> Inputs;
+  std::vector<Instruction> Code;
+  std::map<std::string, int> Locals;
+  // Value numbering: (op, a, b, c, const-bits, input-index) -> register.
+  std::map<std::tuple<OpCode, int, int, int, uint64_t, int>, int> Numbering;
+
+  int intern(Instruction Inst) {
+    uint64_t ConstBits;
+    static_assert(sizeof(ConstBits) == sizeof(Inst.Constant));
+    std::memcpy(&ConstBits, &Inst.Constant, sizeof(ConstBits));
+    auto Key = std::make_tuple(Inst.Op, Inst.A, Inst.B, Inst.C, ConstBits,
+                               Inst.InputIndex);
+    if (Options.EnableCSE) {
+      auto It = Numbering.find(Key);
+      if (It != Numbering.end())
+        return It->second;
+    }
+    int Reg = static_cast<int>(Code.size());
+    Code.push_back(Inst);
+    Numbering[Key] = Reg;
+    return Reg;
+  }
+
+  int emitConst(double Value) {
+    Instruction Inst;
+    Inst.Op = OpCode::Const;
+    Inst.Constant = applyRounding(Value, Node.Type);
+    return intern(Inst);
+  }
+
+  int emitInput(const std::string &Field, const Offset &Off) {
+    int Index = -1;
+    for (size_t I = 0, E = Inputs.size(); I != E; ++I)
+      if (Inputs[I].Field == Field && Inputs[I].Off == Off)
+        Index = static_cast<int>(I);
+    if (Index < 0) {
+      Index = static_cast<int>(Inputs.size());
+      Inputs.push_back(KernelInput{Field, Off});
+    }
+    Instruction Inst;
+    Inst.Op = OpCode::Input;
+    Inst.InputIndex = Index;
+    return intern(Inst);
+  }
+
+  int emitOp(OpCode Op, int A, int B = -1, int C = -1) {
+    if (Options.EnableConstantFolding && isConstReg(A) &&
+        (B < 0 || isConstReg(B)) && (C < 0 || isConstReg(C))) {
+      double Folded =
+          evalOp(Op, constValue(A), B < 0 ? 0.0 : constValue(B),
+                 C < 0 ? 0.0 : constValue(C));
+      return emitConst(Folded);
+    }
+    Instruction Inst;
+    Inst.Op = Op;
+    Inst.A = A;
+    Inst.B = B;
+    Inst.C = C;
+    return intern(Inst);
+  }
+
+  bool isConstReg(int Reg) const {
+    return Code[static_cast<size_t>(Reg)].Op == OpCode::Const;
+  }
+  double constValue(int Reg) const {
+    return Code[static_cast<size_t>(Reg)].Constant;
+  }
+
+  Expected<int> emitExpr(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Literal:
+      return emitConst(cast<LiteralExpr>(&E)->value());
+    case ExprKind::FieldAccess: {
+      const auto *Access = cast<FieldAccessExpr>(&E);
+      return emitInput(Access->field(), Access->offset());
+    }
+    case ExprKind::LocalRef: {
+      const auto *Ref = cast<LocalRefExpr>(&E);
+      auto It = Locals.find(Ref->name());
+      if (It == Locals.end())
+        return makeError("stencil '" + Node.Name +
+                         "': unresolved local '" + Ref->name() +
+                         "' (semantic analysis must run before compilation)");
+      return It->second;
+    }
+    case ExprKind::Unary: {
+      const auto *Unary = cast<UnaryExpr>(&E);
+      Expected<int> Operand = emitExpr(Unary->operand());
+      if (!Operand)
+        return Operand;
+      OpCode Op = Unary->op() == UnaryOp::Neg ? OpCode::Neg : OpCode::Not;
+      return emitOp(Op, *Operand);
+    }
+    case ExprKind::Binary: {
+      const auto *Binary = cast<BinaryExpr>(&E);
+      Expected<int> LHS = emitExpr(Binary->lhs());
+      if (!LHS)
+        return LHS;
+      Expected<int> RHS = emitExpr(Binary->rhs());
+      if (!RHS)
+        return RHS;
+      return emitOp(binaryOpCode(Binary->op()), *LHS, *RHS);
+    }
+    case ExprKind::Call: {
+      const auto *Call = cast<CallExpr>(&E);
+      std::vector<int> Args;
+      for (const ExprPtr &Arg : Call->args()) {
+        Expected<int> Reg = emitExpr(*Arg);
+        if (!Reg)
+          return Reg;
+        Args.push_back(*Reg);
+      }
+      OpCode Op = intrinsicOpCode(Call->intrinsic());
+      return emitOp(Op, Args[0], Args.size() > 1 ? Args[1] : -1);
+    }
+    case ExprKind::Select: {
+      const auto *Select = cast<SelectExpr>(&E);
+      Expected<int> Cond = emitExpr(Select->condition());
+      if (!Cond)
+        return Cond;
+      Expected<int> TrueValue = emitExpr(Select->trueValue());
+      if (!TrueValue)
+        return TrueValue;
+      Expected<int> FalseValue = emitExpr(Select->falseValue());
+      if (!FalseValue)
+        return FalseValue;
+      return emitOp(OpCode::Select, *Cond, *TrueValue, *FalseValue);
+    }
+    }
+    return makeError("unknown expression kind");
+  }
+};
+
+} // namespace
+
+Expected<Kernel> Kernel::compile(const StencilNode &Node,
+                                 const KernelOptions &Options) {
+  KernelBuilder Builder(Node, Options);
+  Expected<int> OutputReg = Builder.build();
+  if (!OutputReg)
+    return OutputReg.takeError();
+  Kernel Result;
+  Result.Inputs = Builder.takeInputs();
+  Result.Code = Builder.takeCode();
+  Result.OutputRegister = *OutputReg;
+  Result.Type = Node.Type;
+  assert(Result.OutputRegister >= 0 && "empty kernel");
+  return Result;
+}
+
+int Kernel::inputIndex(const std::string &Field, const Offset &Off) const {
+  for (size_t I = 0, E = Inputs.size(); I != E; ++I)
+    if (Inputs[I].Field == Field && Inputs[I].Off == Off)
+      return static_cast<int>(I);
+  return -1;
+}
+
+double Kernel::evaluate(const double *InputValues, double *Scratch) const {
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const Instruction &Inst = Code[I];
+    double Result;
+    switch (Inst.Op) {
+    case OpCode::Const:
+      Result = Inst.Constant; // Already rounded at compile time.
+      Scratch[I] = Result;
+      continue;
+    case OpCode::Input:
+      Result = applyRounding(
+          InputValues[static_cast<size_t>(Inst.InputIndex)], Type);
+      Scratch[I] = Result;
+      continue;
+    default:
+      Result = evalOp(Inst.Op, Scratch[Inst.A],
+                      Inst.B >= 0 ? Scratch[Inst.B] : 0.0,
+                      Inst.C >= 0 ? Scratch[Inst.C] : 0.0);
+      Scratch[I] = applyRounding(Result, Type);
+    }
+  }
+  return Scratch[static_cast<size_t>(OutputRegister)];
+}
+
+double Kernel::evaluate(const std::vector<double> &InputValues) const {
+  assert(InputValues.size() == Inputs.size() && "wrong number of inputs");
+  std::vector<double> Scratch(Code.size());
+  return evaluate(InputValues.data(), Scratch.data());
+}
+
+int64_t Kernel::criticalPathLatency(const LatencyTable &Latencies) const {
+  std::vector<int64_t> Depth(Code.size(), 0);
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const Instruction &Inst = Code[I];
+    int64_t OperandDepth = 0;
+    if (Inst.A >= 0)
+      OperandDepth = std::max(OperandDepth, Depth[Inst.A]);
+    if (Inst.B >= 0)
+      OperandDepth = std::max(OperandDepth, Depth[Inst.B]);
+    if (Inst.C >= 0)
+      OperandDepth = std::max(OperandDepth, Depth[Inst.C]);
+    Depth[I] = OperandDepth + Latencies.latency(Inst.Op);
+  }
+  return Depth[static_cast<size_t>(OutputRegister)];
+}
+
+OpCensus Kernel::census() const {
+  OpCensus Census;
+  for (const Instruction &Inst : Code) {
+    switch (Inst.Op) {
+    case OpCode::Const:
+    case OpCode::Input:
+      break;
+    case OpCode::Add:
+    case OpCode::Sub:
+      ++Census.Additions;
+      break;
+    case OpCode::Mul:
+      ++Census.Multiplications;
+      break;
+    case OpCode::Div:
+      ++Census.Divisions;
+      break;
+    case OpCode::Sqrt:
+      ++Census.SquareRoots;
+      break;
+    case OpCode::Min:
+    case OpCode::Max:
+      ++Census.MinMax;
+      break;
+    case OpCode::Lt:
+    case OpCode::Le:
+    case OpCode::Gt:
+    case OpCode::Ge:
+    case OpCode::Eq:
+    case OpCode::Ne:
+      ++Census.Comparisons;
+      break;
+    case OpCode::Select:
+      ++Census.Branches;
+      break;
+    case OpCode::Exp:
+    case OpCode::Log:
+    case OpCode::Sin:
+    case OpCode::Cos:
+    case OpCode::Tanh:
+    case OpCode::Pow:
+      ++Census.Transcendental;
+      break;
+    case OpCode::Neg:
+    case OpCode::Not:
+    case OpCode::Abs:
+    case OpCode::Floor:
+    case OpCode::Ceil:
+    case OpCode::And:
+    case OpCode::Or:
+      ++Census.Other;
+      break;
+    }
+  }
+  return Census;
+}
+
+std::string Kernel::dump() const {
+  std::string Result;
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const Instruction &Inst = Code[I];
+    Result += formatString("r%zu = %s", I,
+                           std::string(opCodeName(Inst.Op)).c_str());
+    if (Inst.Op == OpCode::Const) {
+      Result += formatString(" %g", Inst.Constant);
+    } else if (Inst.Op == OpCode::Input) {
+      const KernelInput &Input = Inputs[static_cast<size_t>(Inst.InputIndex)];
+      Result += formatString(" %s%s", Input.Field.c_str(),
+                             Input.Off.empty()
+                                 ? ""
+                                 : offsetToString(Input.Off).c_str());
+    } else {
+      if (Inst.A >= 0)
+        Result += formatString(" r%d", Inst.A);
+      if (Inst.B >= 0)
+        Result += formatString(" r%d", Inst.B);
+      if (Inst.C >= 0)
+        Result += formatString(" r%d", Inst.C);
+    }
+    if (static_cast<int>(I) == OutputRegister)
+      Result += "  ; output";
+    Result += "\n";
+  }
+  return Result;
+}

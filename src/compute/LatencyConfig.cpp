@@ -1,0 +1,55 @@
+//===- compute/LatencyConfig.cpp - Latency tables from JSON --------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compute/LatencyConfig.h"
+
+#include <cmath>
+
+using namespace stencilflow;
+using namespace stencilflow::compute;
+
+Expected<OpCode> compute::parseOpCodeName(std::string_view Name) {
+  static const OpCode AllOps[] = {
+      OpCode::Const, OpCode::Input, OpCode::Neg,   OpCode::Not,
+      OpCode::Add,   OpCode::Sub,   OpCode::Mul,   OpCode::Div,
+      OpCode::Lt,    OpCode::Le,    OpCode::Gt,    OpCode::Ge,
+      OpCode::Eq,    OpCode::Ne,    OpCode::And,   OpCode::Or,
+      OpCode::Sqrt,  OpCode::Abs,   OpCode::Exp,   OpCode::Log,
+      OpCode::Sin,   OpCode::Cos,   OpCode::Tanh,  OpCode::Floor,
+      OpCode::Ceil,  OpCode::Min,   OpCode::Max,   OpCode::Pow,
+      OpCode::Select};
+  for (OpCode Op : AllOps)
+    if (opCodeName(Op) == Name)
+      return Op;
+  return makeError("unknown operation '" + std::string(Name) +
+                   "' in latency configuration");
+}
+
+Expected<LatencyTable>
+compute::latencyTableFromJson(const json::Value &Config) {
+  if (!Config.isObject())
+    return makeError("latency configuration must be a JSON object");
+  LatencyTable Table;
+  for (const auto &[Name, Value] : Config.getObject()) {
+    Expected<OpCode> Op = parseOpCodeName(Name);
+    if (!Op)
+      return Op.takeError();
+    if (!Value->isNumber() || Value->getNumber() < 0 ||
+        Value->getNumber() != std::floor(Value->getNumber()))
+      return makeError("latency of '" + Name +
+                       "' must be a non-negative integer");
+    Table.setLatency(*Op, Value->getInteger());
+  }
+  return Table;
+}
+
+Expected<LatencyTable>
+compute::latencyTableFromJsonText(std::string_view Text) {
+  Expected<json::Value> Parsed = json::parse(Text);
+  if (!Parsed)
+    return Parsed.takeError().addContext("latency configuration");
+  return latencyTableFromJson(*Parsed);
+}

@@ -1,0 +1,47 @@
+//===- compute/LatencyConfig.h - Latency tables from JSON ---------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation latencies "are both type and architecture dependent. As a
+/// result, these latencies can be provided as configuration to the
+/// framework" (paper Sec. IV-B). This loads a latency table from a JSON
+/// object of mnemonic -> cycles, e.g.:
+///
+/// \code
+///   {"add": 3, "mul": 3, "div": 28, "sqrt": 28}
+/// \endcode
+///
+/// Unlisted operations keep their conservative defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_COMPUTE_LATENCYCONFIG_H
+#define STENCILFLOW_COMPUTE_LATENCYCONFIG_H
+
+#include "compute/Bytecode.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <string_view>
+
+namespace stencilflow {
+namespace compute {
+
+/// Parses an opcode mnemonic ("add", "sqrt", ...) as printed by
+/// opCodeName.
+Expected<OpCode> parseOpCodeName(std::string_view Name);
+
+/// Builds a latency table from a JSON object; unknown keys or
+/// non-integer values are errors.
+Expected<LatencyTable> latencyTableFromJson(const json::Value &Config);
+
+/// Parses JSON text and builds a latency table.
+Expected<LatencyTable> latencyTableFromJsonText(std::string_view Text);
+
+} // namespace compute
+} // namespace stencilflow
+
+#endif // STENCILFLOW_COMPUTE_LATENCYCONFIG_H

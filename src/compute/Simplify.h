@@ -1,0 +1,52 @@
+//===- compute/Simplify.h - Algebraic simplification --------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algebraic simplification of stencil expressions, complementing the
+/// constant folding and common-subexpression elimination performed during
+/// kernel compilation. Simplification prunes operations before the
+/// resource model counts them — the software analogue of the logic the
+/// optimizing HLS compiler would strip (paper Sec. V-B notes that fused
+/// code "increases the opportunity for common subexpression elimination by
+/// the optimizing compiler"; identities are the other half of that).
+///
+/// Applied rules (value-preserving for finite inputs; x*0 and x-x change
+/// NaN/Inf propagation exactly as -ffast-math style HLS flows do, which is
+/// why the pass is opt-in):
+///
+///   x + 0, 0 + x, x - 0      ->  x
+///   x * 1, 1 * x, x / 1      ->  x
+///   x * 0, 0 * x             ->  0
+///   cond ? a : a             ->  a
+///   <const-cond> ? a : b     ->  a or b
+///   -(-x), !(!x)             ->  x
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_COMPUTE_SIMPLIFY_H
+#define STENCILFLOW_COMPUTE_SIMPLIFY_H
+
+#include "ir/Expr.h"
+#include "ir/StencilNode.h"
+
+namespace stencilflow {
+namespace compute {
+
+/// Simplifies one expression in place. Returns the number of rewrites.
+int simplifyExpr(ExprPtr &Root);
+
+/// Simplifies every statement of \p Code. Returns the number of rewrites.
+int simplifyCode(StencilCode &Code);
+
+/// Simplifies every node of \p Program (access metadata is refreshed by
+/// the caller via frontend::analyzeProgram when accesses may have been
+/// pruned). Returns the number of rewrites.
+int simplifyNodeCode(StencilNode &Node);
+
+} // namespace compute
+} // namespace stencilflow
+
+#endif // STENCILFLOW_COMPUTE_SIMPLIFY_H

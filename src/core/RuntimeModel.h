@@ -1,0 +1,119 @@
+//===- core/RuntimeModel.h - Expected runtime & roofline ----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expected-runtime model of Sec. VIII-A and the arithmetic-intensity /
+/// roofline analysis of Sec. IX-A.
+///
+/// All StencilFlow architectures are fully pipelined with initiation
+/// interval I = 1, so the cycles to process N inputs are C = L + N (Eq. 1),
+/// where L is the pipeline latency (initialization phases plus circuit
+/// latencies along the critical DAG path) and N is the number of iterations
+/// (domain cells divided by the vectorization width W). N covers the
+/// streaming phase where all stencils run pipeline-parallel; L covers
+/// initialization, is proportional to (D-1)-dimensional slices only, and
+/// becomes negligible for large domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_CORE_RUNTIMEMODEL_H
+#define STENCILFLOW_CORE_RUNTIMEMODEL_H
+
+#include "core/CompiledProgram.h"
+#include "core/DataflowAnalysis.h"
+
+#include <cstdint>
+
+namespace stencilflow {
+
+/// Expected-runtime estimate for a program (Eq. 1).
+struct RuntimeEstimate {
+  /// N: iterations in the streaming phase = cells / W.
+  int64_t StreamedCycles = 0;
+
+  /// L: pipeline latency in cycles.
+  int64_t LatencyCycles = 0;
+
+  /// C = L + I*N with I = 1.
+  int64_t TotalCycles = 0;
+
+  /// Floating-point operations per cell summed over all stencil nodes
+  /// (paper accounting; see compute::OpCensus::flops()).
+  int64_t FlopsPerCell = 0;
+
+  /// Total floating-point operations of the program evaluation.
+  int64_t TotalFlops = 0;
+
+  /// Runtime in seconds at clock frequency \p FrequencyHz.
+  double seconds(double FrequencyHz) const {
+    return static_cast<double>(TotalCycles) / FrequencyHz;
+  }
+
+  /// Performance in Op/s at \p FrequencyHz.
+  double opsPerSecond(double FrequencyHz) const {
+    return static_cast<double>(TotalFlops) / seconds(FrequencyHz);
+  }
+};
+
+/// Computes the expected runtime of \p Compiled given its dataflow
+/// analysis.
+RuntimeEstimate computeRuntimeEstimate(const CompiledProgram &Compiled,
+                                       const DataflowAnalysis &Dataflow);
+
+/// Off-chip memory traffic under perfect reuse: every input field is read
+/// exactly once, every output written exactly once (Sec. IV-A: "data should
+/// only be loaded once").
+struct MemoryTraffic {
+  int64_t ReadElements = 0;
+  int64_t WriteElements = 0;
+  int64_t ReadBytes = 0;
+  int64_t WriteBytes = 0;
+
+  /// Operands that must be moved per cycle of the streaming phase to keep
+  /// the pipeline running: W elements per streamed input and output stream.
+  int64_t OperandsPerCycle = 0;
+
+  int64_t totalElements() const { return ReadElements + WriteElements; }
+  int64_t totalBytes() const { return ReadBytes + WriteBytes; }
+
+  /// Required off-chip bandwidth in bytes/s at \p FrequencyHz for the
+  /// streaming phase to never stall on memory.
+  double requiredBandwidth(double FrequencyHz, size_t ElementBytes) const {
+    return static_cast<double>(OperandsPerCycle) *
+           static_cast<double>(ElementBytes) * FrequencyHz;
+  }
+};
+
+/// Computes the memory traffic of \p Compiled.
+MemoryTraffic computeMemoryTraffic(const CompiledProgram &Compiled);
+
+/// Arithmetic-intensity / roofline quantities (Sec. IX-A, Eq. 2-4).
+struct RooflineAnalysis {
+  /// Ops per operand: total flops / total operands moved (Eq. before 2).
+  double OpsPerOperand = 0.0;
+
+  /// Ops per byte (Eq. 2).
+  double OpsPerByte = 0.0;
+
+  /// Highest achievable performance in Op/s at \p BandwidthBytesPerSec
+  /// (Eq. 3).
+  double boundPerformance(double BandwidthBytesPerSec) const {
+    return OpsPerByte * BandwidthBytesPerSec;
+  }
+
+  /// Bandwidth in B/s required to saturate \p OpsPerSecond compute
+  /// performance (Eq. 4).
+  double requiredBandwidth(double OpsPerSecond) const {
+    return OpsPerSecond / OpsPerByte;
+  }
+};
+
+/// Computes the roofline quantities of \p Compiled.
+RooflineAnalysis computeRoofline(const CompiledProgram &Compiled);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_CORE_RUNTIMEMODEL_H

@@ -1,0 +1,58 @@
+//===- core/ValidRegion.h - Shrink-boundary output regions --------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The valid output region of a stencil under the \c shrink boundary
+/// condition (paper Sec. II): "all computed values that read out of bounds
+/// values are simply ignored in the output". A cell is valid when every
+/// access of the stencil stays in bounds, i.e. the interior region obtained
+/// by trimming each dimension by the largest negative and positive offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_CORE_VALIDREGION_H
+#define STENCILFLOW_CORE_VALIDREGION_H
+
+#include "ir/StencilProgram.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace stencilflow {
+
+/// An axis-aligned region [Lo[d], Hi[d]) per dimension.
+struct ValidRegion {
+  std::vector<int64_t> Lo;
+  std::vector<int64_t> Hi;
+
+  /// True if \p Index lies inside the region.
+  bool contains(const std::vector<int64_t> &Index) const {
+    for (size_t Dim = 0; Dim != Lo.size(); ++Dim)
+      if (Index[Dim] < Lo[Dim] || Index[Dim] >= Hi[Dim])
+        return false;
+    return true;
+  }
+
+  /// Number of cells inside the region (0 if empty).
+  int64_t numCells() const {
+    int64_t Total = 1;
+    for (size_t Dim = 0; Dim != Lo.size(); ++Dim) {
+      if (Hi[Dim] <= Lo[Dim])
+        return 0;
+      Total *= Hi[Dim] - Lo[Dim];
+    }
+    return Total;
+  }
+};
+
+/// Computes the shrink-valid output region of \p Node. For nodes without
+/// shrink this is the full iteration space.
+ValidRegion computeValidRegion(const StencilProgram &Program,
+                               const StencilNode &Node);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_CORE_VALIDREGION_H

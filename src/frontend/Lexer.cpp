@@ -1,0 +1,275 @@
+//===- frontend/Lexer.cpp - Stencil DSL lexer -------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace stencilflow;
+
+std::string_view stencilflow::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::LeftParen:
+    return "'('";
+  case TokenKind::RightParen:
+    return "')'";
+  case TokenKind::LeftBracket:
+    return "'['";
+  case TokenKind::RightBracket:
+    return "']'";
+  case TokenKind::EndOfInput:
+    return "end of input";
+  }
+  return "<invalid>";
+}
+
+Expected<std::vector<Token>> stencilflow::tokenize(std::string_view Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1, Column = 1;
+  size_t Pos = 0;
+
+  auto advance = [&](size_t Count = 1) {
+    for (size_t I = 0; I != Count; ++I) {
+      if (Pos < Source.size() && Source[Pos] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+      ++Pos;
+    }
+  };
+
+  auto push = [&](TokenKind Kind, std::string Text) {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Text = std::move(Text);
+    Tok.Line = Line;
+    Tok.Column = Column;
+    Tokens.push_back(std::move(Tok));
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Line comments: '#' or '//'.
+    if (C == '#' ||
+        (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/')) {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      unsigned StartColumn = Column;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        advance();
+      Token Tok;
+      Tok.Kind = TokenKind::Identifier;
+      Tok.Text = std::string(Source.substr(Start, Pos - Start));
+      Tok.Line = Line;
+      Tok.Column = StartColumn;
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && Pos + 1 < Source.size() &&
+         std::isdigit(static_cast<unsigned char>(Source[Pos + 1])))) {
+      size_t Start = Pos;
+      unsigned StartColumn = Column;
+      while (Pos < Source.size() &&
+             (std::isdigit(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '.' || Source[Pos] == 'e' || Source[Pos] == 'E' ||
+              ((Source[Pos] == '+' || Source[Pos] == '-') && Pos > Start &&
+               (Source[Pos - 1] == 'e' || Source[Pos - 1] == 'E'))))
+        advance();
+      std::string Text(Source.substr(Start, Pos - Start));
+      // Accept C-style float suffixes like 0.25f.
+      if (Pos < Source.size() && (Source[Pos] == 'f' || Source[Pos] == 'F'))
+        advance();
+      char *End = nullptr;
+      double Value = std::strtod(Text.c_str(), &End);
+      if (End != Text.c_str() + Text.size())
+        return makeError(formatString("%u:%u: invalid number '%s'", Line,
+                                      StartColumn, Text.c_str()));
+      Token Tok;
+      Tok.Kind = TokenKind::Number;
+      Tok.Text = std::move(Text);
+      Tok.NumberValue = Value;
+      Tok.Line = Line;
+      Tok.Column = StartColumn;
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    auto twoChar = [&](char Next) {
+      return Pos + 1 < Source.size() && Source[Pos + 1] == Next;
+    };
+
+    switch (C) {
+    case '+':
+      push(TokenKind::Plus, "+");
+      advance();
+      break;
+    case '-':
+      push(TokenKind::Minus, "-");
+      advance();
+      break;
+    case '*':
+      push(TokenKind::Star, "*");
+      advance();
+      break;
+    case '/':
+      push(TokenKind::Slash, "/");
+      advance();
+      break;
+    case '<':
+      if (twoChar('=')) {
+        push(TokenKind::LessEqual, "<=");
+        advance(2);
+      } else {
+        push(TokenKind::Less, "<");
+        advance();
+      }
+      break;
+    case '>':
+      if (twoChar('=')) {
+        push(TokenKind::GreaterEqual, ">=");
+        advance(2);
+      } else {
+        push(TokenKind::Greater, ">");
+        advance();
+      }
+      break;
+    case '=':
+      if (twoChar('=')) {
+        push(TokenKind::EqualEqual, "==");
+        advance(2);
+      } else {
+        push(TokenKind::Assign, "=");
+        advance();
+      }
+      break;
+    case '!':
+      if (twoChar('=')) {
+        push(TokenKind::NotEqual, "!=");
+        advance(2);
+      } else {
+        push(TokenKind::Not, "!");
+        advance();
+      }
+      break;
+    case '&':
+      if (!twoChar('&'))
+        return makeError(
+            formatString("%u:%u: expected '&&' (bitwise operators are not "
+                         "part of the stencil DSL)",
+                         Line, Column));
+      push(TokenKind::AmpAmp, "&&");
+      advance(2);
+      break;
+    case '|':
+      if (!twoChar('|'))
+        return makeError(
+            formatString("%u:%u: expected '||' (bitwise operators are not "
+                         "part of the stencil DSL)",
+                         Line, Column));
+      push(TokenKind::PipePipe, "||");
+      advance(2);
+      break;
+    case '?':
+      push(TokenKind::Question, "?");
+      advance();
+      break;
+    case ':':
+      push(TokenKind::Colon, ":");
+      advance();
+      break;
+    case ';':
+      push(TokenKind::Semicolon, ";");
+      advance();
+      break;
+    case ',':
+      push(TokenKind::Comma, ",");
+      advance();
+      break;
+    case '(':
+      push(TokenKind::LeftParen, "(");
+      advance();
+      break;
+    case ')':
+      push(TokenKind::RightParen, ")");
+      advance();
+      break;
+    case '[':
+      push(TokenKind::LeftBracket, "[");
+      advance();
+      break;
+    case ']':
+      push(TokenKind::RightBracket, "]");
+      advance();
+      break;
+    default:
+      return makeError(
+          formatString("%u:%u: unexpected character '%c'", Line, Column, C));
+    }
+  }
+
+  Token End;
+  End.Kind = TokenKind::EndOfInput;
+  End.Line = Line;
+  End.Column = Column;
+  Tokens.push_back(std::move(End));
+  return Tokens;
+}

@@ -1,0 +1,72 @@
+//===- frontend/Lexer.h - Stencil DSL lexer ----------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the stencil computation DSL (paper Sec. II). The language
+/// is a small, analyzable expression language: identifiers, numeric
+/// literals, arithmetic and comparison operators, ternary conditionals,
+/// bracketss for constant offsets, and calls to standard math functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_FRONTEND_LEXER_H
+#define STENCILFLOW_FRONTEND_LEXER_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stencilflow {
+
+/// Token kinds of the stencil DSL.
+enum class TokenKind {
+  Identifier,
+  Number,
+  Plus,         // +
+  Minus,        // -
+  Star,         // *
+  Slash,        // /
+  Less,         // <
+  LessEqual,    // <=
+  Greater,      // >
+  GreaterEqual, // >=
+  EqualEqual,   // ==
+  NotEqual,     // !=
+  AmpAmp,       // &&
+  PipePipe,     // ||
+  Not,          // !
+  Question,     // ?
+  Colon,        // :
+  Assign,       // =
+  Semicolon,    // ;
+  Comma,        // ,
+  LeftParen,    // (
+  RightParen,   // )
+  LeftBracket,  // [
+  RightBracket, // ]
+  EndOfInput
+};
+
+/// Returns a printable name for \p Kind (for diagnostics).
+std::string_view tokenKindName(TokenKind Kind);
+
+/// One token with its source position (1-based line and column).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfInput;
+  std::string Text;
+  double NumberValue = 0.0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+/// Tokenizes \p Source. `#` and `//` line comments are skipped.
+Expected<std::vector<Token>> tokenize(std::string_view Source);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_FRONTEND_LEXER_H

@@ -1,0 +1,54 @@
+//===- frontend/Parser.h - Stencil DSL parser --------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for stencil computation code (paper Sec. II).
+///
+/// Grammar (statements are assignments; the final assignment defines the
+/// stencil's output):
+/// \code
+///   code    := stmt+
+///   stmt    := IDENT '=' expr ';'
+///   expr    := or ('?' expr ':' expr)?
+///   or      := and ('||' and)*
+///   and     := cmp ('&&' cmp)*
+///   cmp     := add (CMPOP add)?
+///   add     := mul (('+'|'-') mul)*
+///   mul     := unary (('*'|'/') unary)*
+///   unary   := ('-'|'!') unary | primary
+///   primary := NUMBER
+///            | IDENT                       (local temp or scalar field)
+///            | IDENT '[' INT {',' INT} ']' (field access at constant offset)
+///            | IDENT '(' expr {',' expr} ')'  (math intrinsic)
+///            | '(' expr ')'
+/// \endcode
+///
+/// Bare identifiers are parsed as \c LocalRefExpr; semantic analysis
+/// (SemanticAnalysis.h) resolves them to local temporaries or field
+/// accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_FRONTEND_PARSER_H
+#define STENCILFLOW_FRONTEND_PARSER_H
+
+#include "ir/Expr.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace stencilflow {
+
+/// Parses a full stencil code block (one or more assignments).
+Expected<StencilCode> parseStencilCode(std::string_view Source);
+
+/// Parses a single expression (no trailing semicolon). Used by tests and
+/// by programmatic builders.
+Expected<ExprPtr> parseExpression(std::string_view Source);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_FRONTEND_PARSER_H

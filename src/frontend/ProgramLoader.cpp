@@ -1,0 +1,356 @@
+//===- frontend/ProgramLoader.cpp - JSON program descriptions ---------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ProgramLoader.h"
+
+#include "frontend/Parser.h"
+#include "frontend/SemanticAnalysis.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace stencilflow;
+using json::Value;
+
+namespace {
+
+Expected<DataSource> dataSourceFromJson(const Value &V) {
+  if (!V.isObject())
+    return makeError("data source must be an object");
+  const json::Object &Obj = V.getObject();
+  const Value *KindValue = Obj.get("kind");
+  if (!KindValue || !KindValue->isString())
+    return makeError("data source requires a string 'kind'");
+  const std::string &Kind = KindValue->getString();
+  if (Kind == "zero")
+    return DataSource::zero();
+  if (Kind == "constant") {
+    const Value *Val = Obj.get("value");
+    if (!Val || !Val->isNumber())
+      return makeError("constant data source requires a numeric 'value'");
+    return DataSource::constant(Val->getNumber());
+  }
+  if (Kind == "random") {
+    uint64_t Seed = 42;
+    if (const Value *SeedValue = Obj.get("seed")) {
+      if (!SeedValue->isNumber())
+        return makeError("random data source 'seed' must be a number");
+      Seed = static_cast<uint64_t>(SeedValue->getInteger());
+    }
+    return DataSource::random(Seed);
+  }
+  if (Kind == "ramp") {
+    double Step = 1.0;
+    if (const Value *StepValue = Obj.get("step")) {
+      if (!StepValue->isNumber())
+        return makeError("ramp data source 'step' must be a number");
+      Step = StepValue->getNumber();
+    }
+    return DataSource::ramp(Step);
+  }
+  return makeError("unknown data source kind '" + Kind + "'");
+}
+
+Value dataSourceToJson(const DataSource &Source) {
+  json::Object Obj;
+  switch (Source.SourceKind) {
+  case DataSource::Kind::Zero:
+    Obj.set("kind", "zero");
+    break;
+  case DataSource::Kind::Constant:
+    Obj.set("kind", "constant");
+    Obj.set("value", Source.Value);
+    break;
+  case DataSource::Kind::Random:
+    Obj.set("kind", "random");
+    Obj.set("seed", static_cast<int64_t>(Source.Seed));
+    break;
+  case DataSource::Kind::Ramp:
+    Obj.set("kind", "ramp");
+    Obj.set("step", Source.Value);
+    break;
+  }
+  return Value(std::move(Obj));
+}
+
+Expected<BoundaryCondition> boundaryFromJson(const Value &V) {
+  if (!V.isObject())
+    return makeError("boundary condition must be an object");
+  const json::Object &Obj = V.getObject();
+  const Value *TypeValue = Obj.get("type");
+  if (!TypeValue || !TypeValue->isString())
+    return makeError("boundary condition requires a string 'type'");
+  Expected<BoundaryKind> Kind = parseBoundaryKind(TypeValue->getString());
+  if (!Kind)
+    return Kind.takeError();
+  switch (*Kind) {
+  case BoundaryKind::Constant: {
+    double BoundaryValue = 0.0;
+    if (const Value *Val = Obj.get("value")) {
+      if (!Val->isNumber())
+        return makeError("constant boundary 'value' must be a number");
+      BoundaryValue = Val->getNumber();
+    }
+    return BoundaryCondition::constant(BoundaryValue);
+  }
+  case BoundaryKind::Copy:
+    return BoundaryCondition::copy();
+  case BoundaryKind::Shrink:
+    return BoundaryCondition::shrink();
+  }
+  return makeError("invalid boundary kind");
+}
+
+Value boundaryToJson(const BoundaryCondition &Boundary) {
+  json::Object Obj;
+  Obj.set("type", std::string(boundaryKindName(Boundary.Kind)));
+  if (Boundary.Kind == BoundaryKind::Constant)
+    Obj.set("value", Boundary.Value);
+  return Value(std::move(Obj));
+}
+
+/// Maps a list of dimension names (e.g. ["k", "i"]) to a mask over the
+/// program dimensions.
+Expected<std::vector<bool>>
+dimensionMaskFromNames(const std::vector<Value> &Names, size_t Rank) {
+  std::vector<std::string> DimNames = StencilProgram::dimensionNames(Rank);
+  std::vector<bool> Mask(Rank, false);
+  for (const Value &NameValue : Names) {
+    if (!NameValue.isString())
+      return makeError("input dimension names must be strings");
+    const std::string &Name = NameValue.getString();
+    auto It = std::find(DimNames.begin(), DimNames.end(), Name);
+    if (It == DimNames.end())
+      return makeError("unknown dimension name '" + Name + "'");
+    Mask[static_cast<size_t>(It - DimNames.begin())] = true;
+  }
+  return Mask;
+}
+
+} // namespace
+
+Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
+  if (!Root.isObject())
+    return makeError("program description must be a JSON object");
+  const json::Object &Obj = Root.getObject();
+
+  StencilProgram Program;
+  if (const Value *Name = Obj.get("name")) {
+    if (!Name->isString())
+      return makeError("'name' must be a string");
+    Program.Name = Name->getString();
+  }
+
+  const Value *Dims = Obj.get("dimensions");
+  if (!Dims || !Dims->isArray())
+    return makeError("program requires a 'dimensions' array");
+  std::vector<int64_t> Extents;
+  for (const Value &Extent : Dims->getArray()) {
+    if (!Extent.isNumber() || Extent.getNumber() <= 0 ||
+        Extent.getNumber() != std::floor(Extent.getNumber()))
+      return makeError("'dimensions' must contain positive integers");
+    Extents.push_back(Extent.getInteger());
+  }
+  if (Extents.empty() || Extents.size() > 3)
+    return makeError("programs must have 1, 2, or 3 dimensions");
+  Program.IterationSpace = Shape(std::move(Extents));
+  size_t Rank = Program.IterationSpace.rank();
+
+  if (const Value *W = Obj.get("vectorization")) {
+    if (!W->isNumber() || W->getNumber() < 1 ||
+        W->getNumber() != std::floor(W->getNumber()))
+      return makeError("'vectorization' must be a positive integer");
+    Program.VectorWidth = static_cast<int>(W->getInteger());
+  }
+
+  // Inputs.
+  if (const Value *Inputs = Obj.get("inputs")) {
+    if (!Inputs->isObject())
+      return makeError("'inputs' must be an object");
+    for (const auto &[InputName, InputValue] : Inputs->getObject()) {
+      if (!InputValue->isObject())
+        return makeError("input '" + InputName + "' must be an object");
+      const json::Object &InputObj = InputValue->getObject();
+      Field Input;
+      Input.Name = InputName;
+      Input.DimensionMask = std::vector<bool>(Rank, true);
+      if (const Value *Type = InputObj.get("data_type")) {
+        if (!Type->isString())
+          return makeError("input 'data_type' must be a string");
+        Expected<DataType> Parsed = parseDataType(Type->getString());
+        if (!Parsed)
+          return Parsed.takeError();
+        Input.Type = *Parsed;
+      }
+      if (const Value *InputDims = InputObj.get("dimensions")) {
+        if (!InputDims->isArray())
+          return makeError("input 'dimensions' must be an array of names");
+        Expected<std::vector<bool>> Mask =
+            dimensionMaskFromNames(InputDims->getArray(), Rank);
+        if (!Mask)
+          return Mask.takeError();
+        Input.DimensionMask = *Mask;
+      }
+      if (const Value *Source = InputObj.get("data")) {
+        Expected<DataSource> Parsed = dataSourceFromJson(*Source);
+        if (!Parsed)
+          return Parsed.takeError().addContext("input '" + InputName + "'");
+        Input.Source = *Parsed;
+      }
+      Program.Inputs.push_back(std::move(Input));
+    }
+  }
+
+  // Stencil nodes.
+  const Value *ProgramNodes = Obj.get("program");
+  if (!ProgramNodes || !ProgramNodes->isObject())
+    return makeError("program requires a 'program' object of stencils");
+  for (const auto &[NodeName, NodeValue] : ProgramNodes->getObject()) {
+    if (!NodeValue->isObject())
+      return makeError("stencil '" + NodeName + "' must be an object");
+    const json::Object &NodeObj = NodeValue->getObject();
+    StencilNode Node;
+    Node.Name = NodeName;
+
+    const Value *Computation = NodeObj.get("computation");
+    if (!Computation || !Computation->isString())
+      return makeError("stencil '" + NodeName +
+                       "' requires a 'computation' string");
+    Expected<StencilCode> Code = parseStencilCode(Computation->getString());
+    if (!Code)
+      return Code.takeError().addContext("stencil '" + NodeName + "'");
+    Node.Code = Code.takeValue();
+
+    if (const Value *Type = NodeObj.get("data_type")) {
+      if (!Type->isString())
+        return makeError("stencil 'data_type' must be a string");
+      Expected<DataType> Parsed = parseDataType(Type->getString());
+      if (!Parsed)
+        return Parsed.takeError();
+      Node.Type = *Parsed;
+    }
+
+    if (const Value *Boundaries = NodeObj.get("boundary_conditions")) {
+      if (!Boundaries->isObject())
+        return makeError("'boundary_conditions' must be an object");
+      for (const auto &[FieldName, BoundaryValue] : Boundaries->getObject()) {
+        Expected<BoundaryCondition> Boundary =
+            boundaryFromJson(*BoundaryValue);
+        if (!Boundary)
+          return Boundary.takeError().addContext("stencil '" + NodeName +
+                                                 "'");
+        Node.Boundaries[FieldName] = *Boundary;
+      }
+    }
+
+    if (const Value *Shrink = NodeObj.get("shrink")) {
+      if (!Shrink->isBoolean())
+        return makeError("'shrink' must be a boolean");
+      Node.ShrinkOutput = Shrink->getBoolean();
+    }
+
+    Program.Nodes.push_back(std::move(Node));
+  }
+
+  // Outputs. Default: nodes nobody consumes. (Consumption is only known
+  // after semantic analysis, so explicit outputs are resolved first.)
+  if (const Value *Outputs = Obj.get("outputs")) {
+    if (!Outputs->isArray())
+      return makeError("'outputs' must be an array of field names");
+    for (const Value &Output : Outputs->getArray()) {
+      if (!Output.isString())
+        return makeError("'outputs' must be an array of field names");
+      Program.Outputs.push_back(Output.getString());
+    }
+  }
+
+  if (Error Err = analyzeProgram(Program)) {
+    // If outputs were defaulted, retry after inferring sinks.
+    if (!Program.Outputs.empty())
+      return Err;
+    for (StencilNode &Node : Program.Nodes)
+      if (Error NodeErr = analyzeNode(Program, Node))
+        return NodeErr;
+    for (const StencilNode &Node : Program.Nodes)
+      if (Program.consumersOf(Node.Name).empty())
+        Program.Outputs.push_back(Node.Name);
+    if (Error RetryErr = Program.validate())
+      return RetryErr;
+  }
+  return Program;
+}
+
+Expected<StencilProgram>
+stencilflow::programFromJsonText(std::string_view Text) {
+  Expected<Value> Parsed = json::parse(Text);
+  if (!Parsed)
+    return Parsed.takeError().addContext("parsing program description");
+  return programFromJson(*Parsed);
+}
+
+Expected<StencilProgram>
+stencilflow::loadProgramFile(const std::string &Path) {
+  Expected<Value> Parsed = json::parseFile(Path);
+  if (!Parsed)
+    return Parsed.takeError();
+  Expected<StencilProgram> Program = programFromJson(*Parsed);
+  if (!Program)
+    return Program.takeError().addContext(Path);
+  return Program;
+}
+
+Value stencilflow::programToJson(const StencilProgram &Program) {
+  json::Object Root;
+  Root.set("name", Program.Name);
+
+  std::vector<Value> Dims;
+  for (int64_t Extent : Program.IterationSpace.extents())
+    Dims.emplace_back(Extent);
+  Root.set("dimensions", Value(std::move(Dims)));
+  Root.set("vectorization", Program.VectorWidth);
+
+  json::Object Inputs;
+  std::vector<std::string> DimNames =
+      StencilProgram::dimensionNames(Program.IterationSpace.rank());
+  for (const Field &Input : Program.Inputs) {
+    json::Object InputObj;
+    InputObj.set("data_type", std::string(dataTypeName(Input.Type)));
+    if (!Input.isFullRank()) {
+      std::vector<Value> Names;
+      for (size_t Dim = 0; Dim != Input.DimensionMask.size(); ++Dim)
+        if (Input.DimensionMask[Dim])
+          Names.emplace_back(DimNames[Dim]);
+      InputObj.set("dimensions", Value(std::move(Names)));
+    }
+    InputObj.set("data", dataSourceToJson(Input.Source));
+    Inputs.set(Input.Name, Value(std::move(InputObj)));
+  }
+  Root.set("inputs", Value(std::move(Inputs)));
+
+  std::vector<Value> Outputs;
+  for (const std::string &Output : Program.Outputs)
+    Outputs.emplace_back(Output);
+  Root.set("outputs", Value(std::move(Outputs)));
+
+  json::Object NodesObj;
+  for (const StencilNode &Node : Program.Nodes) {
+    json::Object NodeObj;
+    NodeObj.set("computation", Node.Code.toString());
+    NodeObj.set("data_type", std::string(dataTypeName(Node.Type)));
+    if (!Node.Boundaries.empty()) {
+      json::Object Boundaries;
+      for (const auto &[FieldName, Boundary] : Node.Boundaries)
+        Boundaries.set(FieldName, boundaryToJson(Boundary));
+      NodeObj.set("boundary_conditions", Value(std::move(Boundaries)));
+    }
+    if (Node.ShrinkOutput)
+      NodeObj.set("shrink", true);
+    NodesObj.set(Node.Name, Value(std::move(NodeObj)));
+  }
+  Root.set("program", Value(std::move(NodesObj)));
+  return Value(std::move(Root));
+}

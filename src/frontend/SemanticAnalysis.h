@@ -1,0 +1,45 @@
+//===- frontend/SemanticAnalysis.h - Name resolution & access inference -*- C++
+//-*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis of a stencil program: resolves bare identifiers to
+/// local temporaries or field accesses, enforces the analyzability
+/// restrictions of the DSL (paper Sec. II), and recovers the per-field
+/// access-offset sets that drive the buffer analyses (Sec. IV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_FRONTEND_SEMANTICANALYSIS_H
+#define STENCILFLOW_FRONTEND_SEMANTICANALYSIS_H
+
+#include "ir/StencilProgram.h"
+#include "support/Error.h"
+
+namespace stencilflow {
+
+/// Runs semantic analysis over every node of \p Program:
+///
+///  - bare identifiers become \c LocalRefExpr (earlier assignment in the
+///    same block) or zero-offset \c FieldAccessExpr (defined field);
+///  - locals must be assigned before use and must not shadow fields;
+///  - field accesses must reference defined fields with offsets of the
+///    field's rank;
+///  - each node's \c Accesses list is populated (fields in first-use order,
+///    offsets deduplicated and sorted in memory order);
+///  - a node must not read its own output.
+///
+/// On success the program passes \c StencilProgram::validate().
+Error analyzeProgram(StencilProgram &Program);
+
+/// Analyzes a single node against \p Program (exposed for incremental
+/// construction and for the transformation passes, which re-run analysis
+/// after rewriting code blocks).
+Error analyzeNode(const StencilProgram &Program, StencilNode &Node);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_FRONTEND_SEMANTICANALYSIS_H

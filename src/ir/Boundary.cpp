@@ -1,0 +1,31 @@
+//===- ir/Boundary.cpp - Boundary conditions -------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Boundary.h"
+
+using namespace stencilflow;
+
+std::string_view stencilflow::boundaryKindName(BoundaryKind Kind) {
+  switch (Kind) {
+  case BoundaryKind::Constant:
+    return "constant";
+  case BoundaryKind::Copy:
+    return "copy";
+  case BoundaryKind::Shrink:
+    return "shrink";
+  }
+  return "<invalid>";
+}
+
+Expected<BoundaryKind> stencilflow::parseBoundaryKind(std::string_view Name) {
+  if (Name == "constant")
+    return BoundaryKind::Constant;
+  if (Name == "copy")
+    return BoundaryKind::Copy;
+  if (Name == "shrink")
+    return BoundaryKind::Shrink;
+  return makeError("unknown boundary condition '" + std::string(Name) + "'");
+}

@@ -1,0 +1,63 @@
+//===- ir/Boundary.h - Boundary conditions -----------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boundary conditions for out-of-bounds accesses (paper Sec. II):
+///
+///  - \b constant: out-of-bounds accesses read a given constant value;
+///    specified per input field.
+///  - \b copy: out-of-bounds accesses read the value at offset 0 in all
+///    dimensions (the "center" value); specified per input field.
+///  - \b shrink: computed values that read out-of-bounds values are ignored
+///    in the output; specified on the stencil's output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_IR_BOUNDARY_H
+#define STENCILFLOW_IR_BOUNDARY_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace stencilflow {
+
+/// Kind of boundary handling.
+enum class BoundaryKind {
+  Constant, ///< Replace out-of-bounds reads with a constant.
+  Copy,     ///< Replace out-of-bounds reads with the center value.
+  Shrink    ///< Drop output cells whose computation read out of bounds.
+};
+
+/// A boundary-condition definition attached to an input field (Constant,
+/// Copy) or to the stencil output (Shrink).
+struct BoundaryCondition {
+  BoundaryKind Kind = BoundaryKind::Constant;
+  /// The replacement value for \c Constant boundaries.
+  double Value = 0.0;
+
+  static BoundaryCondition constant(double Value) {
+    return BoundaryCondition{BoundaryKind::Constant, Value};
+  }
+  static BoundaryCondition copy() {
+    return BoundaryCondition{BoundaryKind::Copy, 0.0};
+  }
+  static BoundaryCondition shrink() {
+    return BoundaryCondition{BoundaryKind::Shrink, 0.0};
+  }
+
+  bool operator==(const BoundaryCondition &Other) const = default;
+};
+
+/// Returns "constant" / "copy" / "shrink".
+std::string_view boundaryKindName(BoundaryKind Kind);
+
+/// Parses a boundary kind name.
+Expected<BoundaryKind> parseBoundaryKind(std::string_view Name);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_IR_BOUNDARY_H

@@ -1,0 +1,65 @@
+//===- ir/DataType.cpp - Scalar data types ----------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DataType.h"
+
+using namespace stencilflow;
+
+size_t stencilflow::dataTypeSize(DataType Type) {
+  switch (Type) {
+  case DataType::Float32:
+  case DataType::Int32:
+    return 4;
+  case DataType::Float64:
+  case DataType::Int64:
+    return 8;
+  }
+  return 0;
+}
+
+std::string_view stencilflow::dataTypeName(DataType Type) {
+  switch (Type) {
+  case DataType::Float32:
+    return "float32";
+  case DataType::Float64:
+    return "float64";
+  case DataType::Int32:
+    return "int32";
+  case DataType::Int64:
+    return "int64";
+  }
+  return "<invalid>";
+}
+
+std::string_view stencilflow::dataTypeOpenCLName(DataType Type) {
+  switch (Type) {
+  case DataType::Float32:
+    return "float";
+  case DataType::Float64:
+    return "double";
+  case DataType::Int32:
+    return "int";
+  case DataType::Int64:
+    return "long";
+  }
+  return "<invalid>";
+}
+
+Expected<DataType> stencilflow::parseDataType(std::string_view Name) {
+  if (Name == "float32" || Name == "float")
+    return DataType::Float32;
+  if (Name == "float64" || Name == "double")
+    return DataType::Float64;
+  if (Name == "int32" || Name == "int")
+    return DataType::Int32;
+  if (Name == "int64" || Name == "long")
+    return DataType::Int64;
+  return makeError("unknown data type '" + std::string(Name) + "'");
+}
+
+bool stencilflow::isFloatingPoint(DataType Type) {
+  return Type == DataType::Float32 || Type == DataType::Float64;
+}

@@ -1,0 +1,46 @@
+//===- ir/DataType.h - Scalar data types -------------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar element types supported by stencil programs. The paper's
+/// benchmarks focus on 32-bit floating point (Sec. VIII-B), but the stack
+/// supports any type recognized by the underlying compiler; we mirror that
+/// with float32/float64/int32/int64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_IR_DATATYPE_H
+#define STENCILFLOW_IR_DATATYPE_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace stencilflow {
+
+/// Scalar element type of a field.
+enum class DataType { Float32, Float64, Int32, Int64 };
+
+/// Returns the size of \p Type in bytes.
+size_t dataTypeSize(DataType Type);
+
+/// Returns the canonical spelling ("float32", ...).
+std::string_view dataTypeName(DataType Type);
+
+/// Returns the OpenCL spelling ("float", "double", "int", "long").
+std::string_view dataTypeOpenCLName(DataType Type);
+
+/// Parses a type name; accepts canonical and OpenCL spellings.
+Expected<DataType> parseDataType(std::string_view Name);
+
+/// Returns true for floating-point types.
+bool isFloatingPoint(DataType Type);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_IR_DATATYPE_H

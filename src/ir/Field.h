@@ -1,0 +1,96 @@
+//===- ir/Field.h - Logical fields --------------------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Logical input fields of a stencil program (paper Sec. II). A field has a
+/// data type and spans a subset of the program's dimensions: 3D stencils may
+/// read from 2D, 1D, or 0D (scalar) arrays using subsets of their indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_IR_FIELD_H
+#define STENCILFLOW_IR_FIELD_H
+
+#include "ir/DataType.h"
+#include "ir/Shape.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+
+/// How an off-chip input field is populated when a program is executed.
+/// The paper's program definitions "must additionally provide data sources
+/// for each input field" (Sec. II); we support synthetic sources so that
+/// programs are runnable without external data files.
+struct DataSource {
+  enum class Kind {
+    Zero,     ///< All cells zero.
+    Constant, ///< All cells a given constant.
+    Random,   ///< Deterministic pseudo-random values in [0, 1).
+    Ramp      ///< Cell i holds i * Value (useful for debugging).
+  };
+
+  Kind SourceKind = Kind::Random;
+  double Value = 1.0;
+  uint64_t Seed = 42;
+
+  static DataSource zero() { return DataSource{Kind::Zero, 0.0, 0}; }
+  static DataSource constant(double Value) {
+    return DataSource{Kind::Constant, Value, 0};
+  }
+  static DataSource random(uint64_t Seed) {
+    return DataSource{Kind::Random, 0.0, Seed};
+  }
+  static DataSource ramp(double Step) {
+    return DataSource{Kind::Ramp, Step, 0};
+  }
+};
+
+/// An off-chip input field.
+///
+/// \c DimensionMask has one entry per program dimension; true marks the
+/// dimensions this field spans. A full-rank field streams through the
+/// dataflow graph; lower-dimensional fields (fewer true entries, including
+/// none for scalars) are preloaded into on-chip ROMs before streaming
+/// starts, which is how sub-dimensional inputs are realized in hardware.
+struct Field {
+  std::string Name;
+  DataType Type = DataType::Float32;
+  std::vector<bool> DimensionMask;
+  DataSource Source;
+
+  /// Number of dimensions this field spans.
+  size_t rank() const {
+    size_t Count = 0;
+    for (bool Spanned : DimensionMask)
+      Count += Spanned;
+    return Count;
+  }
+
+  /// Returns true if the field spans every program dimension.
+  bool isFullRank() const {
+    for (bool Spanned : DimensionMask)
+      if (!Spanned)
+        return false;
+    return true;
+  }
+
+  /// Computes the field's own shape from the program iteration space.
+  /// Scalars yield an empty (rank-0) shape.
+  Shape shapeWithin(const Shape &IterationSpace) const {
+    std::vector<int64_t> Extents;
+    for (size_t Dim = 0; Dim != DimensionMask.size(); ++Dim)
+      if (DimensionMask[Dim])
+        Extents.push_back(IterationSpace.extent(Dim));
+    return Shape(std::move(Extents));
+  }
+};
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_IR_FIELD_H

@@ -1,0 +1,33 @@
+//===- ir/Shape.cpp - Iteration spaces and access offsets -----------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Shape.h"
+
+#include "support/StringUtils.h"
+
+using namespace stencilflow;
+
+std::string stencilflow::offsetToString(const Offset &Off) {
+  std::string Result = "[";
+  for (size_t I = 0, E = Off.size(); I != E; ++I) {
+    if (I != 0)
+      Result += ", ";
+    Result += formatString("%d", Off[I]);
+  }
+  return Result + "]";
+}
+
+std::string Shape::toString() const {
+  if (Extents.empty())
+    return "scalar";
+  std::string Result;
+  for (size_t I = 0, E = Extents.size(); I != E; ++I) {
+    if (I != 0)
+      Result += "x";
+    Result += formatString("%lld", static_cast<long long>(Extents[I]));
+  }
+  return Result;
+}

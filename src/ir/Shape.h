@@ -1,0 +1,111 @@
+//===- ir/Shape.h - Iteration spaces and access offsets ----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iteration-space shapes and relative access offsets (paper Sec. II).
+///
+/// Stencil programs have 1, 2, or 3 dimensions; all stencils iterate over
+/// the same iteration space. Memory order is row-major with the *last*
+/// dimension innermost, matching the paper's convention of a 3D space
+/// {K, J, I} where I is the fastest-varying index. Offsets are linearized
+/// in this memory order; the distance between linearized offsets determines
+/// internal buffer sizes (Sec. IV-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_IR_SHAPE_H
+#define STENCILFLOW_IR_SHAPE_H
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+
+/// A relative access offset, e.g. a[0, 1, 0]. Rank matches the field rank.
+using Offset = std::vector<int>;
+
+/// Renders an offset as "[k, j, i]".
+std::string offsetToString(const Offset &Off);
+
+/// An iteration space or field shape: extents in memory order, last
+/// dimension innermost.
+class Shape {
+public:
+  Shape() = default;
+  explicit Shape(std::vector<int64_t> Extents) : Extents(std::move(Extents)) {
+    for ([[maybe_unused]] int64_t E : this->Extents)
+      assert(E > 0 && "shape extents must be positive");
+  }
+
+  /// Number of dimensions (0 for scalars).
+  size_t rank() const { return Extents.size(); }
+
+  /// Extent of dimension \p Dim.
+  int64_t extent(size_t Dim) const {
+    assert(Dim < Extents.size() && "dimension out of range");
+    return Extents[Dim];
+  }
+
+  const std::vector<int64_t> &extents() const { return Extents; }
+
+  /// Total number of cells (1 for scalars).
+  int64_t numCells() const {
+    int64_t Total = 1;
+    for (int64_t E : Extents)
+      Total *= E;
+    return Total;
+  }
+
+  /// Linearizes a relative \p Off in memory order: for shape {K, J, I},
+  /// lin([k, j, i]) = (k*J + j)*I + i. The result can be negative.
+  /// The distance between the largest and smallest linearized access of a
+  /// field determines its internal buffer size (Sec. IV-A).
+  int64_t linearize(const Offset &Off) const {
+    assert(Off.size() == Extents.size() && "offset rank mismatch");
+    int64_t Linear = 0;
+    for (size_t Dim = 0; Dim != Extents.size(); ++Dim)
+      Linear = Linear * Extents[Dim] + Off[Dim];
+    return Linear;
+  }
+
+  /// Linearizes an absolute index (all entries within bounds).
+  int64_t linearizeIndex(const std::vector<int64_t> &Index) const {
+    assert(Index.size() == Extents.size() && "index rank mismatch");
+    int64_t Linear = 0;
+    for (size_t Dim = 0; Dim != Extents.size(); ++Dim) {
+      assert(Index[Dim] >= 0 && Index[Dim] < Extents[Dim] &&
+             "index out of bounds");
+      Linear = Linear * Extents[Dim] + Index[Dim];
+    }
+    return Linear;
+  }
+
+  /// Converts a linear cell number back to a multi-dimensional index.
+  std::vector<int64_t> delinearize(int64_t Linear) const {
+    std::vector<int64_t> Index(Extents.size());
+    for (size_t Dim = Extents.size(); Dim-- > 0;) {
+      Index[Dim] = Linear % Extents[Dim];
+      Linear /= Extents[Dim];
+    }
+    return Index;
+  }
+
+  bool operator==(const Shape &Other) const = default;
+
+  /// Renders as "128x128x80".
+  std::string toString() const;
+
+private:
+  std::vector<int64_t> Extents;
+};
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_IR_SHAPE_H

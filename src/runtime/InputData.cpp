@@ -1,0 +1,53 @@
+//===- runtime/InputData.cpp - Input field materialization -------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InputData.h"
+
+#include "support/Random.h"
+
+using namespace stencilflow;
+
+std::vector<double> stencilflow::materializeField(const Field &Input,
+                                                  const Shape &IterationSpace) {
+  Shape FieldShape = Input.shapeWithin(IterationSpace);
+  int64_t Cells = FieldShape.numCells();
+  std::vector<double> Data(static_cast<size_t>(Cells));
+
+  auto round = [&](double Value) {
+    if (Input.Type == DataType::Float32)
+      return static_cast<double>(static_cast<float>(Value));
+    return Value;
+  };
+
+  switch (Input.Source.SourceKind) {
+  case DataSource::Kind::Zero:
+    break;
+  case DataSource::Kind::Constant:
+    for (double &Cell : Data)
+      Cell = round(Input.Source.Value);
+    break;
+  case DataSource::Kind::Random: {
+    Random Rng(Input.Source.Seed);
+    for (double &Cell : Data)
+      Cell = round(Rng.nextDouble());
+    break;
+  }
+  case DataSource::Kind::Ramp:
+    for (int64_t Cell = 0; Cell != Cells; ++Cell)
+      Data[static_cast<size_t>(Cell)] =
+          round(static_cast<double>(Cell) * Input.Source.Value);
+    break;
+  }
+  return Data;
+}
+
+std::map<std::string, std::vector<double>>
+stencilflow::materializeInputs(const StencilProgram &Program) {
+  std::map<std::string, std::vector<double>> Inputs;
+  for (const Field &Input : Program.Inputs)
+    Inputs[Input.Name] = materializeField(Input, Program.IterationSpace);
+  return Inputs;
+}

@@ -1,0 +1,37 @@
+//===- runtime/InputData.h - Input field materialization ----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic materialization of input fields from their data sources.
+/// Both the reference executor and the hardware simulator obtain inputs
+/// through this function, so their results are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_RUNTIME_INPUTDATA_H
+#define STENCILFLOW_RUNTIME_INPUTDATA_H
+
+#include "ir/Field.h"
+#include "ir/StencilProgram.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+
+/// Materializes one field within \p IterationSpace. Values are rounded to
+/// the field's data type.
+std::vector<double> materializeField(const Field &Input,
+                                     const Shape &IterationSpace);
+
+/// Materializes every input of \p Program, keyed by field name.
+std::map<std::string, std::vector<double>>
+materializeInputs(const StencilProgram &Program);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_RUNTIME_INPUTDATA_H

@@ -1,0 +1,47 @@
+//===- runtime/Iterate.cpp - Iterative (time-loop) execution -------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Iterate.h"
+
+using namespace stencilflow;
+
+Expected<ExecutionResult> stencilflow::iterateReference(
+    const CompiledProgram &Compiled,
+    std::map<std::string, std::vector<double>> Inputs,
+    const std::vector<IterationBinding> &Bindings, int Steps) {
+  const StencilProgram &Program = Compiled.program();
+  if (Steps < 1)
+    return makeError("iterative execution requires at least one step");
+  for (const IterationBinding &Binding : Bindings) {
+    const StencilNode *Producer = Program.findNode(Binding.Output);
+    if (!Producer || !Program.isProgramOutput(Binding.Output))
+      return makeError("iteration binding source '" + Binding.Output +
+                       "' is not a program output");
+    const Field *Consumer = Program.findInput(Binding.Input);
+    if (!Consumer)
+      return makeError("iteration binding target '" + Binding.Input +
+                       "' is not a program input");
+    if (!Consumer->isFullRank())
+      return makeError("iteration binding target '" + Binding.Input +
+                       "' must be a full-rank field");
+    if (Consumer->Type != Producer->Type)
+      return makeError("iteration binding '" + Binding.Output + "' -> '" +
+                       Binding.Input + "' mixes element types");
+  }
+
+  ExecutionResult Last;
+  for (int Step = 0; Step != Steps; ++Step) {
+    Expected<ExecutionResult> Result = runReference(Compiled, Inputs);
+    if (!Result)
+      return Result;
+    Last = Result.takeValue();
+    if (Step + 1 == Steps)
+      break;
+    for (const IterationBinding &Binding : Bindings)
+      Inputs[Binding.Input] = Last.field(Binding.Output);
+  }
+  return Last;
+}

@@ -1,0 +1,108 @@
+//===- runtime/Pipeline.cpp - End-to-end driver --------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Pipeline.h"
+
+#include "core/ValidRegion.h"
+#include "runtime/InputData.h"
+#include "compute/Simplify.h"
+#include "frontend/SemanticAnalysis.h"
+#include "sdfg/StencilFusion.h"
+
+using namespace stencilflow;
+
+Expected<PipelineResult>
+stencilflow::runPipeline(StencilProgram Program,
+                         const PipelineOptions &Options) {
+  PipelineResult Result;
+
+  // Domain-specific optimization: aggressive stencil fusion (Sec. V-B).
+  if (Options.FuseStencils) {
+    Expected<FusionReport> Fusion = fuseAllStencils(Program);
+    if (!Fusion)
+      return Fusion.takeError().addContext("stencil fusion");
+    Result.FusedPairs = Fusion->FusedPairs;
+  }
+
+  // Algebraic simplification (after fusion, which exposes identities).
+  if (Options.SimplifyCode) {
+    for (StencilNode &Node : Program.Nodes)
+      compute::simplifyNodeCode(Node);
+    if (Error Err = analyzeProgram(Program))
+      return Err.addContext("post-simplification analysis");
+  }
+
+  // Compilation and dataflow analysis.
+  Expected<CompiledProgram> Compiled =
+      CompiledProgram::compile(std::move(Program), Options.Kernel);
+  if (!Compiled)
+    return Compiled.takeError().addContext("compilation");
+  Result.Compiled = Compiled.takeValue();
+
+  Expected<DataflowAnalysis> Dataflow =
+      analyzeDataflow(Result.Compiled, Options.Latencies);
+  if (!Dataflow)
+    return Dataflow.takeError().addContext("dataflow analysis");
+  Result.Dataflow = Dataflow.takeValue();
+
+  Result.Runtime = computeRuntimeEstimate(Result.Compiled, Result.Dataflow);
+  Result.Resources = estimateProgramResources(
+      Result.Compiled, Result.Dataflow, Options.Partitioning.ResourceConfig);
+  Result.FrequencyMHz =
+      estimateFrequencyMHz(Result.Resources, Options.Partitioning.Device,
+                           Options.Partitioning.ResourceConfig);
+
+  // Device mapping.
+  PartitionOptions PartOptions = Options.Partitioning;
+  if (!Options.AllowMultiDevice)
+    PartOptions.MaxDevices = 1;
+  Expected<Partition> Placement =
+      partitionProgram(Result.Compiled, Result.Dataflow, PartOptions);
+  if (!Placement)
+    return Placement.takeError().addContext("partitioning");
+  Result.Placement = Placement.takeValue();
+
+  // Code generation.
+  if (Options.EmitCode) {
+    Expected<std::vector<GeneratedSource>> Sources = emitOpenCL(
+        Result.Compiled, Result.Dataflow,
+        Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr);
+    if (!Sources)
+      return Sources.takeError().addContext("code generation");
+    Result.Sources = Sources.takeValue();
+  }
+
+  // Simulated execution and validation.
+  if (Options.Simulate) {
+    Expected<sim::Machine> M = sim::Machine::build(
+        Result.Compiled, Result.Dataflow,
+        Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr,
+        Options.Simulator);
+    if (!M)
+      return M.takeError().addContext("simulator construction");
+    auto Inputs = materializeInputs(Result.Compiled.program());
+    Expected<sim::SimResult> Sim = M->run(Inputs);
+    if (!Sim)
+      return Sim.takeError().addContext("simulation");
+    Result.Simulation = Sim.takeValue();
+
+    if (Options.Validate) {
+      Expected<ExecutionResult> Reference =
+          runReference(Result.Compiled, Inputs);
+      if (!Reference)
+        return Reference.takeError().addContext("reference execution");
+      for (const std::string &Output :
+           Result.Compiled.program().Outputs) {
+        ValidationReport Report = validateField(
+            Output, Result.Simulation.Outputs.at(Output),
+            Reference->field(Output), Options.Tolerance);
+        Result.ValidationPassed &= Report.Passed;
+        Result.Validations.push_back(std::move(Report));
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,100 @@
+//===- runtime/Pipeline.h - End-to-end driver ---------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end StencilFlow pipeline (paper Sec. VII): from a program
+/// description, transparently executes parsing/validation, optional
+/// aggressive stencil fusion, dependency and buffering analysis, resource
+/// estimation and device partitioning, code generation, simulated hardware
+/// execution, and validation against the reference executor — the software
+/// equivalent of the paper's "run the stencil program from the input
+/// description" workflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_RUNTIME_PIPELINE_H
+#define STENCILFLOW_RUNTIME_PIPELINE_H
+
+#include "codegen/OpenCLEmitter.h"
+#include "core/DataflowAnalysis.h"
+#include "core/Partitioner.h"
+#include "core/ResourceModel.h"
+#include "core/RuntimeModel.h"
+#include "runtime/ReferenceExecutor.h"
+#include "runtime/Validation.h"
+#include "sim/Machine.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// Apply aggressive stencil fusion before analysis (Sec. V-B).
+  bool FuseStencils = false;
+
+  /// Apply algebraic simplification to every node before analysis
+  /// (prunes identity operations the optimizing HLS compiler would strip;
+  /// see compute/Simplify.h for the NaN/Inf caveats).
+  bool SimplifyCode = false;
+
+  /// Simulate execution and validate against the reference executor.
+  bool Simulate = true;
+  bool Validate = true;
+
+  /// Allow spanning multiple devices when one does not suffice.
+  bool AllowMultiDevice = true;
+
+  /// Emit OpenCL kernel sources.
+  bool EmitCode = false;
+
+  compute::KernelOptions Kernel;
+  compute::LatencyTable Latencies;
+  PartitionOptions Partitioning;
+  sim::SimConfig Simulator;
+
+  /// Validation tolerance: fused programs compute through the halo, so
+  /// boundary cells may differ; interior cells must match exactly.
+  double Tolerance = 0.0;
+};
+
+/// Everything the pipeline produced.
+struct PipelineResult {
+  CompiledProgram Compiled;
+  DataflowAnalysis Dataflow;
+  RuntimeEstimate Runtime;
+  ResourceUsage Resources;   ///< Single-device aggregate estimate.
+  double FrequencyMHz = 0.0; ///< From the utilization model.
+  Partition Placement;
+  std::vector<GeneratedSource> Sources; ///< When EmitCode.
+  sim::SimResult Simulation;            ///< When Simulate.
+  std::vector<ValidationReport> Validations;
+  bool ValidationPassed = true;
+  int FusedPairs = 0;
+
+  /// Simulated wall-clock seconds at the modeled frequency.
+  double simulatedSeconds() const {
+    return static_cast<double>(Simulation.Stats.Cycles) /
+           (FrequencyMHz * 1e6);
+  }
+
+  /// Simulated performance in Op/s.
+  double simulatedOpsPerSecond() const {
+    return static_cast<double>(Runtime.TotalFlops) / simulatedSeconds();
+  }
+};
+
+/// Runs the full pipeline on \p Program.
+Expected<PipelineResult> runPipeline(StencilProgram Program,
+                                     const PipelineOptions &Options = {});
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_RUNTIME_PIPELINE_H

@@ -1,0 +1,75 @@
+//===- runtime/SpatialTiling.h - Tiled execution -------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spatial tiling (paper Sec. IX-D, left as future work there): when the
+/// domain grows beyond what internal and delay buffers can hold on chip,
+/// the iteration space is split into tiles that are evaluated
+/// independently, "introducing redundant computation at the domain
+/// boundaries proportional to the DAG depth and the tile
+/// surface-to-volume ratio".
+///
+/// Each tile is extended by the program's *transitive halo* — the
+/// per-dimension reach of every output through the whole DAG — and
+/// clamped to the global domain. Evaluating the extended tile reproduces
+/// the untiled values exactly on the tile core (seam cells never read out
+/// of the local region; cells at the global boundary see the real
+/// boundary conditions because of the clamping), so tiled execution is
+/// bit-identical to the untiled program while every tile's buffer
+/// footprint shrinks to the tile width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_RUNTIME_SPATIALTILING_H
+#define STENCILFLOW_RUNTIME_SPATIALTILING_H
+
+#include "core/CompiledProgram.h"
+#include "runtime/ReferenceExecutor.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+
+/// Per-dimension transitive halo of \p Compiled: how far, in cells, any
+/// program output depends on the inputs through the full DAG. The
+/// redundant work of tiling grows with this (it is proportional to the
+/// DAG depth for chained stencils).
+std::vector<int64_t> computeTransitiveHalo(const CompiledProgram &Compiled);
+
+/// Result of a tiled execution.
+struct TiledExecution {
+  /// Program outputs, identical to the untiled execution.
+  std::map<std::string, std::vector<double>> Outputs;
+
+  /// Number of tiles evaluated.
+  int64_t Tiles = 0;
+
+  /// Cells actually computed (sum of extended-tile volumes) divided by
+  /// the domain volume: the redundant-computation factor of Sec. IX-D.
+  double RedundancyFactor = 1.0;
+
+  /// Largest extended-tile cell count: the buffer-footprint proxy (tile
+  /// buffers scale with the extended tile's (D-1)-dimensional slices
+  /// instead of the full domain's).
+  int64_t MaxTileCells = 0;
+};
+
+/// Executes \p Compiled tile by tile with the reference executor.
+/// \p TileExtents gives the core tile size per dimension (entries larger
+/// than the domain run untiled in that dimension). The result is
+/// bit-identical to runReference on the whole domain.
+Expected<TiledExecution>
+runTiledReference(const CompiledProgram &Compiled,
+                  const std::map<std::string, std::vector<double>> &Inputs,
+                  const std::vector<int64_t> &TileExtents);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_RUNTIME_SPATIALTILING_H

@@ -1,0 +1,250 @@
+//===- sdfg/Graph.cpp - SDFG-lite dataflow IR ---------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sdfg/Graph.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace stencilflow;
+using namespace stencilflow::sdfg;
+
+// Out-of-line virtual anchor.
+Node::~Node() = default;
+
+//===----------------------------------------------------------------------===//
+// State
+//===----------------------------------------------------------------------===//
+
+AccessNode *State::addAccess(const std::string &Data) {
+  auto N = std::make_unique<AccessNode>(NextId++, Data);
+  AccessNode *Ptr = N.get();
+  Nodes.push_back(std::move(N));
+  return Ptr;
+}
+
+TaskletNode *State::addTasklet(const std::string &Label,
+                               const std::string &Code) {
+  auto N = std::make_unique<TaskletNode>(NextId++, Label, Code);
+  TaskletNode *Ptr = N.get();
+  Nodes.push_back(std::move(N));
+  return Ptr;
+}
+
+std::pair<MapEntryNode *, MapExitNode *>
+State::addMap(const std::string &Param, int64_t Begin, int64_t End,
+              bool Unrolled) {
+  auto Entry =
+      std::make_unique<MapEntryNode>(NextId++, Param, Begin, End, Unrolled);
+  auto Exit = std::make_unique<MapExitNode>(NextId++, Entry->id());
+  Entry->setExitId(Exit->id());
+  MapEntryNode *EntryPtr = Entry.get();
+  MapExitNode *ExitPtr = Exit.get();
+  Nodes.push_back(std::move(Entry));
+  Nodes.push_back(std::move(Exit));
+  return {EntryPtr, ExitPtr};
+}
+
+std::pair<PipelineEntryNode *, PipelineExitNode *>
+State::addPipeline(const std::string &Param, int64_t Iterations,
+                   int64_t InitIterations, int64_t DrainIterations) {
+  auto Entry = std::make_unique<PipelineEntryNode>(
+      NextId++, Param, Iterations, InitIterations, DrainIterations);
+  auto Exit = std::make_unique<PipelineExitNode>(NextId++, Entry->id());
+  Entry->setExitId(Exit->id());
+  PipelineEntryNode *EntryPtr = Entry.get();
+  PipelineExitNode *ExitPtr = Exit.get();
+  Nodes.push_back(std::move(Entry));
+  Nodes.push_back(std::move(Exit));
+  return {EntryPtr, ExitPtr};
+}
+
+StencilLibraryNode *State::addStencil(StencilNode Stencil) {
+  auto N = std::make_unique<StencilLibraryNode>(NextId++, std::move(Stencil));
+  StencilLibraryNode *Ptr = N.get();
+  Nodes.push_back(std::move(N));
+  return Ptr;
+}
+
+void State::connect(const Node *Src, const Node *Dst, std::string Data,
+                    std::string Subset) {
+  assert(Src && Dst && "connecting null nodes");
+  Memlet Edge;
+  Edge.Src = Src->id();
+  Edge.Dst = Dst->id();
+  Edge.Data = std::move(Data);
+  Edge.Subset = std::move(Subset);
+  Edges.push_back(std::move(Edge));
+}
+
+void State::removeNode(int Id) {
+  Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                             [&](const Memlet &Edge) {
+                               return Edge.Src == Id || Edge.Dst == Id;
+                             }),
+              Edges.end());
+  Nodes.erase(std::remove_if(Nodes.begin(), Nodes.end(),
+                             [&](const std::unique_ptr<Node> &N) {
+                               return N->id() == Id;
+                             }),
+              Nodes.end());
+}
+
+Node *State::findNode(int Id) {
+  for (const std::unique_ptr<Node> &N : Nodes)
+    if (N->id() == Id)
+      return N.get();
+  return nullptr;
+}
+
+const Node *State::findNode(int Id) const {
+  return const_cast<State *>(this)->findNode(Id);
+}
+
+std::vector<int> State::predecessors(int Id) const {
+  std::vector<int> Result;
+  for (const Memlet &Edge : Edges)
+    if (Edge.Dst == Id)
+      Result.push_back(Edge.Src);
+  return Result;
+}
+
+std::vector<int> State::successors(int Id) const {
+  std::vector<int> Result;
+  for (const Memlet &Edge : Edges)
+    if (Edge.Src == Id)
+      Result.push_back(Edge.Dst);
+  return Result;
+}
+
+std::vector<int> State::scopeContents(int EntryId) const {
+  const Node *Entry = findNode(EntryId);
+  assert(Entry && "scopeContents() of an unknown node");
+  int ExitId = -1;
+  if (const auto *Map = dyn_cast<MapEntryNode>(Entry))
+    ExitId = Map->exitId();
+  else if (const auto *Pipeline = dyn_cast<PipelineEntryNode>(Entry))
+    ExitId = Pipeline->exitId();
+  assert(ExitId >= 0 && "scopeContents() of a non-scope node");
+
+  // BFS from the entry, stopping at the exit.
+  std::set<int> Visited;
+  std::vector<int> Frontier = successors(EntryId);
+  std::vector<int> Result;
+  while (!Frontier.empty()) {
+    int Id = Frontier.back();
+    Frontier.pop_back();
+    if (Id == ExitId || !Visited.insert(Id).second)
+      continue;
+    Result.push_back(Id);
+    for (int Succ : successors(Id))
+      Frontier.push_back(Succ);
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// SDFG
+//===----------------------------------------------------------------------===//
+
+Error SDFG::addContainer(Container C) {
+  if (findContainer(C.Name))
+    return makeError("duplicate container '" + C.Name + "'");
+  Containers.push_back(std::move(C));
+  return Error::success();
+}
+
+const Container *SDFG::findContainer(const std::string &Name) const {
+  for (const Container &C : Containers)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+Container *SDFG::findContainer(const std::string &Name) {
+  for (Container &C : Containers)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+State &SDFG::addState(const std::string &Name) {
+  States.emplace_back(Name);
+  return States.back();
+}
+
+Error SDFG::validate() const {
+  for (const State &S : States) {
+    for (const Memlet &Edge : S.edges()) {
+      if (!S.findNode(Edge.Src) || !S.findNode(Edge.Dst))
+        return makeError("state '" + S.name() +
+                         "' has an edge to a missing node");
+      if (!Edge.Data.empty() && !findContainer(Edge.Data))
+        return makeError("state '" + S.name() +
+                         "' moves undeclared container '" + Edge.Data + "'");
+    }
+    for (const std::unique_ptr<Node> &N : S.nodes()) {
+      if (const auto *Access = dyn_cast<AccessNode>(N.get()))
+        if (!findContainer(Access->data()))
+          return makeError("access node references undeclared container '" +
+                           Access->data() + "'");
+      if (const auto *Map = dyn_cast<MapEntryNode>(N.get()))
+        if (!S.findNode(Map->exitId()))
+          return makeError("map entry without matching exit in state '" +
+                           S.name() + "'");
+      if (const auto *Pipeline = dyn_cast<PipelineEntryNode>(N.get()))
+        if (!S.findNode(Pipeline->exitId()))
+          return makeError("pipeline entry without matching exit in state '" +
+                           S.name() + "'");
+    }
+  }
+  return Error::success();
+}
+
+std::string SDFG::toDot() const {
+  std::string Dot = "digraph \"" + Name + "\" {\n";
+  for (size_t StateIndex = 0; StateIndex != States.size(); ++StateIndex) {
+    const State &S = States[StateIndex];
+    Dot += formatString("  subgraph cluster_%zu {\n    label=\"%s\";\n",
+                        StateIndex, S.name().c_str());
+    for (const std::unique_ptr<Node> &N : S.nodes()) {
+      const char *Shape = "box";
+      switch (N->kind()) {
+      case NodeKind::Access:
+        Shape = "oval";
+        break;
+      case NodeKind::Tasklet:
+        Shape = "octagon";
+        break;
+      case NodeKind::MapEntry:
+      case NodeKind::MapExit:
+      case NodeKind::PipelineEntry:
+      case NodeKind::PipelineExit:
+        Shape = "trapezium";
+        break;
+      case NodeKind::StencilLibrary:
+        Shape = "component";
+        break;
+      }
+      Dot += formatString("    n%zu_%d [label=\"%s\", shape=%s];\n",
+                          StateIndex, N->id(), N->label().c_str(), Shape);
+    }
+    for (const Memlet &Edge : S.edges()) {
+      std::string Label = Edge.Data;
+      if (!Edge.Subset.empty())
+        Label += "[" + Edge.Subset + "]";
+      Dot += formatString("    n%zu_%d -> n%zu_%d [label=\"%s\"];\n",
+                          StateIndex, Edge.Src, StateIndex, Edge.Dst,
+                          Label.c_str());
+    }
+    Dot += "  }\n";
+  }
+  Dot += "}\n";
+  return Dot;
+}

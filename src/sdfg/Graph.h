@@ -1,0 +1,333 @@
+//===- sdfg/Graph.h - SDFG-lite dataflow IR -----------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact reimplementation of the concepts StencilFlow uses from the
+/// DaCe framework (paper Sec. V): stateful dataflow multigraphs whose
+/// nodes are data access nodes, tasklets, parametric map scopes, pipeline
+/// scopes (with initialization and draining phases), and — the extension
+/// introduced by the paper — domain-specific *library nodes* carrying
+/// stencil semantics that expand into implementation subgraphs.
+///
+/// The graph is deliberately small: it supports exactly what the
+/// StencilFlow workflow needs — building a dataflow view of a stencil
+/// program, expanding stencil library nodes into the shift/update/compute
+/// structure of Fig. 12, applying the NestDim / MapFission / StencilFusion
+/// transformations, and extracting canonical stencil programs from
+/// externally-built SDFGs (Fig. 13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SDFG_GRAPH_H
+#define STENCILFLOW_SDFG_GRAPH_H
+
+#include "ir/StencilProgram.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+namespace sdfg {
+
+/// Node discriminator.
+enum class NodeKind {
+  Access,
+  Tasklet,
+  MapEntry,
+  MapExit,
+  PipelineEntry,
+  PipelineExit,
+  StencilLibrary
+};
+
+/// Base class of SDFG nodes.
+class Node {
+public:
+  virtual ~Node();
+
+  NodeKind kind() const { return Kind; }
+  int id() const { return Id; }
+  const std::string &label() const { return Label; }
+
+protected:
+  Node(NodeKind Kind, int Id, std::string Label)
+      : Kind(Kind), Id(Id), Label(std::move(Label)) {}
+
+private:
+  const NodeKind Kind;
+  const int Id;
+  std::string Label;
+};
+
+/// How a data container is realized.
+enum class ContainerKind {
+  Array, ///< Off-chip or host memory.
+  Stream ///< FIFO channel with a buffer depth.
+};
+
+/// A data container declaration (SDFG-level, shared across states).
+struct Container {
+  std::string Name;
+  DataType Type = DataType::Float32;
+  /// Which global domain dimensions this container spans.
+  std::vector<bool> DimensionMask;
+  ContainerKind Kind = ContainerKind::Array;
+  /// Stream buffer depth (delay buffer), for Kind == Stream.
+  int64_t BufferDepth = 0;
+  /// Transients are internal to the SDFG (candidates for removal by
+  /// fusion); non-transients are program inputs/outputs.
+  bool Transient = false;
+};
+
+/// Read/write access to a container.
+class AccessNode : public Node {
+public:
+  AccessNode(int Id, std::string Data)
+      : Node(NodeKind::Access, Id, Data), Data(std::move(Data)) {}
+
+  const std::string &data() const { return Data; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Access; }
+
+private:
+  std::string Data;
+};
+
+/// An opaque code node (the leaves of expanded subgraphs).
+class TaskletNode : public Node {
+public:
+  TaskletNode(int Id, std::string Label, std::string Code)
+      : Node(NodeKind::Tasklet, Id, std::move(Label)),
+        Code(std::move(Code)) {}
+
+  const std::string &code() const { return Code; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Tasklet;
+  }
+
+private:
+  std::string Code;
+};
+
+/// Opening node of a parametric map scope (trapezoid in Fig. 12).
+class MapEntryNode : public Node {
+public:
+  MapEntryNode(int Id, std::string Param, int64_t Begin, int64_t End,
+               bool Unrolled = false)
+      : Node(NodeKind::MapEntry, Id, "map " + Param), Param(std::move(Param)),
+        Begin(Begin), End(End), Unrolled(Unrolled) {}
+
+  const std::string &param() const { return Param; }
+  int64_t begin() const { return Begin; }
+  int64_t end() const { return End; }
+  bool unrolled() const { return Unrolled; }
+  int exitId() const { return ExitId; }
+  void setExitId(int Id) { ExitId = Id; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MapEntry;
+  }
+
+private:
+  std::string Param;
+  int64_t Begin, End;
+  bool Unrolled;
+  int ExitId = -1;
+};
+
+/// Closing node of a map scope.
+class MapExitNode : public Node {
+public:
+  MapExitNode(int Id, int EntryId)
+      : Node(NodeKind::MapExit, Id, "endmap"), EntryId(EntryId) {}
+
+  int entryId() const { return EntryId; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MapExit;
+  }
+
+private:
+  int EntryId;
+};
+
+/// Opening node of a pipeline scope: a fully pipelined iteration space
+/// annotated with initialization and draining phases (paper Sec. V-A),
+/// during which reads from inputs / writes to outputs are suppressed.
+class PipelineEntryNode : public Node {
+public:
+  PipelineEntryNode(int Id, std::string Param, int64_t Iterations,
+                    int64_t InitIterations, int64_t DrainIterations)
+      : Node(NodeKind::PipelineEntry, Id, "pipeline " + Param),
+        Param(std::move(Param)), Iterations(Iterations),
+        InitIterations(InitIterations), DrainIterations(DrainIterations) {}
+
+  const std::string &param() const { return Param; }
+  int64_t iterations() const { return Iterations; }
+  int64_t initIterations() const { return InitIterations; }
+  int64_t drainIterations() const { return DrainIterations; }
+  int exitId() const { return ExitId; }
+  void setExitId(int Id) { ExitId = Id; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PipelineEntry;
+  }
+
+private:
+  std::string Param;
+  int64_t Iterations, InitIterations, DrainIterations;
+  int ExitId = -1;
+};
+
+/// Closing node of a pipeline scope.
+class PipelineExitNode : public Node {
+public:
+  PipelineExitNode(int Id, int EntryId)
+      : Node(NodeKind::PipelineExit, Id, "endpipeline"), EntryId(EntryId) {}
+
+  int entryId() const { return EntryId; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::PipelineExit;
+  }
+
+private:
+  int EntryId;
+};
+
+/// The domain-specific stencil library node introduced by the paper
+/// (Sec. V-A). Carries full stencil semantics; expandable into the
+/// shift/update/compute subgraph of Fig. 12.
+class StencilLibraryNode : public Node {
+public:
+  StencilLibraryNode(int Id, StencilNode Stencil)
+      : Node(NodeKind::StencilLibrary, Id, "stencil " + Stencil.Name),
+        Stencil(std::move(Stencil)) {}
+
+  const StencilNode &stencil() const { return Stencil; }
+  StencilNode &stencil() { return Stencil; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::StencilLibrary;
+  }
+
+private:
+  StencilNode Stencil;
+};
+
+/// A dataflow edge annotated with the moved data (memlet).
+struct Memlet {
+  int Src = -1;
+  int Dst = -1;
+  /// Container being moved (empty for pure scope-nesting edges).
+  std::string Data;
+  /// Human-readable subset, e.g. "k, j, i+1" (annotation only).
+  std::string Subset;
+};
+
+/// One dataflow state.
+class State {
+public:
+  explicit State(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Node creation. Returned pointers remain owned by the state.
+  AccessNode *addAccess(const std::string &Data);
+  TaskletNode *addTasklet(const std::string &Label, const std::string &Code);
+  std::pair<MapEntryNode *, MapExitNode *>
+  addMap(const std::string &Param, int64_t Begin, int64_t End,
+         bool Unrolled = false);
+  std::pair<PipelineEntryNode *, PipelineExitNode *>
+  addPipeline(const std::string &Param, int64_t Iterations,
+              int64_t InitIterations, int64_t DrainIterations);
+  StencilLibraryNode *addStencil(StencilNode Stencil);
+
+  /// Adds an edge.
+  void connect(const Node *Src, const Node *Dst, std::string Data = "",
+               std::string Subset = "");
+
+  /// Removes a node and all incident edges.
+  void removeNode(int Id);
+
+  const std::vector<std::unique_ptr<Node>> &nodes() const { return Nodes; }
+  const std::vector<Memlet> &edges() const { return Edges; }
+
+  /// Returns the node with \p Id, or nullptr.
+  Node *findNode(int Id);
+  const Node *findNode(int Id) const;
+
+  /// Ids of nodes with an edge into \p Id / out of \p Id.
+  std::vector<int> predecessors(int Id) const;
+  std::vector<int> successors(int Id) const;
+
+  /// All nodes of a kind, in creation order.
+  template <typename T> std::vector<T *> nodesOfType() {
+    std::vector<T *> Result;
+    for (const std::unique_ptr<Node> &N : Nodes)
+      if (auto *Typed = dyn_cast<T>(N.get()))
+        Result.push_back(const_cast<T *>(Typed));
+    return Result;
+  }
+
+  /// Ids of nodes strictly inside the scope of \p EntryId (between the
+  /// scope entry and its exit).
+  std::vector<int> scopeContents(int EntryId) const;
+
+private:
+  friend class SDFG;
+  std::string Name;
+  int NextId = 0;
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<Memlet> Edges;
+};
+
+/// A stateful dataflow multigraph.
+class SDFG {
+public:
+  explicit SDFG(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// The global iteration domain shared by all stencil nodes.
+  Shape Domain;
+
+  /// Declares a data container; returns an error on duplicates.
+  Error addContainer(Container C);
+
+  /// Returns the container named \p Name, or nullptr.
+  const Container *findContainer(const std::string &Name) const;
+  Container *findContainer(const std::string &Name);
+
+  const std::vector<Container> &containers() const { return Containers; }
+
+  /// Appends a new state.
+  State &addState(const std::string &Name);
+
+  std::vector<State> &states() { return States; }
+  const std::vector<State> &states() const { return States; }
+
+  /// Structural sanity checks: edges reference existing nodes, access
+  /// nodes reference declared containers, scopes are well nested.
+  Error validate() const;
+
+  /// Graphviz rendering for documentation and debugging.
+  std::string toDot() const;
+
+private:
+  std::string Name;
+  std::vector<Container> Containers;
+  std::vector<State> States;
+};
+
+} // namespace sdfg
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SDFG_GRAPH_H

@@ -1,0 +1,47 @@
+//===- sdfg/Lowering.h - Program -> SDFG and library-node expansion -*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering from the analyzed stencil program to the dataflow (SDFG)
+/// representation, and the expansion of stencil library nodes into the
+/// shift / update / compute structure of Fig. 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SDFG_LOWERING_H
+#define STENCILFLOW_SDFG_LOWERING_H
+
+#include "core/DataflowAnalysis.h"
+#include "sdfg/Graph.h"
+#include "support/Error.h"
+
+namespace stencilflow {
+namespace sdfg {
+
+/// Builds the dataflow SDFG of \p Compiled: one stencil library node per
+/// stencil, stream containers (with the analysis' delay-buffer depths) on
+/// every inter-stencil edge, array containers and access nodes for
+/// off-chip inputs/outputs.
+Expected<SDFG> buildSDFG(const CompiledProgram &Compiled,
+                         const DataflowAnalysis &Dataflow);
+
+/// Expands the stencil library node \p NodeId inside \p S into its
+/// implementation subgraph (Fig. 12): a pipeline scope containing a fully
+/// unrolled shift phase over the internal buffers, an update phase reading
+/// the input streams, and a compute phase with boundary predication and a
+/// conditional output write. The library node is removed.
+Error expandStencilNode(SDFG &G, State &S, int NodeId,
+                        const CompiledProgram &Compiled,
+                        const DataflowAnalysis &Dataflow);
+
+/// Expands every stencil library node in \p G.
+Error expandAllStencilNodes(SDFG &G, const CompiledProgram &Compiled,
+                            const DataflowAnalysis &Dataflow);
+
+} // namespace sdfg
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SDFG_LOWERING_H

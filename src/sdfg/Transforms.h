@@ -1,0 +1,69 @@
+//===- sdfg/Transforms.h - NestDim, MapFission, extraction --------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph transformations of paper Sec. V-A and the stencil-program
+/// extraction of Sec. VII (Fig. 13, "external programs" path):
+///
+///  - \b MapFission (general purpose): splits a parallel map scope that
+///    contains several stencil library nodes into one map scope per node,
+///    introducing temporary storage between the components. Transients
+///    that cross the new scope boundaries are extended with the map's
+///    dimension.
+///  - \b NestDim (domain specific): folds a parametric map over one domain
+///    dimension into the stencil library node it wraps, raising the
+///    stencil's rank by one (offsets into containers spanning the mapped
+///    dimension get a 0 component prepended).
+///  - \b extractStencilProgram: reads a canonicalized SDFG (full-rank
+///    stencil library nodes over array containers) back into the standard
+///    stencil-program description, ready for StencilFlow analysis.
+///
+/// Together these implement the case-study workflow: a Dawn-style SDFG of
+/// 2D stencils nested in a vertical map (Fig. 17a) is fissioned and
+/// nested into canonical 3D stencils (Fig. 17b), extracted, and then
+/// aggressively fused (Fig. 17c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SDFG_TRANSFORMS_H
+#define STENCILFLOW_SDFG_TRANSFORMS_H
+
+#include "ir/StencilProgram.h"
+#include "sdfg/Graph.h"
+#include "support/Error.h"
+
+namespace stencilflow {
+namespace sdfg {
+
+/// Splits the map scope \p MapEntryId in \p State (which must contain one
+/// or more stencil library nodes connected through transient access
+/// nodes) into one map scope per library node. \p DimIndex is the domain
+/// dimension the map iterates over; transient containers crossing scope
+/// boundaries gain that dimension.
+Error applyMapFission(SDFG &G, size_t StateIndex, int MapEntryId,
+                      size_t DimIndex);
+
+/// Folds the map scope \p MapEntryId (which must contain exactly one
+/// stencil library node) into that node, raising its rank: accesses to
+/// containers spanning \p DimIndex get a 0 offset component prepended.
+Error applyNestDim(SDFG &G, size_t StateIndex, int MapEntryId,
+                   size_t DimIndex);
+
+/// Full canonicalization: fissions every map containing multiple library
+/// nodes, then nests every single-node map. The resulting SDFG contains
+/// only full-rank stencil library nodes and array access nodes.
+Error canonicalize(SDFG &G);
+
+/// Extracts the canonical stencil program from \p G: non-transient
+/// containers written by no stencil become inputs, containers written and
+/// not consumed (or non-transient) become outputs, and each library node
+/// becomes a stencil. The result is fully analyzed.
+Expected<StencilProgram> extractStencilProgram(const SDFG &G);
+
+} // namespace sdfg
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SDFG_TRANSFORMS_H

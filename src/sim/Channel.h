@@ -1,0 +1,106 @@
+//===- sim/Channel.h - Bounded FIFO channels ----------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded FIFO channels with full/empty stall semantics — the simulator's
+/// model of Intel OpenCL channels (on-chip) and SMI remote streams
+/// (cross-device, with per-hop latency and bandwidth arbitration). Channel
+/// capacities carry the delay-buffer depths computed by the analysis;
+/// undersized channels are exactly what produces the Fig. 4 deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SIM_CHANNEL_H
+#define STENCILFLOW_SIM_CHANNEL_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+namespace sim {
+
+/// A bounded FIFO of vectors (W lanes each). Remote channels additionally
+/// stamp each vector with the cycle at which it becomes visible to the
+/// consumer (per-hop network latency).
+class Channel {
+public:
+  Channel(std::string Name, int64_t CapacityVectors, int Lanes,
+          int64_t ArrivalLatency = 0)
+      : Name(std::move(Name)), Capacity(CapacityVectors), Lanes(Lanes),
+        ArrivalLatency(ArrivalLatency) {
+    assert(CapacityVectors > 0 && "channels need positive capacity");
+    Storage.resize(static_cast<size_t>(Capacity) *
+                   static_cast<size_t>(Lanes));
+    ReadyCycles.resize(static_cast<size_t>(Capacity));
+  }
+
+  const std::string &name() const { return Name; }
+  int64_t capacity() const { return Capacity; }
+  int lanes() const { return Lanes; }
+
+  bool full() const { return Count == Capacity; }
+  bool empty() const { return Count == 0; }
+  int64_t size() const { return Count; }
+
+  /// True if a vector is available to the consumer at \p Cycle (non-empty
+  /// and past the network latency).
+  bool readable(int64_t Cycle) const {
+    return Count > 0 && ReadyCycles[static_cast<size_t>(Head)] <= Cycle;
+  }
+
+  /// Highest occupancy ever observed (vectors). Comparing this against
+  /// the analysis-computed delay-buffer depth empirically validates the
+  /// buffer sizing of Sec. IV-B.
+  int64_t highWaterMark() const { return HighWater; }
+
+  /// Enqueues one vector (\p Lanes values); the channel must not be full.
+  void push(const double *Vector, int64_t Cycle) {
+    assert(!full() && "push into a full channel");
+    int64_t Slot = (Head + Count) % Capacity;
+    double *Dest = &Storage[static_cast<size_t>(Slot * Lanes)];
+    for (int L = 0; L != Lanes; ++L)
+      Dest[L] = Vector[L];
+    ReadyCycles[static_cast<size_t>(Slot)] = Cycle + ArrivalLatency;
+    ++Count;
+    HighWater = std::max(HighWater, Count);
+  }
+
+  /// Dequeues one vector into \p Vector; must be readable.
+  void pop(double *Vector, int64_t Cycle) {
+    assert(readable(Cycle) && "pop from an unreadable channel");
+    (void)Cycle;
+    const double *Src = &Storage[static_cast<size_t>(Head * Lanes)];
+    for (int L = 0; L != Lanes; ++L)
+      Vector[L] = Src[L];
+    Head = (Head + 1) % Capacity;
+    --Count;
+  }
+
+  /// True when any enqueued vector is still in flight (will mature later).
+  bool hasPendingArrival(int64_t Cycle) const {
+    return Count > 0 && ReadyCycles[static_cast<size_t>(Head)] > Cycle;
+  }
+
+private:
+  std::string Name;
+  int64_t Capacity;
+  int Lanes;
+  int64_t ArrivalLatency;
+  std::vector<double> Storage;
+  std::vector<int64_t> ReadyCycles;
+  int64_t Head = 0;
+  int64_t Count = 0;
+  int64_t HighWater = 0;
+};
+
+} // namespace sim
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SIM_CHANNEL_H

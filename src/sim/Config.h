@@ -1,0 +1,95 @@
+//===- sim/Config.h - Simulator configuration ---------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the spatial-hardware simulator. Defaults model the
+/// paper's testbed (Sec. VIII-B): a BittWare 520N with 4 DDR4 banks
+/// (76.8 GB/s peak) and four 40 Gbit/s network ports, of which two links
+/// connect each pair of consecutive devices, at a 300 MHz design clock.
+///
+/// All rates are expressed per clock cycle so the simulator is frequency
+/// agnostic; callers convert to wall-clock time using the frequency from
+/// the resource model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SIM_CONFIG_H
+#define STENCILFLOW_SIM_CONFIG_H
+
+#include <cstdint>
+
+namespace stencilflow {
+namespace sim {
+
+/// Simulator knobs.
+struct SimConfig {
+  //===--------------------------------------------------------------------===//
+  // Off-chip memory system (per device)
+  //===--------------------------------------------------------------------===//
+
+  /// If true, memory serves any request instantly (the paper's simulated
+  /// "infinite" bandwidth experiment, Sec. IX-B: "replacing memory
+  /// accesses with compile-time constants fed to the computational
+  /// circuit").
+  bool UnconstrainedMemory = false;
+
+  /// Peak DRAM bytes per cycle: 76.8 GB/s at 300 MHz.
+  double PeakMemoryBytesPerCycle = 256.0;
+
+  /// Fixed bus overhead charged per endpoint transaction (address/command
+  /// and partial-burst waste). Calibrated so scalar endpoints flatten at
+  /// ~47% of peak and 4-wide endpoints at ~76% (Fig. 16).
+  double TransactionOverheadBytes = 4.4;
+
+  /// Additional crossbar pressure per active endpoint, modeling the
+  /// routing cost of many parallel access points (the mild droop before
+  /// the plateau in Fig. 16).
+  double ArbitrationPenaltyBytesPerEndpoint = 0.3;
+
+  //===--------------------------------------------------------------------===//
+  // Network (SMI remote streams)
+  //===--------------------------------------------------------------------===//
+
+  /// Bytes per cycle per physical link: 40 Gbit/s = 5 GB/s at 300 MHz.
+  double LinkBytesPerCycle = 16.67;
+
+  /// Physical links between consecutive devices (the testbed exposes two
+  /// 40 Gbit/s links per hop).
+  int LinksPerHop = 2;
+
+  /// Cycles a vector takes to traverse one hop.
+  int64_t NetworkLatencyCyclesPerHop = 32;
+
+  /// FIFO depth (vectors) added to remote streams for latency hiding.
+  int64_t NetworkExtraChannelDepth = 256;
+
+  //===--------------------------------------------------------------------===//
+  // Channels
+  //===--------------------------------------------------------------------===//
+
+  /// Slack added on top of each analysis-computed delay-buffer depth so
+  /// pipelining transients never stall producers.
+  int64_t MinChannelDepth = 8;
+
+  /// If true, ignore the delay-buffer analysis and size every channel at
+  /// exactly MinChannelDepth. Used by the deadlock ablation (Fig. 4): DAGs
+  /// with reconvergent paths then deadlock, which the detector reports.
+  bool ClampChannelsToMinimum = false;
+
+  //===--------------------------------------------------------------------===//
+  // Safety
+  //===--------------------------------------------------------------------===//
+
+  /// Hard cycle limit multiplier: simulation aborts after
+  /// MaxCycleFactor * (expected cycles) + MaxCycleSlack cycles.
+  int64_t MaxCycleFactor = 64;
+  int64_t MaxCycleSlack = 1000000;
+};
+
+} // namespace sim
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SIM_CONFIG_H

@@ -1,0 +1,702 @@
+//===- sim/Machine.cpp - Spatial hardware simulator ---------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace stencilflow;
+using namespace stencilflow::sim;
+
+//===----------------------------------------------------------------------===//
+// Build
+//===----------------------------------------------------------------------===//
+
+Expected<Machine> Machine::build(const CompiledProgram &Compiled,
+                                 const DataflowAnalysis &Dataflow,
+                                 const Partition *Placement,
+                                 const SimConfig &Config) {
+  const StencilProgram &Program = Compiled.program();
+  Machine M;
+  M.Config = Config;
+  M.Compiled = &Compiled;
+  M.Lanes = Program.VectorWidth;
+  M.SpaceExtents = Program.IterationSpace.extents();
+  M.StreamVectors = Program.IterationSpace.numCells() / M.Lanes;
+  M.ExpectedCycles = Dataflow.PipelineLatency + M.StreamVectors;
+  M.ElementBytes = dataTypeSize(Program.Nodes.empty()
+                                    ? DataType::Float32
+                                    : Program.Nodes.front().Type);
+
+  auto deviceOf = [&](const std::string &Node) {
+    return Placement ? Placement->deviceOf(Node) : 0;
+  };
+  M.NumDevices = 1;
+  for (const StencilNode &Node : Program.Nodes)
+    M.NumDevices = std::max(M.NumDevices, deviceOf(Node.Name) + 1);
+
+  // Unit shells in topological order (the per-cycle step order; within one
+  // cycle data propagates along the topological direction, modeling
+  // same-cycle channel handoff in hardware).
+  std::map<std::string, size_t> UnitIndex;
+  for (size_t NodeIndex : Compiled.topologicalOrder()) {
+    const StencilNode &Node = Program.Nodes[NodeIndex];
+    Unit U;
+    U.Name = Node.Name;
+    U.NodeIndex = NodeIndex;
+    U.Device = deviceOf(Node.Name);
+    U.Kernel = &Compiled.kernel(NodeIndex);
+    U.InitSteps = Dataflow.Buffers[NodeIndex].InitCycles;
+    U.CircuitLatency = Dataflow.Nodes[NodeIndex].CircuitLatency;
+    U.StreamVectors = M.StreamVectors;
+    UnitIndex[Node.Name] = M.Units.size();
+    M.Units.push_back(std::move(U));
+  }
+
+  // Channels for streamed edges. The producer side is wired below; here we
+  // attach the consumer-side ring buffers and slot plans.
+  auto makeChannel = [&](const std::string &Source, const Unit &Consumer,
+                         int64_t BufferDepth, int SourceDevice) {
+    int64_t Capacity = Config.ClampChannelsToMinimum
+                           ? Config.MinChannelDepth
+                           : BufferDepth + Config.MinChannelDepth;
+    int64_t Latency = 0;
+    RemoteLink Link;
+    Link.ChannelIndex = M.Channels.size();
+    Link.FirstHop = SourceDevice;
+    Link.LastHop = Consumer.Device;
+    if (SourceDevice != Consumer.Device) {
+      int Hops = Consumer.Device - SourceDevice;
+      Latency = Config.NetworkLatencyCyclesPerHop * Hops;
+      Capacity += Config.NetworkExtraChannelDepth;
+    }
+    M.Channels.push_back(std::make_unique<Channel>(
+        Source + "->" + Consumer.Name, Capacity, M.Lanes, Latency));
+    M.RemoteLinks.push_back(Link);
+    return M.Channels.size() - 1;
+  };
+
+  for (Unit &U : M.Units) {
+    const StencilNode &Node = Program.Nodes[U.NodeIndex];
+    const NodeBuffers &Buffers = Dataflow.Buffers[U.NodeIndex];
+
+    // Streams and ROMs per accessed field.
+    std::map<std::string, int> StreamIndexOf;
+    std::map<std::string, int> RomIndexOf;
+    for (const FieldAccesses &FA : Node.Accesses) {
+      std::vector<bool> Mask = Program.fieldDimensionMask(FA.Field);
+      bool FullRank = std::all_of(Mask.begin(), Mask.end(),
+                                  [](bool Spanned) { return Spanned; });
+      if (FullRank) {
+        const InternalBuffer *Buffer = nullptr;
+        for (const InternalBuffer &Candidate : Buffers.Buffers)
+          if (Candidate.Field == FA.Field)
+            Buffer = &Candidate;
+        assert(Buffer && "streamed field missing from buffer analysis");
+
+        const DataflowEdge *Edge = Dataflow.findEdge(FA.Field, Node.Name);
+        assert(Edge && "streamed field missing from dataflow edges");
+        int SourceDevice = Program.findInput(FA.Field)
+                               ? U.Device // Reader lives on our device.
+                               : deviceOf(FA.Field);
+
+        FieldStream Stream;
+        Stream.Field = FA.Field;
+        Stream.ChannelIndex =
+            makeChannel(FA.Field, U, Edge->BufferDepth, SourceDevice);
+        Stream.DelaySteps = U.InitSteps - Buffer->InitCycles;
+        Stream.RingElements = (Buffer->InitCycles + 1) * M.Lanes +
+                              std::max<int64_t>(0, -Buffer->MinLinear);
+        StreamIndexOf[FA.Field] = static_cast<int>(U.Streams.size());
+        U.Streams.push_back(std::move(Stream));
+      } else {
+        Rom R;
+        R.Field = FA.Field;
+        Shape FieldShape = Program.fieldShape(FA.Field);
+        R.Extents = FieldShape.extents();
+        R.Strides.assign(R.Extents.size(), 1);
+        for (size_t Dim = R.Extents.size(); Dim-- > 1;)
+          R.Strides[Dim - 1] = R.Strides[Dim] * R.Extents[Dim];
+        for (size_t Dim = 0; Dim != Mask.size(); ++Dim)
+          if (Mask[Dim])
+            R.SpannedDims.push_back(Dim);
+        RomIndexOf[FA.Field] = static_cast<int>(U.Roms.size());
+        U.Roms.push_back(std::move(R));
+      }
+    }
+
+    // Kernel input slots.
+    for (const compute::KernelInput &Input : U.Kernel->inputs()) {
+      SlotRef Slot;
+      BoundaryCondition Boundary = Node.boundaryFor(Input.Field);
+      Slot.Boundary = Boundary.Kind;
+      Slot.BoundaryValue = Boundary.Value;
+
+      auto StreamIt = StreamIndexOf.find(Input.Field);
+      if (StreamIt != StreamIndexOf.end()) {
+        Slot.IsStream = true;
+        Slot.SourceIndex = StreamIt->second;
+        const InternalBuffer *Buffer = nullptr;
+        for (const InternalBuffer &Candidate : Buffers.Buffers)
+          if (Candidate.Field == Input.Field)
+            Buffer = &Candidate;
+        int64_t Linear = Program.IterationSpace.linearize(Input.Off);
+        Slot.OffsetFromNewest =
+            (Buffer->InitCycles + 1) * M.Lanes - 1 - Linear;
+        Slot.CenterFromNewest = (Buffer->InitCycles + 1) * M.Lanes - 1;
+        Slot.DimOffsets.assign(Input.Off.begin(), Input.Off.end());
+      } else {
+        Slot.IsStream = false;
+        Slot.SourceIndex = RomIndexOf.at(Input.Field);
+        Slot.DimOffsets.assign(Input.Off.begin(), Input.Off.end());
+      }
+      U.Slots.push_back(std::move(Slot));
+    }
+  }
+
+  // Producer wiring: for every channel, find who pushes into it.
+  // Off-chip inputs get one reader per (device, field); node outputs push
+  // from the producing unit.
+  std::map<std::pair<int, std::string>, size_t> ReaderOf;
+  for (Unit &U : M.Units) {
+    for (FieldStream &Stream : U.Streams) {
+      if (const Field *Input = Program.findInput(Stream.Field)) {
+        auto Key = std::make_pair(U.Device, Stream.Field);
+        auto It = ReaderOf.find(Key);
+        if (It == ReaderOf.end()) {
+          Reader R;
+          R.Field = Input->Name;
+          R.Device = U.Device;
+          R.TotalVectors = M.StreamVectors;
+          It = ReaderOf.emplace(Key, M.Readers.size()).first;
+          M.Readers.push_back(std::move(R));
+        }
+        M.Readers[It->second].OutChannels.push_back(Stream.ChannelIndex);
+      } else {
+        M.Units[UnitIndex.at(Stream.Field)].OutChannels.push_back(
+            Stream.ChannelIndex);
+      }
+    }
+  }
+
+  // Writers for program outputs.
+  for (const std::string &Output : Program.Outputs) {
+    Unit &Producer = M.Units[UnitIndex.at(Output)];
+    const StencilNode &Node = *Program.findNode(Output);
+    Writer W;
+    W.Field = Output;
+    W.Device = Producer.Device;
+    W.TotalVectors = M.StreamVectors;
+    W.Shrink = Node.ShrinkOutput;
+    W.Region = computeValidRegion(Program, Node);
+    // Writer channels only need transient capacity.
+    M.Channels.push_back(std::make_unique<Channel>(
+        Output + "->memory", Config.MinChannelDepth + 64, M.Lanes));
+    RemoteLink Link;
+    Link.ChannelIndex = M.Channels.size() - 1;
+    Link.FirstHop = Link.LastHop = Producer.Device;
+    M.RemoteLinks.push_back(Link);
+    W.ChannelIndex = M.Channels.size() - 1;
+    Producer.OutChannels.push_back(W.ChannelIndex);
+    M.Writers.push_back(std::move(W));
+  }
+
+  // Per-cycle bookkeeping.
+  M.MemoryBudget.assign(static_cast<size_t>(M.NumDevices), 0.0);
+  M.WriterBudget.assign(static_cast<size_t>(M.NumDevices), 0.0);
+  M.MemoryBytesMoved.assign(static_cast<size_t>(M.NumDevices), 0.0);
+  M.HopBudget.assign(static_cast<size_t>(std::max(0, M.NumDevices - 1)),
+                     0.0);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-cycle component steps
+//===----------------------------------------------------------------------===//
+
+bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter) {
+  if (Config.UnconstrainedMemory) {
+    MemoryBytesMoved[static_cast<size_t>(Device)] += DataBytes;
+    return true;
+  }
+  double Cost = DataBytes + Config.TransactionOverheadBytes;
+  // Writers draw from their reserved pool plus whatever the readers (who
+  // ran earlier this cycle) left unspent.
+  double &Pool = IsWriter ? WriterBudget[static_cast<size_t>(Device)]
+                          : MemoryBudget[static_cast<size_t>(Device)];
+  double Available =
+      IsWriter ? Pool + MemoryBudget[static_cast<size_t>(Device)] : Pool;
+  if (Available < Cost) {
+    BandwidthWait = true;
+    return false;
+  }
+  if (IsWriter && Pool < Cost) {
+    MemoryBudget[static_cast<size_t>(Device)] -= Cost - Pool;
+    Pool = 0.0;
+  } else {
+    Pool -= Cost;
+  }
+  MemoryBytesMoved[static_cast<size_t>(Device)] += DataBytes;
+  return true;
+}
+
+bool Machine::grantNetwork(size_t ChannelIndex) {
+  const RemoteLink &Link = RemoteLinks[ChannelIndex];
+  if (Link.FirstHop == Link.LastHop)
+    return true;
+  double Bytes = static_cast<double>(Lanes) *
+                 static_cast<double>(ElementBytes);
+  for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
+    if (HopBudget[static_cast<size_t>(Hop)] < Bytes) {
+      BandwidthWait = true;
+      return false;
+    }
+  for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
+    HopBudget[static_cast<size_t>(Hop)] -= Bytes;
+  NetworkBytesMoved +=
+      Bytes * static_cast<double>(Link.LastHop - Link.FirstHop);
+  return true;
+}
+
+bool Machine::stepReader(Reader &R, int64_t Cycle) {
+  if (R.VectorsPushed == R.TotalVectors)
+    return false;
+  for (size_t ChannelIndex : R.OutChannels)
+    if (Channels[ChannelIndex]->full())
+      return false;
+  // Charge the arbitration penalty once per requesting endpoint per cycle.
+  double DataBytes = static_cast<double>(Lanes) *
+                     static_cast<double>(ElementBytes);
+  if (!grantMemory(R.Device, DataBytes, /*IsWriter=*/false))
+    return false;
+  const double *Vector =
+      R.Data->data() + static_cast<size_t>(R.VectorsPushed) *
+                           static_cast<size_t>(Lanes);
+  for (size_t ChannelIndex : R.OutChannels)
+    Channels[ChannelIndex]->push(Vector, Cycle);
+  ++R.VectorsPushed;
+  return true;
+}
+
+double Machine::readSlot(const Unit &U, const SlotRef &Slot,
+                         int Lane) const {
+  // Bounds predication against the logical index.
+  if (Slot.IsStream) {
+    const FieldStream &Stream =
+        U.Streams[static_cast<size_t>(Slot.SourceIndex)];
+    bool InBounds = true;
+    for (size_t Dim = 0, E = SpaceExtents.size(); Dim != E; ++Dim) {
+      int64_t Component = U.CenterIndex[Dim] + Slot.DimOffsets[Dim] +
+                          (Dim + 1 == E ? Lane : 0);
+      if (Component < 0 || Component >= SpaceExtents[Dim]) {
+        InBounds = false;
+        break;
+      }
+    }
+    int64_t Position;
+    if (InBounds)
+      Position = Stream.WrittenElements - 1 - (Slot.OffsetFromNewest - Lane);
+    else if (Slot.Boundary == BoundaryKind::Constant)
+      return Slot.BoundaryValue;
+    else // Copy: the center value of this lane.
+      Position = Stream.WrittenElements - 1 - (Slot.CenterFromNewest - Lane);
+    assert(Position >= 0 && Position < Stream.WrittenElements &&
+           "tap ahead of the stream");
+    return Stream.Ring[static_cast<size_t>(Position % Stream.RingElements)];
+  }
+
+  const Rom &R = U.Roms[static_cast<size_t>(Slot.SourceIndex)];
+  int64_t Linear = 0;
+  bool InBounds = true;
+  for (size_t Dim = 0, E = R.SpannedDims.size(); Dim != E; ++Dim) {
+    size_t SpaceDim = R.SpannedDims[Dim];
+    int64_t Component = U.CenterIndex[SpaceDim] + Slot.DimOffsets[Dim] +
+                        (SpaceDim + 1 == SpaceExtents.size() ? Lane : 0);
+    if (Component < 0 || Component >= R.Extents[Dim]) {
+      InBounds = false;
+      break;
+    }
+    Linear += Component * R.Strides[Dim];
+  }
+  if (!InBounds) {
+    if (Slot.Boundary == BoundaryKind::Constant)
+      return Slot.BoundaryValue;
+    Linear = 0;
+    for (size_t Dim = 0, E = R.SpannedDims.size(); Dim != E; ++Dim) {
+      size_t SpaceDim = R.SpannedDims[Dim];
+      int64_t Component = U.CenterIndex[SpaceDim] +
+                          (SpaceDim + 1 == SpaceExtents.size() ? Lane : 0);
+      Linear += Component * R.Strides[Dim];
+    }
+  }
+  return R.Data[static_cast<size_t>(Linear)];
+}
+
+bool Machine::stepUnit(Unit &U, int64_t Cycle) {
+  bool MadeProgress = false;
+  int64_t TotalSteps = U.StreamVectors + U.InitSteps;
+
+  // Consume phase: pop scheduled streams, advance rings, issue an output
+  // into the pipeline once past the initialization phase. Requires pipe
+  // room (structural hazard: the pipeline holds at most CircuitLatency+1
+  // in-flight results).
+  if (U.Step < TotalSteps &&
+      static_cast<int64_t>(U.PipeReady.size()) <= U.CircuitLatency) {
+    bool InputsReady = true;
+    for (FieldStream &Stream : U.Streams) {
+      bool Pops = U.Step >= Stream.DelaySteps &&
+                  U.Step < Stream.DelaySteps + U.StreamVectors;
+      if (Pops && !Channels[Stream.ChannelIndex]->readable(Cycle)) {
+        InputsReady = false;
+        break;
+      }
+    }
+    if (InputsReady) {
+      for (FieldStream &Stream : U.Streams) {
+        bool Pops = U.Step >= Stream.DelaySteps &&
+                    U.Step < Stream.DelaySteps + U.StreamVectors;
+        bool Pads = U.Step >= Stream.DelaySteps + U.StreamVectors;
+        if (!Pops && !Pads)
+          continue; // Not yet scheduled.
+        // Write W elements into the ring (popped data or drain padding).
+        // The ring size is not necessarily a multiple of W, so the vector
+        // may wrap.
+        int64_t Base = Stream.WrittenElements % Stream.RingElements;
+        if (Pops) {
+          Channels[Stream.ChannelIndex]->pop(U.PopStaging.data(), Cycle);
+          for (int L = 0; L != Lanes; ++L)
+            Stream.Ring[static_cast<size_t>((Base + L) %
+                                            Stream.RingElements)] =
+                U.PopStaging[static_cast<size_t>(L)];
+        } else {
+          for (int L = 0; L != Lanes; ++L)
+            Stream.Ring[static_cast<size_t>((Base + L) %
+                                            Stream.RingElements)] = 0.0;
+        }
+        Stream.WrittenElements += Lanes;
+      }
+      // Issue an output once the initialization phase has passed.
+      if (U.Step >= U.InitSteps) {
+        for (int Lane = 0; Lane != Lanes; ++Lane) {
+          for (size_t Slot = 0, E = U.Slots.size(); Slot != E; ++Slot)
+            U.SlotValues[Slot] = readSlot(U, U.Slots[Slot], Lane);
+          U.OutVector[static_cast<size_t>(Lane)] =
+              U.Kernel->evaluate(U.SlotValues.data(), U.Scratch.data());
+        }
+        for (int Lane = 0; Lane != Lanes; ++Lane)
+          U.PipeValues.push_back(U.OutVector[static_cast<size_t>(Lane)]);
+        U.PipeReady.push_back(Cycle + U.CircuitLatency);
+        ++U.Issued;
+        // Advance the output center index by one vector.
+        for (size_t Dim = SpaceExtents.size(); Dim-- > 0;) {
+          U.CenterIndex[Dim] += Dim + 1 == SpaceExtents.size() ? Lanes : 1;
+          if (U.CenterIndex[Dim] < SpaceExtents[Dim] || Dim == 0)
+            break;
+          U.CenterIndex[Dim] = 0;
+        }
+      }
+      ++U.Step;
+      MadeProgress = true;
+    }
+  }
+
+  // Emit phase: push the oldest pipeline result to every consumer once it
+  // has traversed the circuit and all output channels can accept it.
+  if (!U.PipeReady.empty() && U.PipeReady.front() <= Cycle) {
+    bool CanPush = true;
+    for (size_t ChannelIndex : U.OutChannels)
+      if (Channels[ChannelIndex]->full())
+        CanPush = false;
+    // Network feasibility for all remote pushes together.
+    if (CanPush) {
+      double Bytes = static_cast<double>(Lanes) *
+                     static_cast<double>(ElementBytes);
+      std::vector<double> Needed(HopBudget.size(), 0.0);
+      for (size_t ChannelIndex : U.OutChannels) {
+        const RemoteLink &Link = RemoteLinks[ChannelIndex];
+        for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
+          Needed[static_cast<size_t>(Hop)] += Bytes;
+      }
+      for (size_t Hop = 0; Hop != Needed.size(); ++Hop)
+        if (Needed[Hop] > 0 && HopBudget[Hop] < Needed[Hop]) {
+          CanPush = false;
+          BandwidthWait = true;
+        }
+      if (CanPush) {
+        for (size_t Hop = 0; Hop != Needed.size(); ++Hop) {
+          HopBudget[Hop] -= Needed[Hop];
+          NetworkBytesMoved += Needed[Hop];
+        }
+      }
+    }
+    if (CanPush) {
+      for (int Lane = 0; Lane != Lanes; ++Lane) {
+        U.OutVector[static_cast<size_t>(Lane)] = U.PipeValues.front();
+        U.PipeValues.pop_front();
+      }
+      U.PipeReady.pop_front();
+      for (size_t ChannelIndex : U.OutChannels)
+        Channels[ChannelIndex]->push(U.OutVector.data(), Cycle);
+      ++U.Emitted;
+      MadeProgress = true;
+    }
+  }
+
+  bool Finished = U.Emitted == U.StreamVectors;
+  if (!MadeProgress && !Finished)
+    ++U.StallCycles;
+  return MadeProgress;
+}
+
+bool Machine::stepWriter(Writer &W, int64_t Cycle) {
+  if (W.VectorsWritten == W.TotalVectors)
+    return false;
+  Channel &In = *Channels[W.ChannelIndex];
+  if (!In.readable(Cycle))
+    return false;
+  double DataBytes = static_cast<double>(Lanes) *
+                     static_cast<double>(ElementBytes);
+  if (!grantMemory(W.Device, DataBytes, /*IsWriter=*/true))
+    return false;
+  In.pop(W.InVector.data(), Cycle);
+  int64_t BaseCell = W.VectorsWritten * Lanes;
+  for (int Lane = 0; Lane != Lanes; ++Lane) {
+    bool Valid = true;
+    if (W.Shrink) {
+      // The lane's multi-dim index: W.Index tracks lane 0.
+      std::vector<int64_t> LaneIndex = W.Index;
+      LaneIndex.back() += Lane;
+      Valid = W.Region.contains(LaneIndex);
+    }
+    if (Valid)
+      W.Data[static_cast<size_t>(BaseCell + Lane)] =
+          W.InVector[static_cast<size_t>(Lane)];
+  }
+  ++W.VectorsWritten;
+  for (size_t Dim = SpaceExtents.size(); Dim-- > 0;) {
+    W.Index[Dim] += Dim + 1 == SpaceExtents.size() ? Lanes : 1;
+    if (W.Index[Dim] < SpaceExtents[Dim] || Dim == 0)
+      break;
+    W.Index[Dim] = 0;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Run
+//===----------------------------------------------------------------------===//
+
+std::string Machine::deadlockReport() const {
+  std::string Report = "deadlock detected; stuck components:\n";
+  for (const Unit &U : Units) {
+    if (U.Emitted == U.StreamVectors)
+      continue;
+    Report += formatString(
+        "  unit %-20s step %lld/%lld, issued %lld, emitted %lld/%lld\n",
+        U.Name.c_str(), static_cast<long long>(U.Step),
+        static_cast<long long>(U.StreamVectors + U.InitSteps),
+        static_cast<long long>(U.Issued), static_cast<long long>(U.Emitted),
+        static_cast<long long>(U.StreamVectors));
+    for (const FieldStream &Stream : U.Streams)
+      Report += formatString(
+          "    in  %-28s %lld/%lld vectors queued\n",
+          Channels[Stream.ChannelIndex]->name().c_str(),
+          static_cast<long long>(Channels[Stream.ChannelIndex]->size()),
+          static_cast<long long>(Channels[Stream.ChannelIndex]->capacity()));
+    for (size_t ChannelIndex : U.OutChannels)
+      Report += formatString(
+          "    out %-28s %lld/%lld vectors queued%s\n",
+          Channels[ChannelIndex]->name().c_str(),
+          static_cast<long long>(Channels[ChannelIndex]->size()),
+          static_cast<long long>(Channels[ChannelIndex]->capacity()),
+          Channels[ChannelIndex]->full() ? "  [FULL]" : "");
+  }
+  return Report;
+}
+
+Expected<SimResult>
+Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
+  const StencilProgram &Program = Compiled->program();
+
+  // Bind inputs and reset runtime state.
+  for (Reader &R : Readers) {
+    auto It = Inputs.find(R.Field);
+    if (It == Inputs.end())
+      return makeError("missing data for input field '" + R.Field + "'");
+    if (static_cast<int64_t>(It->second.size()) !=
+        Program.IterationSpace.numCells())
+      return makeError("input field '" + R.Field +
+                       "' has the wrong number of cells");
+    R.Data = &It->second;
+    R.VectorsPushed = 0;
+  }
+  for (Unit &U : Units) {
+    for (FieldStream &Stream : U.Streams) {
+      Stream.Ring.assign(static_cast<size_t>(Stream.RingElements), 0.0);
+      Stream.WrittenElements = 0;
+    }
+    for (Rom &R : U.Roms) {
+      auto It = Inputs.find(R.Field);
+      if (It == Inputs.end())
+        return makeError("missing data for input field '" + R.Field + "'");
+      Shape FieldShape = Program.fieldShape(R.Field);
+      if (static_cast<int64_t>(It->second.size()) != FieldShape.numCells())
+        return makeError("input field '" + R.Field +
+                         "' has the wrong number of cells");
+      R.Data = It->second;
+    }
+    U.Step = 0;
+    U.Issued = 0;
+    U.Emitted = 0;
+    U.PipeReady.clear();
+    U.PipeValues.clear();
+    U.CenterIndex.assign(SpaceExtents.size(), 0);
+    U.StallCycles = 0;
+    U.Scratch.assign(U.Kernel->instructions().size(), 0.0);
+    U.SlotValues.assign(U.Slots.size(), 0.0);
+    U.OutVector.assign(static_cast<size_t>(Lanes), 0.0);
+    U.PopStaging.assign(static_cast<size_t>(Lanes), 0.0);
+  }
+  for (Writer &W : Writers) {
+    W.Data.assign(static_cast<size_t>(Program.IterationSpace.numCells()),
+                  0.0);
+    W.Index.assign(SpaceExtents.size(), 0);
+    W.VectorsWritten = 0;
+    W.InVector.assign(static_cast<size_t>(Lanes), 0.0);
+  }
+  std::fill(MemoryBytesMoved.begin(), MemoryBytesMoved.end(), 0.0);
+  NetworkBytesMoved = 0.0;
+
+  int64_t MaxCycles =
+      Config.MaxCycleFactor *
+          (ExpectedCycles +
+           Config.NetworkLatencyCyclesPerHop * NumDevices) +
+      Config.MaxCycleSlack;
+
+  int64_t Cycle = 0;
+  for (;; ++Cycle) {
+    if (Cycle >= MaxCycles)
+      return makeError(formatString(
+          "simulation exceeded the cycle limit (%lld cycles; expected %lld)",
+          static_cast<long long>(MaxCycles),
+          static_cast<long long>(ExpectedCycles)));
+
+    // Refill per-cycle budgets. Unused budget carries over (bounded by one
+    // transaction beyond the per-cycle rate), so rates smaller than a
+    // single transaction still make progress every few cycles.
+    double TransactionBytes = static_cast<double>(Lanes) *
+                                  static_cast<double>(ElementBytes) +
+                              Config.TransactionOverheadBytes;
+    double MemoryClamp =
+        Config.PeakMemoryBytesPerCycle + TransactionBytes;
+    // Split the refill between reader and writer pools proportionally to
+    // the number of active endpoints on each device.
+    std::vector<int> ActiveReaders(MemoryBudget.size(), 0);
+    std::vector<int> ActiveWriters(MemoryBudget.size(), 0);
+    for (const Reader &R : Readers)
+      if (R.VectorsPushed != R.TotalVectors)
+        ++ActiveReaders[static_cast<size_t>(R.Device)];
+    for (const Writer &W : Writers)
+      if (W.VectorsWritten != W.TotalVectors)
+        ++ActiveWriters[static_cast<size_t>(W.Device)];
+    for (size_t Device = 0; Device != MemoryBudget.size(); ++Device) {
+      int Total = ActiveReaders[Device] + ActiveWriters[Device];
+      double WriterShare =
+          Total == 0 ? 0.0
+                     : static_cast<double>(ActiveWriters[Device]) /
+                           static_cast<double>(Total);
+      double Refill = Config.PeakMemoryBytesPerCycle;
+      WriterBudget[Device] = std::min(
+          WriterBudget[Device] + Refill * WriterShare,
+          MemoryClamp * WriterShare + TransactionBytes);
+      MemoryBudget[Device] =
+          std::min(MemoryBudget[Device] + Refill * (1.0 - WriterShare),
+                   MemoryClamp);
+    }
+    double HopRate = Config.LinkBytesPerCycle * Config.LinksPerHop;
+    double HopClamp = HopRate + static_cast<double>(Lanes) *
+                                    static_cast<double>(ElementBytes) *
+                                    static_cast<double>(
+                                        std::max(1, NumDevices - 1));
+    for (double &Budget : HopBudget)
+      Budget = std::min(Budget + HopRate, HopClamp);
+    BandwidthWait = false;
+
+    // Crossbar arbitration pressure: each active endpoint costs a small
+    // amount of routing bandwidth (the mild pre-plateau droop of Fig. 16).
+    // Pools never go negative: the penalty can only consume this cycle's
+    // refill.
+    if (!Config.UnconstrainedMemory &&
+        Config.ArbitrationPenaltyBytesPerEndpoint > 0.0)
+      for (size_t Device = 0; Device != MemoryBudget.size(); ++Device) {
+        MemoryBudget[Device] =
+            std::max(0.0, MemoryBudget[Device] -
+                              Config.ArbitrationPenaltyBytesPerEndpoint *
+                                  ActiveReaders[Device]);
+        WriterBudget[Device] =
+            std::max(0.0, WriterBudget[Device] -
+                              Config.ArbitrationPenaltyBytesPerEndpoint *
+                                  ActiveWriters[Device]);
+      }
+
+    // Readers and writers are served in a rotating order so bandwidth
+    // arbitration is fair when the controller is oversubscribed (a fixed
+    // priority would starve the tail endpoints and halve throughput).
+    bool Progress = false;
+    if (!Readers.empty()) {
+      size_t Offset = static_cast<size_t>(Cycle) % Readers.size();
+      for (size_t R = 0; R != Readers.size(); ++R)
+        Progress |= stepReader(Readers[(R + Offset) % Readers.size()],
+                               Cycle);
+    }
+    for (Unit &U : Units)
+      Progress |= stepUnit(U, Cycle);
+    if (!Writers.empty()) {
+      size_t Offset = static_cast<size_t>(Cycle) % Writers.size();
+      for (size_t W = 0; W != Writers.size(); ++W)
+        Progress |= stepWriter(Writers[(W + Offset) % Writers.size()],
+                               Cycle);
+    }
+
+    bool Done = true;
+    for (const Writer &W : Writers)
+      Done &= W.VectorsWritten == W.TotalVectors;
+    if (Done) {
+      ++Cycle;
+      break;
+    }
+
+    if (!Progress) {
+      // Time-dependent state (in-flight network vectors, pipeline stages)
+      // may still mature; otherwise this is a genuine deadlock.
+      bool Pending = BandwidthWait;
+      for (const auto &C : Channels)
+        Pending |= C->hasPendingArrival(Cycle);
+      for (const Unit &U : Units)
+        Pending |= !U.PipeReady.empty() && U.PipeReady.front() > Cycle;
+      if (!Pending)
+        return makeError(deadlockReport());
+    }
+  }
+
+  SimResult Result;
+  Result.Stats.Cycles = Cycle;
+  Result.Stats.MemoryBytesMoved = MemoryBytesMoved;
+  Result.Stats.AchievedMemoryBytesPerCycle.resize(MemoryBytesMoved.size());
+  for (size_t Device = 0; Device != MemoryBytesMoved.size(); ++Device)
+    Result.Stats.AchievedMemoryBytesPerCycle[Device] =
+        MemoryBytesMoved[Device] / static_cast<double>(Cycle);
+  Result.Stats.NetworkBytesMoved = NetworkBytesMoved;
+  for (const Unit &U : Units)
+    Result.Stats.UnitStallCycles[U.Name] = U.StallCycles;
+  for (const auto &C : Channels)
+    Result.Stats.ChannelHighWater[C->name()] = C->highWaterMark();
+  for (Writer &W : Writers)
+    Result.Outputs[W.Field] = std::move(W.Data);
+  return Result;
+}

@@ -1,0 +1,270 @@
+//===- sim/Machine.h - Spatial hardware simulator -----------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cycle-level simulator of the spatial architectures StencilFlow emits,
+/// standing in for the paper's FPGA testbed (see DESIGN.md). It implements
+/// the dataflow semantics that the analyses reason about:
+///
+///  - every stencil node becomes a fully pipelined stencil unit (II = 1)
+///    with shift-register internal buffers, boundary predication, and
+///    initialization/draining phases (Fig. 12);
+///  - edges become bounded FIFO channels whose capacities carry the
+///    delay-buffer depths of Sec. IV-B — undersized channels reproduce the
+///    Fig. 4 deadlock, which the simulator detects and reports;
+///  - off-chip inputs are read once per device by prefetching reader
+///    endpoints and fanned out to all consumers; writers commit outputs,
+///    both arbitrated by a banked memory controller with per-transaction
+///    overhead (the Fig. 16 bandwidth substrate);
+///  - multi-device partitions communicate via SMI-style remote streams
+///    with per-hop latency and link-bandwidth arbitration (Sec. VI-B).
+///
+/// In the unconstrained-memory configuration the simulator completes in
+/// exactly C = L + N cycles (Eq. 1), which the tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SIM_MACHINE_H
+#define STENCILFLOW_SIM_MACHINE_H
+
+#include "core/CompiledProgram.h"
+#include "core/DataflowAnalysis.h"
+#include "core/Partitioner.h"
+#include "core/ValidRegion.h"
+#include "sim/Channel.h"
+#include "sim/Config.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+namespace sim {
+
+/// Execution statistics of one simulation.
+struct SimStats {
+  /// Total cycles until the last output vector was committed.
+  int64_t Cycles = 0;
+
+  /// Per-device bytes moved to/from off-chip memory.
+  std::vector<double> MemoryBytesMoved;
+
+  /// Per-device average achieved memory bandwidth in bytes/cycle.
+  std::vector<double> AchievedMemoryBytesPerCycle;
+
+  /// Total bytes moved across the network.
+  double NetworkBytesMoved = 0.0;
+
+  /// Cycles each stencil unit spent stalled (inputs missing or outputs
+  /// blocked).
+  std::map<std::string, int64_t> UnitStallCycles;
+
+  /// Highest observed occupancy per channel (vectors), keyed by the
+  /// channel name "source->consumer". Together with the analysis'
+  /// per-edge BufferDepth this empirically validates the delay-buffer
+  /// sizing: the critical edges fill to (at least close to) their
+  /// computed depth, and no channel ever needs more.
+  std::map<std::string, int64_t> ChannelHighWater;
+};
+
+/// Results of one simulation: statistics plus the program outputs.
+struct SimResult {
+  SimStats Stats;
+  std::map<std::string, std::vector<double>> Outputs;
+};
+
+/// A built simulator instance. Build once, run with concrete inputs.
+class Machine {
+public:
+  /// Assembles the machine from the analyzed program. \p Placement is
+  /// optional; without it everything runs on a single device.
+  static Expected<Machine> build(const CompiledProgram &Compiled,
+                                 const DataflowAnalysis &Dataflow,
+                                 const Partition *Placement = nullptr,
+                                 const SimConfig &Config = {});
+
+  /// Runs the machine to completion (or deadlock / cycle-limit abort).
+  /// \p Inputs maps every program input field to its data.
+  Expected<SimResult>
+  run(const std::map<std::string, std::vector<double>> &Inputs);
+
+  /// The runtime model's expected cycle count C = L + N (Eq. 1), excluding
+  /// network latency.
+  int64_t expectedCycles() const { return ExpectedCycles; }
+
+  /// Number of devices in the machine.
+  int numDevices() const { return NumDevices; }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Component state
+  //===--------------------------------------------------------------------===//
+
+  /// One streamed input of a stencil unit: channel + shift-register ring.
+  struct FieldStream {
+    std::string Field;
+    size_t ChannelIndex = 0;
+    /// Ring capacity in elements: (D_f + 1) * W + lookbehind.
+    int64_t RingElements = 0;
+    /// Steps to wait before the first pop: node init minus field init.
+    int64_t DelaySteps = 0;
+    /// Runtime state.
+    std::vector<double> Ring;
+    int64_t WrittenElements = 0;
+  };
+
+  /// A preloaded lower-dimensional input (on-chip ROM).
+  struct Rom {
+    std::string Field;
+    std::vector<int64_t> Extents;
+    std::vector<int64_t> Strides;
+    std::vector<size_t> SpannedDims;
+    std::vector<double> Data; // Filled at run().
+  };
+
+  /// How one kernel input slot is materialized each cycle.
+  struct SlotRef {
+    bool IsStream = true;
+    int SourceIndex = 0; ///< Index into Streams or Roms.
+    /// Stream slots: distance from the newest ring element for lane 0.
+    int64_t OffsetFromNewest = 0;
+    int64_t CenterFromNewest = 0;
+    /// Per-program-dimension logical offsets (bounds predication). For ROM
+    /// slots only the spanned dimensions are used, in field order.
+    std::vector<int64_t> DimOffsets;
+    BoundaryKind Boundary = BoundaryKind::Constant;
+    double BoundaryValue = 0.0;
+  };
+
+  /// One stencil unit.
+  struct Unit {
+    std::string Name;
+    size_t NodeIndex = 0;
+    int Device = 0;
+    const compute::Kernel *Kernel = nullptr;
+    std::vector<FieldStream> Streams;
+    std::vector<Rom> Roms;
+    std::vector<SlotRef> Slots;
+    int64_t InitSteps = 0;       ///< D: node initialization in vectors.
+    int64_t CircuitLatency = 0;  ///< Pipeline depth in cycles.
+    int64_t StreamVectors = 0;   ///< N_v: real vectors per stream.
+    std::vector<size_t> OutChannels;
+    /// Runtime state.
+    int64_t Step = 0;    ///< Consume steps completed (0 .. N_v + D).
+    int64_t Issued = 0;  ///< Outputs entered into the pipe.
+    int64_t Emitted = 0; ///< Outputs pushed to consumers.
+    std::deque<int64_t> PipeReady;  ///< Ready cycle per in-flight output.
+    std::deque<double> PipeValues;  ///< W values per in-flight output.
+    std::vector<int64_t> CenterIndex; ///< Multi-dim index of next output.
+    int64_t StallCycles = 0;
+    std::vector<double> Scratch;    ///< Kernel evaluation scratch.
+    std::vector<double> SlotValues; ///< Kernel input staging.
+    std::vector<double> OutVector;  ///< Output staging.
+    std::vector<double> PopStaging; ///< Channel pop staging.
+  };
+
+  /// A memory reader endpoint: streams one input field on one device.
+  struct Reader {
+    std::string Field;
+    int Device = 0;
+    std::vector<size_t> OutChannels;
+    int64_t TotalVectors = 0;
+    /// Runtime state.
+    const std::vector<double> *Data = nullptr;
+    int64_t VectorsPushed = 0;
+  };
+
+  /// A memory writer endpoint: commits one program output.
+  struct Writer {
+    std::string Field;
+    int Device = 0;
+    size_t ChannelIndex = 0;
+    int64_t TotalVectors = 0;
+    bool Shrink = false;
+    ValidRegion Region;
+    /// Runtime state.
+    std::vector<double> Data;
+    std::vector<int64_t> Index;
+    int64_t VectorsWritten = 0;
+    std::vector<double> InVector;
+  };
+
+  /// Network bandwidth tracking for one remote channel.
+  struct RemoteLink {
+    size_t ChannelIndex = 0;
+    int FirstHop = 0; ///< Crosses hops [FirstHop, LastHop).
+    int LastHop = 0;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Helpers
+  //===--------------------------------------------------------------------===//
+
+  bool stepReader(Reader &R, int64_t Cycle);
+  bool stepUnit(Unit &U, int64_t Cycle);
+  bool stepWriter(Writer &W, int64_t Cycle);
+
+  /// Requests a memory transaction of \p DataBytes on \p Device. Returns
+  /// true (and charges the budget) if granted this cycle. The per-cycle
+  /// budget is split between reader and writer pools proportionally to
+  /// the active endpoint counts, so the writers (served after the
+  /// readers) cannot be starved under oversubscription; reader leftovers
+  /// spill into the writer pool.
+  bool grantMemory(int Device, double DataBytes, bool IsWriter);
+
+  /// Requests network bandwidth for pushing one vector into channel
+  /// \p ChannelIndex, if it is remote. Returns true if granted (or local).
+  bool grantNetwork(size_t ChannelIndex);
+
+  /// Computes the value of slot \p Slot of \p U for lane \p Lane.
+  double readSlot(const Unit &U, const SlotRef &Slot, int Lane) const;
+
+  std::string deadlockReport() const;
+
+  //===--------------------------------------------------------------------===//
+  // Configuration (set at build)
+  //===--------------------------------------------------------------------===//
+
+  SimConfig Config;
+  const CompiledProgram *Compiled = nullptr;
+  int NumDevices = 1;
+  int Lanes = 1;
+  size_t ElementBytes = 4;
+  int64_t ExpectedCycles = 0;
+  int64_t StreamVectors = 0;
+  std::vector<int64_t> SpaceExtents;
+
+  std::vector<std::unique_ptr<Channel>> Channels;
+  std::vector<RemoteLink> RemoteLinks; ///< Indexed like Channels (entry per
+                                       ///< channel; LastHop==FirstHop means
+                                       ///< local).
+  std::vector<Reader> Readers;
+  std::vector<Unit> Units; ///< Global topological order.
+  std::vector<Writer> Writers;
+
+  //===--------------------------------------------------------------------===//
+  // Per-cycle state
+  //===--------------------------------------------------------------------===//
+
+  std::vector<double> MemoryBudget;      ///< Reader pool per device.
+  std::vector<double> WriterBudget;      ///< Writer pool per device.
+  std::vector<double> HopBudget;         ///< Per hop, bytes this cycle.
+  std::vector<double> MemoryBytesMoved;  ///< Per device, total.
+  double NetworkBytesMoved = 0.0;
+  /// Set when a component was ready to move data but was denied bandwidth
+  /// this cycle; such waiting is progress-pending, not deadlock (unused
+  /// budget carries over, so the grant eventually succeeds).
+  bool BandwidthWait = false;
+};
+
+} // namespace sim
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SIM_MACHINE_H

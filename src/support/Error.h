@@ -1,0 +1,138 @@
+//===- support/Error.h - Lightweight error handling -------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight, exception-free error handling used throughout the library.
+///
+/// The library follows the LLVM convention of not using C++ exceptions.
+/// Recoverable errors (malformed input programs, infeasible mappings, ...)
+/// are returned as \c Error or \c Expected<T> values; programmatic errors
+/// are handled with assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SUPPORT_ERROR_H
+#define STENCILFLOW_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stencilflow {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// An \c Error is either a success value (the default state) or a failure
+/// value with a message. It converts to \c true when it holds a failure,
+/// enabling the idiom:
+/// \code
+///   if (Error Err = mayFail())
+///     return Err;
+/// \endcode
+class Error {
+public:
+  /// Creates a success value.
+  Error() = default;
+
+  /// Creates a success value explicitly.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value with the given message.
+  static Error failure(std::string Message) {
+    Error Err;
+    Err.Message = std::move(Message);
+    return Err;
+  }
+
+  /// Returns true if this holds a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the failure message. Must only be called on failure values.
+  const std::string &message() const {
+    assert(Message && "message() called on a success value");
+    return *Message;
+  }
+
+  /// Appends context to the failure message ("Context: message").
+  /// No-op on success values. Returns *this for chaining.
+  Error &addContext(const std::string &Context) {
+    if (Message)
+      Message = Context + ": " + *Message;
+    return *this;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Creates a failure \c Error from a message.
+inline Error makeError(std::string Message) {
+  return Error::failure(std::move(Message));
+}
+
+/// A value-or-error type, analogous to llvm::Expected.
+///
+/// Holds either a \c T (success) or an error message (failure). Converts to
+/// \c true on success:
+/// \code
+///   Expected<Program> P = parse(Text);
+///   if (!P)
+///     return P.takeError();
+///   use(*P);
+/// \endcode
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Storage(std::move(Value)) {}
+
+  /// Constructs a failure value from an \c Error (which must be a failure).
+  Expected(Error Err) : Storage(std::move(Err)) {
+    assert(std::get<Error>(Storage) &&
+           "constructing Expected from a success Error");
+  }
+
+  /// Returns true if this holds a value.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  /// Accesses the contained value. Must only be called on success.
+  T &operator*() {
+    assert(*this && "dereferencing a failed Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing a failed Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the contained value out. Must only be called on success.
+  T takeValue() {
+    assert(*this && "taking value of a failed Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+  /// Returns the contained error. Must only be called on failure.
+  Error takeError() {
+    assert(!*this && "taking error of a successful Expected");
+    return std::move(std::get<Error>(Storage));
+  }
+
+  /// Returns the failure message. Must only be called on failure.
+  const std::string &message() const {
+    assert(!*this && "message() called on a successful Expected");
+    return std::get<Error>(Storage).message();
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SUPPORT_ERROR_H

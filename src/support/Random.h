@@ -1,0 +1,69 @@
+//===- support/Random.h - Deterministic random numbers ----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64/xoshiro-style) used for test-input
+/// and workload generation. Using our own generator rather than std::mt19937
+/// guarantees identical sequences across standard libraries, which keeps
+/// golden test values and benchmark workloads stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SUPPORT_RANDOM_H
+#define STENCILFLOW_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace stencilflow {
+
+/// Deterministic 64-bit PRNG with a splitmix64 core.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x5F3759DF) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t nextUInt64() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return nextUInt64() % Bound;
+  }
+
+  /// Returns a uniform integer in [Low, High] inclusive.
+  int64_t nextInRange(int64_t Low, int64_t High) {
+    assert(Low <= High && "invalid range");
+    return Low + static_cast<int64_t>(
+                     nextBounded(static_cast<uint64_t>(High - Low) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextUInt64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform double in [Low, High).
+  double nextDoubleInRange(double Low, double High) {
+    return Low + (High - Low) * nextDouble();
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SUPPORT_RANDOM_H

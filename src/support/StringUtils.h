@@ -1,0 +1,49 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared across the library: splitting, trimming,
+/// joining, and printf-style formatting into std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SUPPORT_STRINGUTILS_H
+#define STENCILFLOW_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stencilflow {
+
+/// Splits \p Text on \p Separator. Empty pieces are kept.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Removes leading and trailing whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// Joins \p Pieces with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Separator);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,261 @@
+//===- workloads/Workloads.cpp - Benchmark stencil programs -------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "frontend/Parser.h"
+#include "frontend/SemanticAnalysis.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace stencilflow;
+
+namespace {
+
+/// Adds a full-rank random input field.
+void addInput(StencilProgram &Program, const std::string &Name,
+              uint64_t Seed) {
+  Field Input;
+  Input.Name = Name;
+  Input.Type = DataType::Float32;
+  Input.DimensionMask = std::vector<bool>(Program.IterationSpace.rank(),
+                                          true);
+  Input.Source = DataSource::random(Seed);
+  Program.Inputs.push_back(std::move(Input));
+}
+
+/// Adds a 1D input spanning only dimension \p Dim.
+void addLineInput(StencilProgram &Program, const std::string &Name,
+                  size_t Dim, uint64_t Seed) {
+  Field Input;
+  Input.Name = Name;
+  Input.Type = DataType::Float32;
+  Input.DimensionMask = std::vector<bool>(Program.IterationSpace.rank(),
+                                          false);
+  Input.DimensionMask[Dim] = true;
+  Input.Source = DataSource::random(Seed);
+  Program.Inputs.push_back(std::move(Input));
+}
+
+/// Adds a stencil node from source with constant-zero boundaries on every
+/// field it reads.
+void addStencil(StencilProgram &Program, const std::string &Name,
+                const std::string &Source) {
+  StencilNode Node;
+  Node.Name = Name;
+  Node.Type = DataType::Float32;
+  Expected<StencilCode> Code = parseStencilCode(Source);
+  assert(Code && "workload stencil failed to parse");
+  Node.Code = Code.takeValue();
+  Program.Nodes.push_back(std::move(Node));
+  // Boundaries are declared after analysis, once the accessed fields are
+  // known.
+  StencilNode &Added = Program.Nodes.back();
+  Error Err = analyzeNode(Program, Added);
+  assert(!Err && "workload stencil failed analysis");
+  (void)Err;
+  for (const FieldAccesses &FA : Added.Accesses)
+    Added.Boundaries[FA.Field] = BoundaryCondition::constant(0.0);
+}
+
+/// Finalizes and validates a workload program.
+StencilProgram finish(StencilProgram Program) {
+  Error Err = analyzeProgram(Program);
+  assert(!Err && "workload program failed analysis");
+  (void)Err;
+  return Program;
+}
+
+} // namespace
+
+StencilProgram workloads::jacobi3dChain(int Length, int64_t K, int64_t J,
+                                        int64_t I, int VectorWidth) {
+  assert(Length >= 1);
+  StencilProgram Program;
+  Program.Name = formatString("jacobi3d_x%d", Length);
+  Program.IterationSpace = Shape({K, J, I});
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "a0", 11);
+  for (int Step = 0; Step < Length; ++Step) {
+    std::string In = formatString("a%d", Step);
+    std::string Out = formatString("a%d", Step + 1);
+    addStencil(Program, Out,
+               formatString("%s = 0.142857 * (%s[0,0,0] + %s[-1,0,0] + "
+                            "%s[1,0,0] + %s[0,-1,0] + %s[0,1,0] + "
+                            "%s[0,0,-1] + %s[0,0,1]);",
+                            Out.c_str(), In.c_str(), In.c_str(), In.c_str(),
+                            In.c_str(), In.c_str(), In.c_str(), In.c_str()));
+  }
+  Program.Outputs = {formatString("a%d", Length)};
+  return finish(std::move(Program));
+}
+
+StencilProgram workloads::diffusion2dChain(int Length, int64_t J, int64_t I,
+                                           int VectorWidth) {
+  assert(Length >= 1);
+  StencilProgram Program;
+  Program.Name = formatString("diffusion2d_x%d", Length);
+  Program.IterationSpace = Shape({J, I});
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "a0", 13);
+  for (int Step = 0; Step < Length; ++Step) {
+    std::string In = formatString("a%d", Step);
+    std::string Out = formatString("a%d", Step + 1);
+    // Per-direction coefficients (cc, cw, ce, cn, cs), the Zohouri et al.
+    // diffusion kernel shape: 4 additions + 5 multiplications.
+    addStencil(Program, Out,
+               formatString("%s = 0.6 * %s[0,0] + 0.1 * %s[0,-1] + 0.1 * "
+                            "%s[0,1] + 0.1 * %s[-1,0] + 0.1 * %s[1,0];",
+                            Out.c_str(), In.c_str(), In.c_str(), In.c_str(),
+                            In.c_str(), In.c_str()));
+  }
+  Program.Outputs = {formatString("a%d", Length)};
+  return finish(std::move(Program));
+}
+
+StencilProgram workloads::diffusion3dChain(int Length, int64_t K, int64_t J,
+                                           int64_t I, int VectorWidth) {
+  assert(Length >= 1);
+  StencilProgram Program;
+  Program.Name = formatString("diffusion3d_x%d", Length);
+  Program.IterationSpace = Shape({K, J, I});
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "a0", 17);
+  for (int Step = 0; Step < Length; ++Step) {
+    std::string In = formatString("a%d", Step);
+    std::string Out = formatString("a%d", Step + 1);
+    addStencil(
+        Program, Out,
+        formatString("%s = 0.4 * %s[0,0,0] + 0.1 * %s[0,0,-1] + 0.1 * "
+                     "%s[0,0,1] + 0.1 * %s[0,-1,0] + 0.1 * %s[0,1,0] + "
+                     "0.1 * %s[-1,0,0] + 0.1 * %s[1,0,0];",
+                     Out.c_str(), In.c_str(), In.c_str(), In.c_str(),
+                     In.c_str(), In.c_str(), In.c_str(), In.c_str()));
+  }
+  Program.Outputs = {formatString("a%d", Length)};
+  return finish(std::move(Program));
+}
+
+StencilProgram workloads::horizontalDiffusion(int64_t K, int64_t J,
+                                              int64_t I, int VectorWidth) {
+  StencilProgram Program;
+  Program.Name = "horizontal_diffusion";
+  Program.IterationSpace = Shape({K, J, I});
+  Program.VectorWidth = VectorWidth;
+
+  // 5 full (3D) input fields: wind components u/v/w, pressure
+  // perturbation pp, and the diffusion mask.
+  addInput(Program, "u_in", 101);
+  addInput(Program, "v_in", 102);
+  addInput(Program, "w_in", 103);
+  addInput(Program, "pp_in", 104);
+  addInput(Program, "hd_mask", 105);
+  // 5 latitude-dependent (1D over j) metric coefficients.
+  size_t LatDim = 1;
+  addLineInput(Program, "crlato", LatDim, 201);
+  addLineInput(Program, "crlatu", LatDim, 202);
+  addLineInput(Program, "crlavo", LatDim, 203);
+  addLineInput(Program, "crlavu", LatDim, 204);
+  addLineInput(Program, "acrlat0", LatDim, 205);
+
+  // --- Smagorinsky factors -------------------------------------------------
+  // Strain (tension) and shear deformation of the horizontal wind field,
+  // combined into the squared total deformation.
+  addStencil(Program, "dsq",
+             "t1 = crlavo[0] * v_in[0, 1, 0] - crlavu[0] * v_in[0, -1, 0];"
+             "t2 = u_in[0, 0, 1] - u_in[0, 0, -1];"
+             "tension = 0.5 * t2 + acrlat0[0] * t1;"
+             "s1 = u_in[0, 1, 0] * crlato[0] - u_in[0, -1, 0] * crlatu[0];"
+             "s2 = v_in[0, 0, 1] - v_in[0, 0, -1];"
+             "shear = 0.5 * s2 + acrlat0[0] * s1;"
+             "dsq = tension * tension + shear * shear;");
+
+  // Clamped Smagorinsky diffusion coefficients for u and v (the paper's 2
+  // square roots, 2 minima and 2 maxima live here).
+  addStencil(Program, "smag_u",
+             "r = acrlat0[0] * sqrt(dsq[0, 0, 0]) - 0.01;"
+             "smag_u = min(0.5, max(0.0, r));");
+  addStencil(Program, "smag_v",
+             "r = crlato[0] * sqrt(dsq[0, 0, 0]) - 0.01;"
+             "smag_v = min(0.5, max(0.0, r));");
+
+  // --- Laplacians -----------------------------------------------------------
+  // Weighted horizontal laplacians on the staggered grid.
+  addStencil(Program, "lap_u",
+             "zonal = u_in[0, 0, 1] + u_in[0, 0, -1] - 2.0 * u_in[0, 0, 0];"
+             "merid = crlato[0] * (u_in[0, 1, 0] - u_in[0, 0, 0]) + "
+             "crlatu[0] * (u_in[0, -1, 0] - u_in[0, 0, 0]);"
+             "lap_u = zonal + merid;");
+  addStencil(Program, "lap_v",
+             "zonal = v_in[0, 0, 1] + v_in[0, 0, -1] - 2.0 * v_in[0, 0, 0];"
+             "merid = crlavo[0] * (v_in[0, 1, 0] - v_in[0, 0, 0]) + "
+             "crlavu[0] * (v_in[0, -1, 0] - v_in[0, 0, 0]);"
+             "lap_v = zonal + merid;");
+  addStencil(Program, "lap_w",
+             "lap_w = w_in[0, 0, 1] + w_in[0, 0, -1] + w_in[0, 1, 0] + "
+             "w_in[0, -1, 0] - 4.0 * w_in[0, 0, 0];");
+  addStencil(Program, "lap_pp",
+             "zonal = pp_in[0, 0, 1] + pp_in[0, 0, -1] - 2.0 * "
+             "pp_in[0, 0, 0];"
+             "merid = crlavo[0] * (pp_in[0, 1, 0] - pp_in[0, 0, 0]) + "
+             "crlavu[0] * (pp_in[0, -1, 0] - pp_in[0, 0, 0]);"
+             "lap_pp = zonal + merid;");
+
+  // --- Outputs ---------------------------------------------------------------
+  // u and v: Smagorinsky diffusion applied to the laplacian, with a masked
+  // flux limiter (the data-dependent branches of Sec. IX-A).
+  addStencil(Program, "u_out",
+             "l2 = lap_u[0, 0, 1] + lap_u[0, 0, -1] - 2.0 * lap_u[0, 0, 0] "
+             "+ crlato[0] * (lap_u[0, 1, 0] - lap_u[0, 0, 0]) + crlatu[0] "
+             "* (lap_u[0, -1, 0] - lap_u[0, 0, 0]);"
+             "delta = smag_u[0, 0, 0] * lap_u[0, 0, 0] - 0.05 * l2;"
+             "masked = hd_mask[0, 0, 0] > 0.05 ? delta : 0.0;"
+             "hi = masked > 0.1 ? 0.1 : masked;"
+             "lo = hi < -0.1 ? -0.1 : hi;"
+             "flux = hd_mask[0, 0, 0] > 0.9 ? lo * 0.5 : lo;"
+             "u_out = hd_mask[0, 0, 0] > 0.01 ? u_in[0, 0, 0] + flux : "
+             "u_in[0, 0, 0];");
+  addStencil(Program, "v_out",
+             "l2 = lap_v[0, 0, 1] + lap_v[0, 0, -1] - 2.0 * lap_v[0, 0, 0] "
+             "+ crlavo[0] * (lap_v[0, 1, 0] - lap_v[0, 0, 0]) + crlavu[0] "
+             "* (lap_v[0, -1, 0] - lap_v[0, 0, 0]);"
+             "delta = smag_v[0, 0, 0] * lap_v[0, 0, 0] - 0.05 * l2;"
+             "masked = hd_mask[0, 0, 0] > 0.05 ? delta : 0.0;"
+             "hi = masked > 0.1 ? 0.1 : masked;"
+             "lo = hi < -0.1 ? -0.1 : hi;"
+             "flux = hd_mask[0, 0, 0] > 0.9 ? lo * 0.5 : lo;"
+             "v_out = hd_mask[0, 0, 0] > 0.01 ? v_in[0, 0, 0] + flux : "
+             "v_in[0, 0, 0];");
+
+  // w and pp: plain 4th-order diffusion (laplacian of laplacian) with a
+  // masked limiter.
+  addStencil(Program, "w_out",
+             "l2 = lap_w[0, 0, 1] + lap_w[0, 0, -1] + lap_w[0, 1, 0] + "
+             "lap_w[0, -1, 0] - 4.0 * lap_w[0, 0, 0];"
+             "delta = 0.03 * l2;"
+             "masked = hd_mask[0, 0, 0] > 0.05 ? delta : 0.0;"
+             "hi = masked > 0.2 ? 0.2 : masked;"
+             "lo = hi < -0.2 ? -0.2 : hi;"
+             "flux = hd_mask[0, 0, 0] > 0.9 ? lo * 0.5 : lo;"
+             "w_out = hd_mask[0, 0, 0] > 0.01 ? w_in[0, 0, 0] - flux : "
+             "w_in[0, 0, 0];");
+  addStencil(Program, "pp_out",
+             "l2 = lap_pp[0, 0, 1] + lap_pp[0, 0, -1] - 2.0 * "
+             "lap_pp[0, 0, 0] + crlavo[0] * (lap_pp[0, 1, 0] - "
+             "lap_pp[0, 0, 0]) + crlavu[0] * (lap_pp[0, -1, 0] - "
+             "lap_pp[0, 0, 0]);"
+             "delta = 0.04 * l2;"
+             "masked = hd_mask[0, 0, 0] > 0.05 ? delta : 0.0;"
+             "hi = masked > 0.2 ? 0.2 : masked;"
+             "lo = hi < -0.2 ? -0.2 : hi;"
+             "flux = hd_mask[0, 0, 0] > 0.9 ? lo * 0.5 : lo;"
+             "pp_out = hd_mask[0, 0, 0] > 0.01 ? pp_in[0, 0, 0] - flux : "
+             "pp_in[0, 0, 0];");
+
+  Program.Outputs = {"u_out", "v_out", "w_out", "pp_out"};
+  return finish(std::move(Program));
+}

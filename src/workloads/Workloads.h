@@ -1,0 +1,60 @@
+//===- workloads/Workloads.h - Benchmark stencil programs ---------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stencil programs used by the paper's evaluation:
+///
+///  - \b Jacobi 3D and \b Diffusion 2D/3D chains: long linear sequences of
+///    identical stencils, "analogous to time-tiled iterative stencils"
+///    (Sec. VIII-C, Fig. 14/15, Tab. I);
+///  - \b horizontal \b diffusion: the COSMO weather-model case study
+///    (Sec. IX, Fig. 17) — a 4th-order explicit method on a staggered
+///    latitude-longitude grid with Smagorinsky diffusion of the wind
+///    velocity components, structurally mirroring the paper's DAG (5 3D
+///    inputs + 5 1D inputs, 4 3D outputs, complex fan-in of 2-6 producers
+///    per stencil, square roots, min/max clamps, and data-dependent
+///    branches).
+///
+/// All builders return fully analyzed programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_WORKLOADS_WORKLOADS_H
+#define STENCILFLOW_WORKLOADS_WORKLOADS_H
+
+#include "ir/StencilProgram.h"
+
+#include <cstdint>
+
+namespace stencilflow {
+namespace workloads {
+
+/// A chain of \p Length Jacobi 3D (7-point) stencils: 6 additions and 1
+/// multiplication per stencil per cell.
+StencilProgram jacobi3dChain(int Length, int64_t K, int64_t J, int64_t I,
+                             int VectorWidth = 1);
+
+/// A chain of \p Length Diffusion 2D (5-point, per-direction
+/// coefficients) stencils: 4 additions and 5 multiplications per cell —
+/// the kernel of Zohouri et al. used for the Tab. I comparison.
+StencilProgram diffusion2dChain(int Length, int64_t J, int64_t I,
+                                int VectorWidth = 1);
+
+/// A chain of \p Length Diffusion 3D (7-point, per-direction
+/// coefficients) stencils: 6 additions and 7 multiplications per cell.
+StencilProgram diffusion3dChain(int Length, int64_t K, int64_t J, int64_t I,
+                                int VectorWidth = 1);
+
+/// The horizontal-diffusion stencil program (COSMO case study, Sec. IX).
+/// Domain 128x128 horizontal stacked in 80 vertical layers by default
+/// (the MeteoSwiss benchmarking configuration).
+StencilProgram horizontalDiffusion(int64_t K = 80, int64_t J = 128,
+                                   int64_t I = 128, int VectorWidth = 1);
+
+} // namespace workloads
+} // namespace stencilflow
+
+#endif // STENCILFLOW_WORKLOADS_WORKLOADS_H

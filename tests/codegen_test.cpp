@@ -1,0 +1,172 @@
+//===- tests/codegen_test.cpp - OpenCL emitter tests ---------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/OpenCLEmitter.h"
+#include "common/TestPrograms.h"
+#include "core/DataflowAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace stencilflow;
+using namespace stencilflow::testing;
+
+namespace {
+
+std::vector<GeneratedSource> emit(StencilProgram Program,
+                                  const Partition *Placement = nullptr) {
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  EXPECT_TRUE(Compiled) << Compiled.message();
+  auto Dataflow = analyzeDataflow(*Compiled);
+  EXPECT_TRUE(Dataflow);
+  auto Sources = emitOpenCL(*Compiled, *Dataflow, Placement);
+  EXPECT_TRUE(Sources) << Sources.message();
+  return Sources.takeValue();
+}
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+} // namespace
+
+TEST(CodegenTest, LaplaceKernelStructure) {
+  auto Sources = emit(laplace2d(16, 16));
+  ASSERT_EQ(Sources.size(), 2u); // One device + host summary.
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(S, "#pragma OPENCL EXTENSION cl_intel_channels"));
+  EXPECT_TRUE(contains(S, "__attribute__((autorun))"));
+  EXPECT_TRUE(contains(S, "__kernel void stencil_b("));
+  EXPECT_TRUE(contains(S, "__kernel void read_a("));
+  EXPECT_TRUE(contains(S, "__kernel void write_b("));
+  EXPECT_TRUE(contains(S, "float sreg_a[")); // Shift-register pattern.
+  EXPECT_TRUE(contains(S, "#pragma unroll"));
+  EXPECT_TRUE(contains(S, "read_channel_intel"));
+  EXPECT_TRUE(contains(S, "write_channel_intel"));
+  // Boundary predication against the iteration indices.
+  EXPECT_TRUE(contains(S, "j >= 0 && j <"));
+}
+
+TEST(CodegenTest, ChannelDepthsCarryDelayBuffers) {
+  StencilProgram P = diamondProgram(24, 24);
+  auto Compiled = CompiledProgram::compile(P.clone());
+  auto Dataflow = analyzeDataflow(*Compiled);
+  int64_t Depth = Dataflow->findEdge("A", "C")->BufferDepth;
+  auto Sources = emit(std::move(P));
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(
+      S, formatString("ch_A__to__C __attribute__((depth(%lld)))",
+                      static_cast<long long>(Depth + 8))));
+  EXPECT_TRUE(contains(S, formatString("// delay buffer %lld",
+                                       static_cast<long long>(Depth))));
+}
+
+TEST(CodegenTest, VectorizedTypesAndLaneLoop) {
+  auto Sources = emit(laplace2d(16, 16, 4));
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(S, "float4"));
+  EXPECT_TRUE(contains(S, "for (int w = 0; w < 4; ++w)"));
+  EXPECT_TRUE(contains(S, "result[w] ="));
+}
+
+TEST(CodegenTest, BoundaryKindsEmitted) {
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 8});
+  addInput(P, "a");
+  addInput(P, "b");
+  addStencil(P, "out", "out = a[0, -1] + a[0, 0] + b[0, 1];",
+             DataType::Float32,
+             {{"a", BoundaryCondition::copy()},
+              {"b", BoundaryCondition::constant(7.5)}});
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Sources = emit(std::move(P));
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(S, "7.5f"));                // Constant fallback.
+  EXPECT_TRUE(contains(S, ": sreg_a["));           // Copy fallback (center).
+}
+
+TEST(CodegenTest, RomInputsBecomeArguments) {
+  StencilProgram P;
+  P.IterationSpace = Shape({4, 8, 8});
+  addInput(P, "a");
+  Field C;
+  C.Name = "c";
+  C.DimensionMask = {true, false, false};
+  P.Inputs.push_back(C);
+  addStencil(P, "out", "out = a[0,0,0] * c[0];");
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Sources = emit(std::move(P));
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(S, "__global const float *restrict rom_c"));
+  EXPECT_TRUE(contains(S, "rom_c["));
+  // Kernels with host-passed arguments cannot be autorun.
+  EXPECT_FALSE(contains(S, "autorun))\n__kernel void stencil_out"));
+}
+
+TEST(CodegenTest, IntrinsicsAndTernaries) {
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 8});
+  addInput(P, "a");
+  addStencil(P, "out",
+             "r = sqrt(fabs(a[0, 0]));"
+             "out = a[0, 1] > 0.0 ? min(r, 1.0) : max(r, -1.0);");
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Sources = emit(std::move(P));
+  const std::string &S = Sources[0].Source;
+  EXPECT_TRUE(contains(S, "sqrtf"));
+  EXPECT_TRUE(contains(S, "fabsf"));
+  EXPECT_TRUE(contains(S, "fminf"));
+  EXPECT_TRUE(contains(S, "fmaxf"));
+  EXPECT_TRUE(contains(S, "?"));
+}
+
+TEST(CodegenTest, MultiDeviceEmitsSmi) {
+  StencilProgram P = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(P.clone());
+  auto Dataflow = analyzeDataflow(*Compiled);
+  PartitionOptions Options;
+  Options.TargetUtilization = 1.0;
+  Options.Device.DSPs = 7 * 3; // Three nodes per device.
+  Options.MaxDevices = 8;
+  auto Placement = partitionProgram(*Compiled, *Dataflow, Options);
+  ASSERT_TRUE(Placement) << Placement.message();
+  ASSERT_EQ(Placement->numDevices(), 2u);
+
+  auto Sources = emitOpenCL(*Compiled, *Dataflow, &*Placement);
+  ASSERT_TRUE(Sources);
+  ASSERT_EQ(Sources->size(), 3u); // Two devices + host summary.
+  EXPECT_TRUE(contains((*Sources)[0].Source, "SMI_Push"));
+  EXPECT_TRUE(contains((*Sources)[1].Source, "SMI_Pop"));
+  EXPECT_TRUE(contains((*Sources)[0].Source, "#include <smi.h>"));
+  EXPECT_EQ((*Sources)[0].FileName, "jacobi3d_chain_6_device0.cl");
+}
+
+TEST(CodegenTest, HostSummaryListsBuffers) {
+  auto Sources = emit(laplace2d(16, 16));
+  const GeneratedSource &Host = Sources.back();
+  EXPECT_NE(Host.FileName.find("_host.cpp"), std::string::npos);
+  EXPECT_TRUE(contains(Host.Source, "input  a"));
+  EXPECT_TRUE(contains(Host.Source, "output b"));
+}
+
+TEST(CodegenTest, FillDelaysScheduleChannelReads) {
+  // Two inputs with different windows: the smaller one starts reading
+  // later (fill-delay synchronization, Sec. IV-A).
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 16});
+  addInput(P, "a");
+  addInput(P, "b");
+  addStencil(P, "out", "out = a[-1, 0] + a[1, 0] + b[0, -1] + b[0, 1];");
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Sources = emit(std::move(P));
+  const std::string &S = Sources[0].Source;
+  // a's window is 2 rows (32 cycles, delay 0); b's is 2 cells (delay 30).
+  EXPECT_TRUE(contains(S, "if (it >= 0 && it < 128)"));
+  EXPECT_TRUE(contains(S, "if (it >= 30 && it < 158)"));
+}

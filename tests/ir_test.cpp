@@ -1,0 +1,256 @@
+//===- tests/ir_test.cpp - IR library tests ----------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestPrograms.h"
+#include "ir/Boundary.h"
+#include "ir/DataType.h"
+#include "ir/Expr.h"
+#include "ir/Shape.h"
+#include "ir/StencilProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace stencilflow;
+using namespace stencilflow::testing;
+
+//===----------------------------------------------------------------------===//
+// DataType / Boundary
+//===----------------------------------------------------------------------===//
+
+TEST(DataTypeTest, SizesAndNames) {
+  EXPECT_EQ(dataTypeSize(DataType::Float32), 4u);
+  EXPECT_EQ(dataTypeSize(DataType::Float64), 8u);
+  EXPECT_EQ(dataTypeName(DataType::Float32), "float32");
+  EXPECT_EQ(dataTypeOpenCLName(DataType::Float32), "float");
+  EXPECT_TRUE(isFloatingPoint(DataType::Float64));
+  EXPECT_FALSE(isFloatingPoint(DataType::Int32));
+}
+
+TEST(DataTypeTest, ParseAcceptsBothSpellings) {
+  EXPECT_EQ(*parseDataType("float32"), DataType::Float32);
+  EXPECT_EQ(*parseDataType("float"), DataType::Float32);
+  EXPECT_EQ(*parseDataType("double"), DataType::Float64);
+  EXPECT_FALSE(parseDataType("quaternion"));
+}
+
+TEST(BoundaryTest, ParseAndName) {
+  EXPECT_EQ(*parseBoundaryKind("constant"), BoundaryKind::Constant);
+  EXPECT_EQ(*parseBoundaryKind("copy"), BoundaryKind::Copy);
+  EXPECT_EQ(*parseBoundaryKind("shrink"), BoundaryKind::Shrink);
+  EXPECT_FALSE(parseBoundaryKind("mirror"));
+  EXPECT_EQ(boundaryKindName(BoundaryKind::Copy), "copy");
+}
+
+//===----------------------------------------------------------------------===//
+// Shape
+//===----------------------------------------------------------------------===//
+
+TEST(ShapeTest, NumCells) {
+  EXPECT_EQ(Shape({4, 5, 6}).numCells(), 120);
+  EXPECT_EQ(Shape({7}).numCells(), 7);
+  EXPECT_EQ(Shape(std::vector<int64_t>{}).numCells(), 1); // Scalar.
+}
+
+TEST(ShapeTest, LinearizeMemoryOrder) {
+  // Shape {K, J, I} = {4, 5, 6}: lin([k,j,i]) = (k*5 + j)*6 + i.
+  Shape S({4, 5, 6});
+  EXPECT_EQ(S.linearize({0, 0, 0}), 0);
+  EXPECT_EQ(S.linearize({0, 0, 1}), 1);
+  EXPECT_EQ(S.linearize({0, 1, 0}), 6);
+  EXPECT_EQ(S.linearize({1, 0, 0}), 30);
+  EXPECT_EQ(S.linearize({0, 0, -1}), -1);
+  EXPECT_EQ(S.linearize({-1, 0, 0}), -30);
+  EXPECT_EQ(S.linearize({1, -1, 2}), 30 - 6 + 2);
+}
+
+TEST(ShapeTest, PaperBufferDistances) {
+  // Sec. IV-A: in a 3D space {K, J, I}, a[0,1,0] vs a[0,-1,0] spans two
+  // rows (2I); b[0,0,0] vs b[1,0,0] spans a 2D slice (IJ... the paper's
+  // example uses 2IJ for [1,..] vs [-1,..]).
+  Shape S({10, 8, 16});
+  EXPECT_EQ(S.linearize({0, 1, 0}) - S.linearize({0, -1, 0}), 2 * 16);
+  EXPECT_EQ(S.linearize({1, 0, 0}) - S.linearize({-1, 0, 0}), 2 * 8 * 16);
+  EXPECT_EQ(S.linearize({1, 0, 0}) - S.linearize({0, 0, 0}), 8 * 16);
+}
+
+TEST(ShapeTest, DelinearizeRoundTrip) {
+  Shape S({3, 4, 5});
+  for (int64_t Cell = 0; Cell < S.numCells(); ++Cell) {
+    std::vector<int64_t> Index = S.delinearize(Cell);
+    EXPECT_EQ(S.linearizeIndex(Index), Cell);
+  }
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({128, 128, 80}).toString(), "128x128x80");
+  EXPECT_EQ(Shape(std::vector<int64_t>{}).toString(), "scalar");
+}
+
+TEST(OffsetTest, ToString) {
+  EXPECT_EQ(offsetToString({0, -1, 2}), "[0, -1, 2]");
+  EXPECT_EQ(offsetToString({}), "[]");
+}
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+TEST(ExprTest, CloneIsDeep) {
+  auto Access = std::make_unique<FieldAccessExpr>("a", Offset{0, 1});
+  auto Sum = std::make_unique<BinaryExpr>(
+      BinaryOp::Add, std::move(Access), std::make_unique<LiteralExpr>(2.0));
+  ExprPtr Clone = Sum->clone();
+  auto *ClonedSum = cast<BinaryExpr>(Clone.get());
+  const_cast<FieldAccessExpr *>(
+      cast<FieldAccessExpr>(&ClonedSum->lhs()))
+      ->setField("b");
+  EXPECT_EQ(cast<FieldAccessExpr>(&Sum->lhs())->field(), "a");
+}
+
+TEST(ExprTest, WalkVisitsAllNodes) {
+  auto E = std::make_unique<SelectExpr>(
+      std::make_unique<BinaryExpr>(BinaryOp::Gt,
+                                   std::make_unique<LiteralExpr>(1.0),
+                                   std::make_unique<LiteralExpr>(0.0)),
+      std::make_unique<FieldAccessExpr>("a", Offset{0}),
+      std::make_unique<LocalRefExpr>("t"));
+  int Count = 0;
+  walkExpr(*E, [&](const Expr &) { ++Count; });
+  EXPECT_EQ(Count, 6);
+}
+
+TEST(ExprTest, PrintedFormsAreStable) {
+  auto E = std::make_unique<BinaryExpr>(
+      BinaryOp::Mul, std::make_unique<LiteralExpr>(4.0),
+      std::make_unique<FieldAccessExpr>("a", Offset{0, 0}));
+  EXPECT_EQ(E->toString(), "(4.0 * a[0, 0])");
+}
+
+TEST(ExprTest, CastingWorks) {
+  ExprPtr E = std::make_unique<LiteralExpr>(3.0);
+  EXPECT_TRUE(isa<LiteralExpr>(E.get()));
+  EXPECT_FALSE(isa<BinaryExpr>(E.get()));
+  EXPECT_EQ(dyn_cast<BinaryExpr>(E.get()), nullptr);
+  EXPECT_DOUBLE_EQ(cast<LiteralExpr>(E.get())->value(), 3.0);
+}
+
+TEST(ExprTest, IntrinsicMetadata) {
+  EXPECT_EQ(intrinsicArity(Intrinsic::Sqrt), 1u);
+  EXPECT_EQ(intrinsicArity(Intrinsic::Min), 2u);
+  EXPECT_EQ(intrinsicName(Intrinsic::Max), "max");
+  EXPECT_TRUE(parseIntrinsic("fmin"));
+  EXPECT_FALSE(parseIntrinsic("malloc"));
+}
+
+//===----------------------------------------------------------------------===//
+// StencilProgram
+//===----------------------------------------------------------------------===//
+
+TEST(StencilProgramTest, LookupHelpers) {
+  StencilProgram P = laplace2d();
+  EXPECT_NE(P.findInput("a"), nullptr);
+  EXPECT_EQ(P.findInput("b"), nullptr);
+  EXPECT_NE(P.findNode("b"), nullptr);
+  EXPECT_TRUE(P.isFieldDefined("a"));
+  EXPECT_TRUE(P.isFieldDefined("b"));
+  EXPECT_FALSE(P.isFieldDefined("zz"));
+  EXPECT_TRUE(P.isProgramOutput("b"));
+  EXPECT_FALSE(P.isProgramOutput("a"));
+}
+
+TEST(StencilProgramTest, ConsumersOf) {
+  StencilProgram P = diamondProgram();
+  std::vector<size_t> AConsumers = P.consumersOf("A");
+  EXPECT_EQ(AConsumers.size(), 2u); // B and C.
+  EXPECT_EQ(P.consumersOf("C").size(), 0u);
+}
+
+TEST(StencilProgramTest, TopologicalOrder) {
+  StencilProgram P = diamondProgram();
+  auto Order = P.topologicalOrder();
+  ASSERT_TRUE(Order);
+  // A (index 0) must precede B (1) and C (2); B must precede C.
+  auto Position = [&](size_t NodeIndex) {
+    return std::find(Order->begin(), Order->end(), NodeIndex) -
+           Order->begin();
+  };
+  EXPECT_LT(Position(0), Position(1));
+  EXPECT_LT(Position(1), Position(2));
+}
+
+TEST(StencilProgramTest, CycleDetected) {
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 8});
+  addInput(P, "in");
+  addStencil(P, "x", "x = y[0, 0] + in[0, 0];");
+  addStencil(P, "y", "y = x[0, 0];");
+  P.Outputs = {"y"};
+  for (StencilNode &Node : P.Nodes)
+    ASSERT_FALSE(analyzeNode(P, Node));
+  auto Order = P.topologicalOrder();
+  ASSERT_FALSE(Order);
+  EXPECT_NE(Order.message().find("cycle"), std::string::npos);
+}
+
+TEST(StencilProgramTest, ValidateRejectsBadVectorWidth) {
+  StencilProgram P = laplace2d(32, 30);
+  P.VectorWidth = 4;
+  EXPECT_TRUE(P.validate()); // 4 does not divide 30.
+}
+
+TEST(StencilProgramTest, ValidateAcceptsGoodVectorWidth) {
+  StencilProgram P = laplace2d(32, 32, 4);
+  EXPECT_FALSE(P.validate());
+}
+
+TEST(StencilProgramTest, ValidateRejectsUnconsumedNode) {
+  StencilProgram P = laplace2d();
+  addStencil(P, "dead", "dead = a[0, 0];");
+  ASSERT_FALSE(analyzeNode(P, *P.findNode("dead")));
+  Error Err = P.validate();
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("dead"), std::string::npos);
+}
+
+TEST(StencilProgramTest, ValidateRejectsMissingOutput) {
+  StencilProgram P = laplace2d();
+  P.Outputs = {"nonexistent"};
+  EXPECT_TRUE(P.validate());
+}
+
+TEST(StencilProgramTest, CloneIsIndependent) {
+  StencilProgram P = laplace2d();
+  StencilProgram Q = P.clone();
+  Q.Nodes[0].Name = "renamed";
+  EXPECT_EQ(P.Nodes[0].Name, "b");
+}
+
+TEST(StencilProgramTest, DimensionNames) {
+  EXPECT_EQ(StencilProgram::dimensionNames(3),
+            (std::vector<std::string>{"k", "j", "i"}));
+  EXPECT_EQ(StencilProgram::dimensionNames(2),
+            (std::vector<std::string>{"j", "i"}));
+  EXPECT_EQ(StencilProgram::dimensionNames(1),
+            (std::vector<std::string>{"i"}));
+}
+
+TEST(StencilProgramTest, SummaryMentionsNodes) {
+  StencilProgram P = diamondProgram();
+  std::string Summary = P.summary();
+  EXPECT_NE(Summary.find("diamond"), std::string::npos);
+  EXPECT_NE(Summary.find("A"), std::string::npos);
+  EXPECT_NE(Summary.find("[output]"), std::string::npos);
+}
+
+TEST(FieldTest, ShapeWithinMask) {
+  Field F;
+  F.Name = "c";
+  F.DimensionMask = {true, false, true};
+  Shape S = F.shapeWithin(Shape({4, 5, 6}));
+  EXPECT_EQ(S.extents(), (std::vector<int64_t>{4, 6}));
+  EXPECT_EQ(F.rank(), 2u);
+  EXPECT_FALSE(F.isFullRank());
+}

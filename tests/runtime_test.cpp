@@ -1,0 +1,304 @@
+//===- tests/runtime_test.cpp - Runtime library tests -------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestPrograms.h"
+#include "runtime/InputData.h"
+#include "runtime/ReferenceExecutor.h"
+#include "runtime/Validation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace stencilflow;
+using namespace stencilflow::testing;
+
+//===----------------------------------------------------------------------===//
+// Input materialization
+//===----------------------------------------------------------------------===//
+
+TEST(InputDataTest, SourcesProduceExpectedPatterns) {
+  Shape Space({4, 4});
+  Field F;
+  F.Name = "a";
+  F.DimensionMask = {true, true};
+
+  F.Source = DataSource::zero();
+  for (double V : materializeField(F, Space))
+    EXPECT_EQ(V, 0.0);
+
+  F.Source = DataSource::constant(2.5);
+  for (double V : materializeField(F, Space))
+    EXPECT_EQ(V, 2.5);
+
+  F.Source = DataSource::ramp(0.5);
+  std::vector<double> Ramp = materializeField(F, Space);
+  EXPECT_EQ(Ramp[0], 0.0);
+  EXPECT_EQ(Ramp[4], 2.0);
+
+  F.Source = DataSource::random(7);
+  std::vector<double> R1 = materializeField(F, Space);
+  std::vector<double> R2 = materializeField(F, Space);
+  EXPECT_EQ(R1, R2); // Deterministic.
+  F.Source = DataSource::random(8);
+  EXPECT_NE(R1, materializeField(F, Space));
+}
+
+TEST(InputDataTest, ValuesRoundedToFloat32) {
+  Shape Space({8});
+  Field F;
+  F.Name = "a";
+  F.DimensionMask = {true};
+  F.Source = DataSource::random(3);
+  for (double V : materializeField(F, Space))
+    EXPECT_EQ(V, static_cast<double>(static_cast<float>(V)));
+}
+
+TEST(InputDataTest, LowerRankFieldSized) {
+  Shape Space({4, 8, 16});
+  Field F;
+  F.Name = "c";
+  F.DimensionMask = {true, false, false};
+  EXPECT_EQ(materializeField(F, Space).size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference executor
+//===----------------------------------------------------------------------===//
+
+TEST(ReferenceTest, LaplaceInterior) {
+  StencilProgram P = laplace2d(8, 8);
+  P.Inputs[0].Source = DataSource::ramp(1.0);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Result = runReference(*Compiled, Inputs);
+  ASSERT_TRUE(Result) << Result.message();
+  // Laplace of a linear ramp is zero in the interior.
+  const std::vector<double> &B = Result->field("b");
+  for (int64_t J = 1; J < 7; ++J)
+    for (int64_t I = 1; I < 7; ++I)
+      EXPECT_NEAR(B[static_cast<size_t>(J * 8 + I)], 0.0, 1e-4);
+}
+
+TEST(ReferenceTest, ConstantBoundaryApplied) {
+  StencilProgram P;
+  P.IterationSpace = Shape({1, 4});
+  addInput(P, "a", DataType::Float32, DataSource::constant(1.0));
+  addStencil(P, "out", "out = a[0, -1];", DataType::Float32,
+             {{"a", BoundaryCondition::constant(9.0)}});
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  auto Result = runReference(*Compiled, materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result);
+  const std::vector<double> &Out = Result->field("out");
+  EXPECT_EQ(Out[0], 9.0); // i=0 reads a[-1]: out of bounds.
+  EXPECT_EQ(Out[1], 1.0);
+}
+
+TEST(ReferenceTest, CopyBoundaryUsesCenter) {
+  StencilProgram P;
+  P.IterationSpace = Shape({1, 4});
+  addInput(P, "a", DataType::Float32, DataSource::ramp(1.0));
+  addStencil(P, "out", "out = a[0, -1] + a[0, 0] * 0.0;", DataType::Float32,
+             {{"a", BoundaryCondition::copy()}});
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  auto Result = runReference(*Compiled, materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result);
+  const std::vector<double> &Out = Result->field("out");
+  EXPECT_EQ(Out[0], 0.0); // Copy: center value a[0] = 0.
+  EXPECT_EQ(Out[1], 0.0); // In bounds: a[0] = 0.
+  EXPECT_EQ(Out[2], 1.0);
+}
+
+TEST(ReferenceTest, ShrinkLeavesBoundaryUntouched) {
+  StencilProgram P;
+  P.IterationSpace = Shape({4, 4});
+  addInput(P, "a", DataType::Float32, DataSource::constant(1.0));
+  StencilNode Node;
+  Node.Name = "out";
+  Node.ShrinkOutput = true;
+  auto Code = parseStencilCode(
+      "out = a[-1, 0] + a[1, 0] + a[0, -1] + a[0, 1];");
+  ASSERT_TRUE(Code);
+  Node.Code = Code.takeValue();
+  P.Nodes.push_back(std::move(Node));
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  auto Result = runReference(*Compiled, materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result);
+  const std::vector<double> &Out = Result->field("out");
+  // Border cells dropped (remain 0), interior computed.
+  EXPECT_EQ(Out[0], 0.0);
+  EXPECT_EQ(Out[3], 0.0);
+  EXPECT_EQ(Out[static_cast<size_t>(1 * 4 + 1)], 4.0);
+}
+
+TEST(ReferenceTest, ChainPropagates) {
+  StencilProgram P = jacobi3dChain(3, 6, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Result = runReference(*Compiled, materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result);
+  // All intermediates present.
+  EXPECT_TRUE(Result->Fields.count("a1"));
+  EXPECT_TRUE(Result->Fields.count("a2"));
+  EXPECT_TRUE(Result->Fields.count("a3"));
+}
+
+TEST(ReferenceTest, MissingInputRejected) {
+  StencilProgram P = laplace2d(4, 4);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  std::map<std::string, std::vector<double>> Empty;
+  EXPECT_FALSE(runReference(*Compiled, Empty));
+}
+
+TEST(ReferenceTest, WrongSizeInputRejected) {
+  StencilProgram P = laplace2d(4, 4);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  std::map<std::string, std::vector<double>> Inputs;
+  Inputs["a"] = std::vector<double>(7, 0.0);
+  EXPECT_FALSE(runReference(*Compiled, Inputs));
+}
+
+TEST(ReferenceTest, ParallelMatchesSequential) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    StencilProgram P = randomProgram(Seed);
+    auto Compiled = CompiledProgram::compile(std::move(P));
+    ASSERT_TRUE(Compiled);
+    auto Inputs = materializeInputs(Compiled->program());
+    auto Sequential = runReference(*Compiled, Inputs);
+    auto Parallel = runReferenceParallel(*Compiled, Inputs, 4);
+    ASSERT_TRUE(Sequential);
+    ASSERT_TRUE(Parallel);
+    for (const auto &[Name, Data] : Sequential->Fields) {
+      ValidationReport Report =
+          validateField(Name, Parallel->field(Name), Data);
+      EXPECT_TRUE(Report.Passed) << "seed " << Seed << ": "
+                                 << Report.Summary;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+TEST(ValidationTest, ExactMatchPasses) {
+  std::vector<double> A{1.0, 2.0, 3.0};
+  ValidationReport Report = validateField("x", A, A);
+  EXPECT_TRUE(Report.Passed);
+  EXPECT_EQ(Report.Mismatches, 0);
+}
+
+TEST(ValidationTest, MismatchLocated) {
+  std::vector<double> A{1.0, 2.0, 3.0};
+  std::vector<double> B{1.0, 2.5, 3.0};
+  ValidationReport Report = validateField("x", A, B);
+  EXPECT_FALSE(Report.Passed);
+  EXPECT_EQ(Report.Mismatches, 1);
+  EXPECT_EQ(Report.FirstMismatch, 1);
+  EXPECT_DOUBLE_EQ(Report.MaxAbsoluteError, 0.5);
+}
+
+TEST(ValidationTest, ToleranceAccepted) {
+  std::vector<double> A{1.0, 2.0};
+  std::vector<double> B{1.0, 2.0 + 1e-9};
+  EXPECT_FALSE(validateField("x", A, B).Passed);
+  EXPECT_TRUE(validateField("x", A, B, 1e-6).Passed);
+}
+
+TEST(ValidationTest, SizeMismatchFails) {
+  std::vector<double> A{1.0};
+  std::vector<double> B{1.0, 2.0};
+  ValidationReport Report = validateField("x", A, B);
+  EXPECT_FALSE(Report.Passed);
+  EXPECT_NE(Report.Summary.find("size mismatch"), std::string::npos);
+}
+
+TEST(ValidationTest, NaNsCompareEqual) {
+  double NaN = std::nan("");
+  std::vector<double> A{NaN};
+  std::vector<double> B{NaN};
+  EXPECT_TRUE(validateField("x", A, B).Passed);
+}
+
+//===----------------------------------------------------------------------===//
+// Iterative (time-loop) execution
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Iterate.h"
+#include "workloads/Workloads.h"
+
+TEST(IterateTest, SingleStepEqualsPlainRun) {
+  StencilProgram P = laplace2d(10, 10);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Plain = runReference(*Compiled, Inputs);
+  auto Iterated = iterateReference(*Compiled, Inputs, {}, 1);
+  ASSERT_TRUE(Plain);
+  ASSERT_TRUE(Iterated) << Iterated.message();
+  EXPECT_EQ(Iterated->field("b"), Plain->field("b"));
+}
+
+TEST(IterateTest, IteratedSingleStepEqualsSpatialChain) {
+  // The core equivalence behind the paper's scaling workload: iterating
+  // one Jacobi step T times through memory is bit-identical to the
+  // spatially chained T-deep program evaluated once (Sec. VIII-C).
+  const int Steps = 4;
+  StencilProgram Chain = workloads::jacobi3dChain(Steps, 8, 10, 10);
+  StencilProgram Single = workloads::jacobi3dChain(1, 8, 10, 10);
+  auto CompiledChain = CompiledProgram::compile(std::move(Chain));
+  auto CompiledSingle = CompiledProgram::compile(std::move(Single));
+  ASSERT_TRUE(CompiledChain);
+  ASSERT_TRUE(CompiledSingle);
+
+  auto Inputs = materializeInputs(CompiledChain->program());
+  auto ChainResult = runReference(*CompiledChain, Inputs);
+  ASSERT_TRUE(ChainResult);
+
+  auto Iterated = iterateReference(
+      *CompiledSingle, Inputs, {IterationBinding{"a1", "a0"}}, Steps);
+  ASSERT_TRUE(Iterated) << Iterated.message();
+
+  ValidationReport Report =
+      validateField("a4", Iterated->field("a1"),
+                    ChainResult->field(formatString("a%d", Steps)));
+  EXPECT_TRUE(Report.Passed) << Report.Summary;
+}
+
+TEST(IterateTest, HdiffTimeLoopRuns) {
+  // The production usage pattern: horizontal diffusion applied to the
+  // wind/pressure fields every timestep.
+  StencilProgram P = workloads::horizontalDiffusion(4, 12, 12);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Inputs = materializeInputs(Compiled->program());
+  std::vector<IterationBinding> Bindings = {
+      {"u_out", "u_in"}, {"v_out", "v_in"}, {"w_out", "w_in"},
+      {"pp_out", "pp_in"}};
+  auto Result = iterateReference(*Compiled, Inputs, Bindings, 3);
+  ASSERT_TRUE(Result) << Result.message();
+  // Three applications differ from one.
+  auto Once = runReference(*Compiled, Inputs);
+  EXPECT_NE(Result->field("u_out"), Once->field("u_out"));
+}
+
+TEST(IterateTest, RejectsBadBindings) {
+  StencilProgram P = laplace2d(8, 8);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  auto Inputs = materializeInputs(Compiled->program());
+  EXPECT_FALSE(iterateReference(*Compiled, Inputs,
+                                {IterationBinding{"nope", "a"}}, 2));
+  EXPECT_FALSE(iterateReference(*Compiled, Inputs,
+                                {IterationBinding{"b", "nope"}}, 2));
+  EXPECT_FALSE(iterateReference(*Compiled, Inputs, {}, 0));
+}

@@ -1,0 +1,251 @@
+//===- tests/support_test.cpp - Support library tests ------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Error.h"
+#include "support/Json.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace stencilflow;
+
+//===----------------------------------------------------------------------===//
+// Error / Expected
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error Err;
+  EXPECT_FALSE(Err);
+  EXPECT_FALSE(Error::success());
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error Err = makeError("something broke");
+  EXPECT_TRUE(Err);
+  EXPECT_EQ(Err.message(), "something broke");
+}
+
+TEST(ErrorTest, AddContextPrefixes) {
+  Error Err = makeError("inner");
+  Err.addContext("outer");
+  EXPECT_EQ(Err.message(), "outer: inner");
+}
+
+TEST(ErrorTest, AddContextOnSuccessIsNoop) {
+  Error Err;
+  Err.addContext("outer");
+  EXPECT_FALSE(Err);
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> Value(42);
+  ASSERT_TRUE(Value);
+  EXPECT_EQ(*Value, 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> Value(makeError("nope"));
+  ASSERT_FALSE(Value);
+  EXPECT_EQ(Value.message(), "nope");
+}
+
+TEST(ExpectedTest, TakeValueMoves) {
+  Expected<std::string> Value(std::string("payload"));
+  std::string Taken = Value.takeValue();
+  EXPECT_EQ(Taken, "payload");
+}
+
+//===----------------------------------------------------------------------===//
+// String utilities
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, Split) {
+  auto Pieces = splitString("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+}
+
+TEST(StringUtilsTest, SplitNoSeparator) {
+  auto Pieces = splitString("abc", ',');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "abc");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trimString("  x  "), "x");
+  EXPECT_EQ(trimString("x"), "x");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(joinStrings({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("stencilflow", "sten"));
+  EXPECT_FALSE(startsWith("st", "sten"));
+  EXPECT_TRUE(endsWith("kernel.cl", ".cl"));
+  EXPECT_FALSE(endsWith("cl", ".cl"));
+}
+
+TEST(StringUtilsTest, Format) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtilsTest, ReplaceAll) {
+  EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replaceAll("abc", "x", "y"), "abc");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE((*json::parse("null")).isNull());
+  EXPECT_TRUE((*json::parse("true")).getBoolean());
+  EXPECT_FALSE((*json::parse("false")).getBoolean());
+  EXPECT_DOUBLE_EQ((*json::parse("3.5")).getNumber(), 3.5);
+  EXPECT_EQ((*json::parse("-17")).getInteger(), -17);
+  EXPECT_EQ((*json::parse("\"hi\\n\"")).getString(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto Parsed = json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(Parsed);
+  const json::Object &Root = Parsed->getObject();
+  ASSERT_TRUE(Root.contains("a"));
+  const auto &Array = Root.get("a")->getArray();
+  ASSERT_EQ(Array.size(), 3u);
+  EXPECT_TRUE(Array[2].getObject().get("b")->getBoolean());
+  EXPECT_EQ(Root.get("c")->getString(), "x");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  auto Parsed = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(Parsed);
+  std::vector<std::string> Keys;
+  for (const auto &[Key, Member] : Parsed->getObject())
+    Keys.push_back(Key);
+  EXPECT_EQ(Keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonTest, ErrorsCarryPosition) {
+  auto Parsed = json::parse("{\n  \"a\": }");
+  ASSERT_FALSE(Parsed);
+  EXPECT_NE(Parsed.message().find("2:"), std::string::npos);
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(json::parse("1 2"));
+}
+
+TEST(JsonTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(json::parse("\"abc"));
+}
+
+TEST(JsonTest, LineCommentsAllowed) {
+  auto Parsed = json::parse("// header\n{\"a\": 1 // trailing\n}");
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->getObject().get("a")->getInteger(), 1);
+}
+
+TEST(JsonTest, RoundTripCompact) {
+  const char *Text = R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false}})";
+  auto Parsed = json::parse(Text);
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->toString(), Text);
+}
+
+TEST(JsonTest, PrettyPrintIsReparseable) {
+  auto Parsed = json::parse(R"({"a": [1, 2], "b": "x"})");
+  ASSERT_TRUE(Parsed);
+  auto Reparsed = json::parse(Parsed->toPrettyString());
+  ASSERT_TRUE(Reparsed);
+  EXPECT_EQ(Reparsed->toString(), Parsed->toString());
+}
+
+TEST(JsonTest, DeepCopySemantics) {
+  auto Parsed = json::parse(R"({"a": {"b": 1}})");
+  ASSERT_TRUE(Parsed);
+  json::Value Copy = *Parsed;
+  Copy.getObject().get("a")->getObject().set("b", 2);
+  EXPECT_EQ(Parsed->getObject().get("a")->getObject().get("b")->getInteger(),
+            1);
+  EXPECT_EQ(Copy.getObject().get("a")->getObject().get("b")->getInteger(), 2);
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto Parsed = json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->getString(), "A\xc3\xa9");
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTest, Deterministic) {
+  Random A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextUInt64(), B.nextUInt64());
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Random Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t Value = Rng.nextInRange(-3, 7);
+    EXPECT_GE(Value, -3);
+    EXPECT_LE(Value, 7);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.nextUInt64() == B.nextUInt64();
+  EXPECT_LT(Same, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// CommandLine
+//===----------------------------------------------------------------------===//
+
+TEST(CommandLineTest, ParsesFlagsAndPositional) {
+  const char *Argv[] = {"prog", "--size=64", "--name", "hdiff", "input.json"};
+  auto Parsed = CommandLine::parse(5, Argv, {"size", "name"});
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->getInt("size", 0), 64);
+  EXPECT_EQ(Parsed->getString("name"), "hdiff");
+  ASSERT_EQ(Parsed->positional().size(), 1u);
+  EXPECT_EQ(Parsed->positional()[0], "input.json");
+}
+
+TEST(CommandLineTest, RejectsUnknownFlag) {
+  const char *Argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(CommandLine::parse(2, Argv, {"size"}));
+}
+
+TEST(CommandLineTest, DefaultsApply) {
+  const char *Argv[] = {"prog"};
+  auto Parsed = CommandLine::parse(1, Argv, {"w"});
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->getInt("w", 4), 4);
+  EXPECT_DOUBLE_EQ(Parsed->getDouble("w", 2.5), 2.5);
+  EXPECT_FALSE(Parsed->has("w"));
+}

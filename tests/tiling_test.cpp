@@ -1,0 +1,176 @@
+//===- tests/tiling_test.cpp - Spatial tiling tests ----------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestPrograms.h"
+#include "runtime/InputData.h"
+#include "runtime/ReferenceExecutor.h"
+#include "runtime/SpatialTiling.h"
+#include "runtime/Validation.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace stencilflow;
+using namespace stencilflow::testing;
+
+TEST(TransitiveHaloTest, SingleStencil) {
+  auto Compiled = CompiledProgram::compile(laplace2d(16, 16));
+  ASSERT_TRUE(Compiled);
+  EXPECT_EQ(computeTransitiveHalo(*Compiled),
+            (std::vector<int64_t>{1, 1}));
+}
+
+TEST(TransitiveHaloTest, GrowsWithChainDepth) {
+  // Each chained Jacobi step adds one cell of reach per dimension
+  // ("proportional to the DAG depth", Sec. IX-D).
+  for (int Length : {1, 2, 4}) {
+    auto Compiled =
+        CompiledProgram::compile(jacobi3dChain(Length, 10, 10, 10));
+    ASSERT_TRUE(Compiled);
+    EXPECT_EQ(computeTransitiveHalo(*Compiled),
+              (std::vector<int64_t>(3, Length)));
+  }
+}
+
+TEST(TransitiveHaloTest, LowerRankFieldsContribute) {
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 8, 8});
+  addInput(P, "a");
+  Field C;
+  C.Name = "c";
+  C.DimensionMask = {true, false, false};
+  P.Inputs.push_back(C);
+  addStencil(P, "out", "out = a[0,0,0] + c[-2] + c[2];");
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  EXPECT_EQ(computeTransitiveHalo(*Compiled),
+            (std::vector<int64_t>{2, 0, 0}));
+}
+
+namespace {
+
+/// Runs \p Program tiled and untiled and demands bit-identical outputs.
+TiledExecution expectTiledMatches(StencilProgram Program,
+                                  const std::vector<int64_t> &Tiles) {
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  EXPECT_TRUE(Compiled) << Compiled.message();
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Untiled = runReference(*Compiled, Inputs);
+  EXPECT_TRUE(Untiled);
+  auto Tiled = runTiledReference(*Compiled, Inputs, Tiles);
+  EXPECT_TRUE(Tiled) << Tiled.message();
+  for (const std::string &Output : Compiled->program().Outputs) {
+    ValidationReport Report = validateField(
+        Output, Tiled->Outputs.at(Output), Untiled->field(Output));
+    EXPECT_TRUE(Report.Passed) << Report.Summary;
+  }
+  return Tiled.takeValue();
+}
+
+} // namespace
+
+TEST(SpatialTilingTest, LaplaceExactAcrossTileSizes) {
+  for (int64_t Tile : {4, 8, 16, 32}) {
+    TiledExecution Result =
+        expectTiledMatches(laplace2d(32, 32), {Tile, Tile});
+    if (Tile < 32) {
+      EXPECT_GT(Result.Tiles, 1);
+    }
+  }
+}
+
+TEST(SpatialTilingTest, DeepChainExact) {
+  // Chain of 4: transitive halo 4 in every dimension; seams and global
+  // boundaries must both reproduce the untiled values exactly.
+  expectTiledMatches(jacobi3dChain(4, 12, 12, 12), {6, 6, 6});
+}
+
+TEST(SpatialTilingTest, DiamondAndBoundariesExact) {
+  expectTiledMatches(diamondProgram(24, 24), {8, 8});
+}
+
+TEST(SpatialTilingTest, CopyBoundaryExact) {
+  StencilProgram P;
+  P.IterationSpace = Shape({16, 16});
+  addInput(P, "a", DataType::Float32, DataSource::random(9));
+  addStencil(P, "mid",
+             "mid = a[-1, 0] + a[0, 0] + a[1, 0];", DataType::Float32,
+             {{"a", BoundaryCondition::copy()}});
+  addStencil(P, "out", "out = mid[0, -1] + mid[0, 0] + mid[0, 1];",
+             DataType::Float32,
+             {{"mid", BoundaryCondition::constant(0.5)}});
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  expectTiledMatches(std::move(P), {4, 4});
+}
+
+TEST(SpatialTilingTest, ShrinkOutputExact) {
+  StencilProgram P;
+  P.IterationSpace = Shape({12, 12});
+  addInput(P, "a", DataType::Float32, DataSource::random(10));
+  StencilNode Node;
+  Node.Name = "out";
+  Node.ShrinkOutput = true;
+  Node.Code = parseStencilCode(
+                  "out = a[-1, 0] + a[1, 0] + a[0, -1] + a[0, 1];")
+                  .takeValue();
+  P.Nodes.push_back(std::move(Node));
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P));
+  expectTiledMatches(std::move(P), {4, 4});
+}
+
+TEST(SpatialTilingTest, HdiffExact) {
+  expectTiledMatches(workloads::horizontalDiffusion(4, 16, 16), {2, 8, 8});
+}
+
+TEST(SpatialTilingTest, RandomProgramsExact) {
+  for (uint64_t Seed = 500; Seed <= 510; ++Seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+    StencilProgram P = randomProgram(Seed);
+    std::vector<int64_t> Tiles(P.IterationSpace.rank(), 4);
+    expectTiledMatches(std::move(P), Tiles);
+  }
+}
+
+TEST(SpatialTilingTest, RedundancyGrowsWithDepthAndSmallTiles) {
+  // Sec. IX-D: redundancy ~ DAG depth x surface-to-volume ratio.
+  auto Shallow = CompiledProgram::compile(jacobi3dChain(1, 12, 12, 12));
+  auto Deep = CompiledProgram::compile(jacobi3dChain(4, 12, 12, 12));
+  auto Inputs = materializeInputs(Shallow->program());
+  auto SmallTiles = runTiledReference(*Shallow, Inputs, {4, 4, 4});
+  auto LargeTiles = runTiledReference(*Shallow, Inputs, {12, 12, 12});
+  auto DeepInputs = materializeInputs(Deep->program());
+  auto DeepSmall = runTiledReference(*Deep, DeepInputs, {4, 4, 4});
+  ASSERT_TRUE(SmallTiles);
+  ASSERT_TRUE(LargeTiles);
+  ASSERT_TRUE(DeepSmall);
+  EXPECT_GT(SmallTiles->RedundancyFactor, LargeTiles->RedundancyFactor);
+  EXPECT_GT(DeepSmall->RedundancyFactor, SmallTiles->RedundancyFactor);
+  EXPECT_DOUBLE_EQ(LargeTiles->RedundancyFactor, 1.0); // One tile.
+}
+
+TEST(SpatialTilingTest, ShrinksBufferFootprint) {
+  // The point of tiling: the per-tile working set (and with it the
+  // internal/delay buffer footprint) is bounded by the tile, not the
+  // domain.
+  auto Compiled = CompiledProgram::compile(jacobi3dChain(2, 16, 16, 16));
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Tiled = runTiledReference(*Compiled, Inputs, {4, 4, 4});
+  ASSERT_TRUE(Tiled);
+  EXPECT_LT(Tiled->MaxTileCells,
+            Compiled->program().IterationSpace.numCells());
+}
+
+TEST(SpatialTilingTest, RejectsBadArguments) {
+  auto Compiled = CompiledProgram::compile(laplace2d(8, 8));
+  auto Inputs = materializeInputs(Compiled->program());
+  EXPECT_FALSE(runTiledReference(*Compiled, Inputs, {4}));      // Rank.
+  EXPECT_FALSE(runTiledReference(*Compiled, Inputs, {0, 4}));   // Zero.
+  std::map<std::string, std::vector<double>> Empty;
+  EXPECT_FALSE(runTiledReference(*Compiled, Empty, {4, 4}));    // No data.
+}
