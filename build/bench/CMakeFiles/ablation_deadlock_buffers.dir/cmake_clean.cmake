@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadlock_buffers.dir/ablation_deadlock_buffers.cpp.o"
+  "CMakeFiles/ablation_deadlock_buffers.dir/ablation_deadlock_buffers.cpp.o.d"
+  "ablation_deadlock_buffers"
+  "ablation_deadlock_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadlock_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spatial_tiling.dir/ablation_spatial_tiling.cpp.o"
+  "CMakeFiles/ablation_spatial_tiling.dir/ablation_spatial_tiling.cpp.o.d"
+  "ablation_spatial_tiling"
+  "ablation_spatial_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spatial_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vectorized_scaling.dir/fig15_vectorized_scaling.cpp.o"
+  "CMakeFiles/fig15_vectorized_scaling.dir/fig15_vectorized_scaling.cpp.o.d"
+  "fig15_vectorized_scaling"
+  "fig15_vectorized_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vectorized_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

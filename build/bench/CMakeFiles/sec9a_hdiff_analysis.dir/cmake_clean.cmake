@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9a_hdiff_analysis.dir/sec9a_hdiff_analysis.cpp.o"
+  "CMakeFiles/sec9a_hdiff_analysis.dir/sec9a_hdiff_analysis.cpp.o.d"
+  "sec9a_hdiff_analysis"
+  "sec9a_hdiff_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9a_hdiff_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

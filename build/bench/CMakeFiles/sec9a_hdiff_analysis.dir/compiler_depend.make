@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec9a_hdiff_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_peak_kernels.dir/tab1_peak_kernels.cpp.o"
+  "CMakeFiles/tab1_peak_kernels.dir/tab1_peak_kernels.cpp.o.d"
+  "tab1_peak_kernels"
+  "tab1_peak_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_peak_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

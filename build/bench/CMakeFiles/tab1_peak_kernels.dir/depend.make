@@ -1,0 +1,2 @@
+# Empty dependencies file for tab1_peak_kernels.
+# This may be replaced when dependencies are built.

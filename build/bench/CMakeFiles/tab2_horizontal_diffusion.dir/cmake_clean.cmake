@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_horizontal_diffusion.dir/tab2_horizontal_diffusion.cpp.o"
+  "CMakeFiles/tab2_horizontal_diffusion.dir/tab2_horizontal_diffusion.cpp.o.d"
+  "tab2_horizontal_diffusion"
+  "tab2_horizontal_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_horizontal_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

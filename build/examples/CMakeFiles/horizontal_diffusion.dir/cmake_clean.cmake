@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizontal_diffusion.dir/horizontal_diffusion.cpp.o"
+  "CMakeFiles/horizontal_diffusion.dir/horizontal_diffusion.cpp.o.d"
+  "horizontal_diffusion"
+  "horizontal_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizontal_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

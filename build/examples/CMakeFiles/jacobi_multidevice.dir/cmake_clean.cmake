@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_multidevice.dir/jacobi_multidevice.cpp.o"
+  "CMakeFiles/jacobi_multidevice.dir/jacobi_multidevice.cpp.o.d"
+  "jacobi_multidevice"
+  "jacobi_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfg_extraction.dir/sdfg_extraction.cpp.o"
+  "CMakeFiles/sdfg_extraction.dir/sdfg_extraction.cpp.o.d"
+  "sdfg_extraction"
+  "sdfg_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfg_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_baselines.dir/Comparators.cpp.o"
+  "CMakeFiles/sf_baselines.dir/Comparators.cpp.o.d"
+  "libsf_baselines.a"
+  "libsf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/Bytecode.cpp" "src/compute/CMakeFiles/sf_compute.dir/Bytecode.cpp.o" "gcc" "src/compute/CMakeFiles/sf_compute.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/compute/Kernel.cpp" "src/compute/CMakeFiles/sf_compute.dir/Kernel.cpp.o" "gcc" "src/compute/CMakeFiles/sf_compute.dir/Kernel.cpp.o.d"
+  "/root/repo/src/compute/LatencyConfig.cpp" "src/compute/CMakeFiles/sf_compute.dir/LatencyConfig.cpp.o" "gcc" "src/compute/CMakeFiles/sf_compute.dir/LatencyConfig.cpp.o.d"
+  "/root/repo/src/compute/Simplify.cpp" "src/compute/CMakeFiles/sf_compute.dir/Simplify.cpp.o" "gcc" "src/compute/CMakeFiles/sf_compute.dir/Simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

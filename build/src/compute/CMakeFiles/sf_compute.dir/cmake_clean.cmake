@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_compute.dir/Bytecode.cpp.o"
+  "CMakeFiles/sf_compute.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/sf_compute.dir/Kernel.cpp.o"
+  "CMakeFiles/sf_compute.dir/Kernel.cpp.o.d"
+  "CMakeFiles/sf_compute.dir/LatencyConfig.cpp.o"
+  "CMakeFiles/sf_compute.dir/LatencyConfig.cpp.o.d"
+  "CMakeFiles/sf_compute.dir/Simplify.cpp.o"
+  "CMakeFiles/sf_compute.dir/Simplify.cpp.o.d"
+  "libsf_compute.a"
+  "libsf_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BufferAnalysis.cpp" "src/core/CMakeFiles/sf_core.dir/BufferAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/BufferAnalysis.cpp.o.d"
+  "/root/repo/src/core/CompiledProgram.cpp" "src/core/CMakeFiles/sf_core.dir/CompiledProgram.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/CompiledProgram.cpp.o.d"
+  "/root/repo/src/core/DataflowAnalysis.cpp" "src/core/CMakeFiles/sf_core.dir/DataflowAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/DataflowAnalysis.cpp.o.d"
+  "/root/repo/src/core/Partitioner.cpp" "src/core/CMakeFiles/sf_core.dir/Partitioner.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/Partitioner.cpp.o.d"
+  "/root/repo/src/core/ResourceModel.cpp" "src/core/CMakeFiles/sf_core.dir/ResourceModel.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/ResourceModel.cpp.o.d"
+  "/root/repo/src/core/RuntimeModel.cpp" "src/core/CMakeFiles/sf_core.dir/RuntimeModel.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/RuntimeModel.cpp.o.d"
+  "/root/repo/src/core/ValidRegion.cpp" "src/core/CMakeFiles/sf_core.dir/ValidRegion.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/ValidRegion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compute/CMakeFiles/sf_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

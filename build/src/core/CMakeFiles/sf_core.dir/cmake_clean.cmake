@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/BufferAnalysis.cpp.o"
+  "CMakeFiles/sf_core.dir/BufferAnalysis.cpp.o.d"
+  "CMakeFiles/sf_core.dir/CompiledProgram.cpp.o"
+  "CMakeFiles/sf_core.dir/CompiledProgram.cpp.o.d"
+  "CMakeFiles/sf_core.dir/DataflowAnalysis.cpp.o"
+  "CMakeFiles/sf_core.dir/DataflowAnalysis.cpp.o.d"
+  "CMakeFiles/sf_core.dir/Partitioner.cpp.o"
+  "CMakeFiles/sf_core.dir/Partitioner.cpp.o.d"
+  "CMakeFiles/sf_core.dir/ResourceModel.cpp.o"
+  "CMakeFiles/sf_core.dir/ResourceModel.cpp.o.d"
+  "CMakeFiles/sf_core.dir/RuntimeModel.cpp.o"
+  "CMakeFiles/sf_core.dir/RuntimeModel.cpp.o.d"
+  "CMakeFiles/sf_core.dir/ValidRegion.cpp.o"
+  "CMakeFiles/sf_core.dir/ValidRegion.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/sf_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sf_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/sf_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/sf_frontend.dir/ProgramLoader.cpp.o"
+  "CMakeFiles/sf_frontend.dir/ProgramLoader.cpp.o.d"
+  "CMakeFiles/sf_frontend.dir/SemanticAnalysis.cpp.o"
+  "CMakeFiles/sf_frontend.dir/SemanticAnalysis.cpp.o.d"
+  "libsf_frontend.a"
+  "libsf_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Boundary.cpp" "src/ir/CMakeFiles/sf_ir.dir/Boundary.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/Boundary.cpp.o.d"
+  "/root/repo/src/ir/DataType.cpp" "src/ir/CMakeFiles/sf_ir.dir/DataType.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/DataType.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/sf_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Shape.cpp" "src/ir/CMakeFiles/sf_ir.dir/Shape.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/Shape.cpp.o.d"
+  "/root/repo/src/ir/StencilProgram.cpp" "src/ir/CMakeFiles/sf_ir.dir/StencilProgram.cpp.o" "gcc" "src/ir/CMakeFiles/sf_ir.dir/StencilProgram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

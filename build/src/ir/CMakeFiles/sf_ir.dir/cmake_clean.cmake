@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_ir.dir/Boundary.cpp.o"
+  "CMakeFiles/sf_ir.dir/Boundary.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/DataType.cpp.o"
+  "CMakeFiles/sf_ir.dir/DataType.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/Expr.cpp.o"
+  "CMakeFiles/sf_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/Shape.cpp.o"
+  "CMakeFiles/sf_ir.dir/Shape.cpp.o.d"
+  "CMakeFiles/sf_ir.dir/StencilProgram.cpp.o"
+  "CMakeFiles/sf_ir.dir/StencilProgram.cpp.o.d"
+  "libsf_ir.a"
+  "libsf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

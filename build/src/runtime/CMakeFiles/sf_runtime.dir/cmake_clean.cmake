@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_runtime.dir/InputData.cpp.o"
+  "CMakeFiles/sf_runtime.dir/InputData.cpp.o.d"
+  "CMakeFiles/sf_runtime.dir/Iterate.cpp.o"
+  "CMakeFiles/sf_runtime.dir/Iterate.cpp.o.d"
+  "CMakeFiles/sf_runtime.dir/Pipeline.cpp.o"
+  "CMakeFiles/sf_runtime.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/sf_runtime.dir/ReferenceExecutor.cpp.o"
+  "CMakeFiles/sf_runtime.dir/ReferenceExecutor.cpp.o.d"
+  "CMakeFiles/sf_runtime.dir/SpatialTiling.cpp.o"
+  "CMakeFiles/sf_runtime.dir/SpatialTiling.cpp.o.d"
+  "CMakeFiles/sf_runtime.dir/Validation.cpp.o"
+  "CMakeFiles/sf_runtime.dir/Validation.cpp.o.d"
+  "libsf_runtime.a"
+  "libsf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

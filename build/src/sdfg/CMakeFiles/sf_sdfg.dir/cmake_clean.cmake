@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sdfg.dir/Graph.cpp.o"
+  "CMakeFiles/sf_sdfg.dir/Graph.cpp.o.d"
+  "CMakeFiles/sf_sdfg.dir/Lowering.cpp.o"
+  "CMakeFiles/sf_sdfg.dir/Lowering.cpp.o.d"
+  "CMakeFiles/sf_sdfg.dir/StencilFusion.cpp.o"
+  "CMakeFiles/sf_sdfg.dir/StencilFusion.cpp.o.d"
+  "CMakeFiles/sf_sdfg.dir/Transforms.cpp.o"
+  "CMakeFiles/sf_sdfg.dir/Transforms.cpp.o.d"
+  "libsf_sdfg.a"
+  "libsf_sdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

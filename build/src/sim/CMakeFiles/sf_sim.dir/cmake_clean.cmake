@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/Machine.cpp.o"
+  "CMakeFiles/sf_sim.dir/Machine.cpp.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/sf_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/sf_support.dir/Json.cpp.o"
+  "CMakeFiles/sf_support.dir/Json.cpp.o.d"
+  "CMakeFiles/sf_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/sf_support.dir/StringUtils.cpp.o.d"
+  "libsf_support.a"
+  "libsf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/sf_workloads.dir/Workloads.cpp.o.d"
+  "libsf_workloads.a"
+  "libsf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdfg/CMakeFiles/sf_sdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/sf_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/sf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfg_test.dir/sdfg_test.cpp.o"
+  "CMakeFiles/sdfg_test.dir/sdfg_test.cpp.o.d"
+  "sdfg_test"
+  "sdfg_test.pdb"
+  "sdfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
