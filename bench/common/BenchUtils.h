@@ -53,7 +53,8 @@ inline ModelPoint evaluateModel(const CompiledProgram &Compiled,
 }
 
 /// Runs the cycle simulator and reports the achieved fraction of the
-/// model bound (1.0 = the pipeline sustained II=1 end to end).
+/// model bound (1.0 = the pipeline sustained II=1 end to end), plus the
+/// stall attribution explaining any shortfall.
 struct SimPoint {
   int64_t Cycles = 0;
   int64_t ExpectedCycles = 0;
@@ -61,6 +62,24 @@ struct SimPoint {
   double AchievedBytesPerCycle = 0.0;
   bool Succeeded = false;
   std::string Message;
+
+  /// Aggregated per-cause stall cycles across all stencil units, and
+  /// across the memory endpoints (readers + writers). When a bench
+  /// plateaus, the dominant cause says why: memory-denied endpoint stalls
+  /// mean bandwidth saturation (Fig. 16), input-starved unit stalls point
+  /// upstream, output-blocked ones point downstream.
+  sim::StallBreakdown UnitStalls;
+  sim::StallBreakdown EndpointStalls;
+
+  /// Short label of the dominant stall cause overall, "none" if the run
+  /// never stalled.
+  std::string dominantStall() const {
+    sim::StallBreakdown Total = UnitStalls;
+    Total += EndpointStalls;
+    if (Total.total() == 0)
+      return "none";
+    return sim::stallCauseName(Total.dominant());
+  }
 };
 
 inline SimPoint simulate(const CompiledProgram &Compiled,
@@ -86,6 +105,12 @@ inline SimPoint simulate(const CompiledProgram &Compiled,
                             static_cast<double>(Point.Cycles);
   for (double Bytes : Result->Stats.AchievedMemoryBytesPerCycle)
     Point.AchievedBytesPerCycle += Bytes;
+  for (const auto &[Name, Stalls] : Result->Stats.UnitStalls)
+    Point.UnitStalls += Stalls;
+  for (const auto &[Name, Stalls] : Result->Stats.ReaderStalls)
+    Point.EndpointStalls += Stalls;
+  for (const auto &[Name, Stalls] : Result->Stats.WriterStalls)
+    Point.EndpointStalls += Stalls;
   return Point;
 }
 

@@ -13,7 +13,11 @@
 // Usage:  ./run_program <program.json>
 //             [--fuse] [--emit] [--dot] [--vectorize W]
 //             [--constrained-memory] [--report]
+//             [--trace FILE] [--metrics FILE] [--trace-stride N]
 //
+// --trace writes a Chrome trace-event timeline of the simulation (open in
+// chrome://tracing or https://ui.perfetto.dev); --metrics writes a tidy
+// CSV of the per-component stall attribution and channel occupancies.
 // Sample descriptions live in examples/programs/.
 //
 //===----------------------------------------------------------------------===//
@@ -21,6 +25,7 @@
 #include "frontend/ProgramLoader.h"
 #include "runtime/Pipeline.h"
 #include "sdfg/Lowering.h"
+#include "sim/Trace.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
@@ -30,7 +35,8 @@ using namespace stencilflow;
 int main(int argc, char **argv) {
   auto Args = CommandLine::parse(
       argc, argv,
-      {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report"});
+      {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
+       "trace", "metrics", "trace-stride"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -38,7 +44,9 @@ int main(int argc, char **argv) {
   if (Args->positional().size() != 1) {
     std::fprintf(stderr, "usage: run_program <program.json> [--fuse] "
                          "[--emit] [--dot] [--vectorize W] "
-                         "[--constrained-memory] [--report]\n");
+                         "[--constrained-memory] [--report] "
+                         "[--trace FILE] [--metrics FILE] "
+                         "[--trace-stride N]\n");
     return 1;
   }
 
@@ -62,11 +70,35 @@ int main(int argc, char **argv) {
   Options.EmitCode = Args->has("emit");
   Options.Simulator.UnconstrainedMemory = !Args->has("constrained-memory");
 
+  sim::Tracer Tracer(Args->getInt("trace-stride", 16));
+  if (Args->has("trace"))
+    Options.Simulator.Trace = &Tracer;
+
   Expected<PipelineResult> Result = runPipeline(Program.takeValue(),
                                                 Options);
+  // Write the trace even when the pipeline fails: a deadlocked or
+  // cycle-limited simulation is exactly when the timeline is most useful.
+  if (Args->has("trace")) {
+    std::string Path = Args->getString("trace");
+    if (Error Err = Tracer.writeChromeTrace(Path))
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    else
+      std::printf("trace: wrote %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  Path.c_str());
+  }
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.message().c_str());
     return 1;
+  }
+
+  if (Args->has("metrics")) {
+    std::string Path = Args->getString("metrics");
+    if (Error Err = sim::writeTextFile(
+            Path, sim::formatMetricsCsv(Result->Simulation.Stats)))
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    else
+      std::printf("metrics: wrote %s\n", Path.c_str());
   }
 
   if (Args->has("report"))
@@ -88,6 +120,18 @@ int main(int argc, char **argv) {
               static_cast<long long>(Result->Simulation.Stats.Cycles),
               static_cast<long long>(Result->Runtime.TotalCycles),
               Result->simulatedOpsPerSecond() / 1e9);
+  const sim::SimStats &Stats = Result->Simulation.Stats;
+  sim::StallBreakdown TotalStalls;
+  for (const auto &[Name, Stalls] : Stats.UnitStalls)
+    TotalStalls += Stalls;
+  for (const auto &[Name, Stalls] : Stats.ReaderStalls)
+    TotalStalls += Stalls;
+  for (const auto &[Name, Stalls] : Stats.WriterStalls)
+    TotalStalls += Stalls;
+  if (TotalStalls.total() > 0)
+    std::printf("stalls: %lld component-cycles, dominant cause: %s\n",
+                static_cast<long long>(TotalStalls.total()),
+                sim::stallCauseName(TotalStalls.dominant()));
   for (const ValidationReport &Report : Result->Validations)
     std::printf("validation: %s\n", Report.Summary.c_str());
 

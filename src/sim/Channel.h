@@ -55,10 +55,17 @@ public:
     return Count > 0 && ReadyCycles[static_cast<size_t>(Head)] <= Cycle;
   }
 
-  /// Highest occupancy ever observed (vectors). Comparing this against
-  /// the analysis-computed delay-buffer depth empirically validates the
-  /// buffer sizing of Sec. IV-B.
-  int64_t highWaterMark() const { return HighWater; }
+  /// Highest *visible* occupancy ever observed (vectors): enqueued minus
+  /// still in flight on the network. Comparing this against the
+  /// analysis-computed delay-buffer depth empirically validates the
+  /// buffer sizing of Sec. IV-B — in-flight remote vectors must not count
+  /// because they occupy the wire, not the FIFO. For local channels
+  /// (zero arrival latency) this equals \c peakOccupancy().
+  int64_t highWaterMark() const { return VisibleHighWater; }
+
+  /// Highest total occupancy ever observed (vectors), including vectors
+  /// still in flight. This is what bounds the physical FIFO allocation.
+  int64_t peakOccupancy() const { return PeakOccupancy; }
 
   /// Enqueues one vector (\p Lanes values); the channel must not be full.
   void push(const double *Vector, int64_t Cycle) {
@@ -69,13 +76,16 @@ public:
       Dest[L] = Vector[L];
     ReadyCycles[static_cast<size_t>(Slot)] = Cycle + ArrivalLatency;
     ++Count;
-    HighWater = std::max(HighWater, Count);
+    PeakOccupancy = std::max(PeakOccupancy, Count);
+    recordVisible(Cycle);
   }
 
   /// Dequeues one vector into \p Vector; must be readable.
   void pop(double *Vector, int64_t Cycle) {
     assert(readable(Cycle) && "pop from an unreadable channel");
-    (void)Cycle;
+    // In-flight vectors may have matured since the last push; fold the
+    // maturation into the visible high-water mark before draining.
+    recordVisible(Cycle);
     const double *Src = &Storage[static_cast<size_t>(Head * Lanes)];
     for (int L = 0; L != Lanes; ++L)
       Vector[L] = Src[L];
@@ -89,6 +99,27 @@ public:
   }
 
 private:
+  /// Folds the current visible occupancy (total minus in flight at
+  /// \p Cycle) into the visible high-water mark. Ready cycles are
+  /// non-decreasing in FIFO order (constant latency, monotone push
+  /// cycles), so scanning newest-to-oldest stops at the first matured
+  /// vector; the cost is O(in-flight), which is bounded by the arrival
+  /// latency, and zero for local channels.
+  void recordVisible(int64_t Cycle) {
+    if (ArrivalLatency == 0) {
+      VisibleHighWater = std::max(VisibleHighWater, Count);
+      return;
+    }
+    int64_t InFlight = 0;
+    while (InFlight < Count) {
+      int64_t Slot = (Head + Count - 1 - InFlight) % Capacity;
+      if (ReadyCycles[static_cast<size_t>(Slot)] <= Cycle)
+        break;
+      ++InFlight;
+    }
+    VisibleHighWater = std::max(VisibleHighWater, Count - InFlight);
+  }
+
   std::string Name;
   int64_t Capacity;
   int Lanes;
@@ -97,7 +128,8 @@ private:
   std::vector<int64_t> ReadyCycles;
   int64_t Head = 0;
   int64_t Count = 0;
-  int64_t HighWater = 0;
+  int64_t PeakOccupancy = 0;
+  int64_t VisibleHighWater = 0;
 };
 
 } // namespace sim

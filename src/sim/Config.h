@@ -24,6 +24,8 @@
 namespace stencilflow {
 namespace sim {
 
+class Tracer;
+
 /// Simulator knobs.
 struct SimConfig {
   //===--------------------------------------------------------------------===//
@@ -78,6 +80,19 @@ struct SimConfig {
   /// exactly MinChannelDepth. Used by the deadlock ablation (Fig. 4): DAGs
   /// with reconvergent paths then deadlock, which the detector reports.
   bool ClampChannelsToMinimum = false;
+
+  //===--------------------------------------------------------------------===//
+  // Observability
+  //===--------------------------------------------------------------------===//
+
+  /// Optional timeline tracer (see sim/Trace.h), not owned. When null —
+  /// the default — the simulator records no timelines and the run loop
+  /// pays nothing beyond the null check; stall-cause attribution counters
+  /// are maintained either way. A previous recording on the tracer is
+  /// discarded when the run starts, and the trace is finalized even when
+  /// the run aborts (deadlock or cycle limit), so stuck configurations
+  /// can be inspected in chrome://tracing.
+  Tracer *Trace = nullptr;
 
   //===--------------------------------------------------------------------===//
   // Safety

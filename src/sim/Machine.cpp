@@ -13,6 +13,27 @@
 using namespace stencilflow;
 using namespace stencilflow::sim;
 
+namespace {
+
+/// Timeline state label for a stalled component ("stall:<cause>").
+const char *stallStateName(StallCause Cause) {
+  switch (Cause) {
+  case StallCause::InputStarved:
+    return "stall:input-starved";
+  case StallCause::OutputBlocked:
+    return "stall:output-blocked";
+  case StallCause::MemoryDenied:
+    return "stall:memory-denied";
+  case StallCause::NetworkDenied:
+    return "stall:network-denied";
+  case StallCause::PipelineLatency:
+    return "stall:pipeline-latency";
+  }
+  return "stall";
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Build
 //===----------------------------------------------------------------------===//
@@ -264,22 +285,33 @@ bool Machine::grantNetwork(size_t ChannelIndex) {
 }
 
 bool Machine::stepReader(Reader &R, int64_t Cycle) {
-  if (R.VectorsPushed == R.TotalVectors)
+  auto Stalled = [&](StallCause Cause) {
+    R.Stalls.add(Cause);
+    if (ActiveTrace)
+      ActiveTrace->setState(R.TraceTrack, Cycle, stallStateName(Cause));
     return false;
+  };
+  if (R.VectorsPushed == R.TotalVectors) {
+    if (ActiveTrace)
+      ActiveTrace->setState(R.TraceTrack, Cycle, "done");
+    return false;
+  }
   for (size_t ChannelIndex : R.OutChannels)
     if (Channels[ChannelIndex]->full())
-      return false;
+      return Stalled(StallCause::OutputBlocked);
   // Charge the arbitration penalty once per requesting endpoint per cycle.
   double DataBytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
   if (!grantMemory(R.Device, DataBytes, /*IsWriter=*/false))
-    return false;
+    return Stalled(StallCause::MemoryDenied);
   const double *Vector =
       R.Data->data() + static_cast<size_t>(R.VectorsPushed) *
                            static_cast<size_t>(Lanes);
   for (size_t ChannelIndex : R.OutChannels)
     Channels[ChannelIndex]->push(Vector, Cycle);
   ++R.VectorsPushed;
+  if (ActiveTrace)
+    ActiveTrace->setState(R.TraceTrack, Cycle, "active");
   return true;
 }
 
@@ -340,6 +372,11 @@ double Machine::readSlot(const Unit &U, const SlotRef &Slot,
 bool Machine::stepUnit(Unit &U, int64_t Cycle) {
   bool MadeProgress = false;
   int64_t TotalSteps = U.StreamVectors + U.InitSteps;
+  // First blocking condition observed this cycle; the emit phase below
+  // overrides it — a matured result that cannot leave blocks the unit
+  // regardless of its inputs. If nothing external blocked, a stalled
+  // cycle is attributed to the unit's own circuit latency.
+  StallCause Cause = StallCause::PipelineLatency;
 
   // Consume phase: pop scheduled streams, advance rings, issue an output
   // into the pipeline once past the initialization phase. Requires pipe
@@ -356,6 +393,8 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
         break;
       }
     }
+    if (!InputsReady)
+      Cause = StallCause::InputStarved;
     if (InputsReady) {
       for (FieldStream &Stream : U.Streams) {
         bool Pops = U.Step >= Stream.DelaySteps &&
@@ -412,25 +451,29 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
     for (size_t ChannelIndex : U.OutChannels)
       if (Channels[ChannelIndex]->full())
         CanPush = false;
-    // Network feasibility for all remote pushes together.
+    if (!CanPush)
+      Cause = StallCause::OutputBlocked;
+    // Network feasibility for all remote pushes together. HopNeeded is a
+    // member (hoisted scratch): no per-cycle allocation.
     if (CanPush) {
       double Bytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
-      std::vector<double> Needed(HopBudget.size(), 0.0);
+      std::fill(HopNeeded.begin(), HopNeeded.end(), 0.0);
       for (size_t ChannelIndex : U.OutChannels) {
         const RemoteLink &Link = RemoteLinks[ChannelIndex];
         for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
-          Needed[static_cast<size_t>(Hop)] += Bytes;
+          HopNeeded[static_cast<size_t>(Hop)] += Bytes;
       }
-      for (size_t Hop = 0; Hop != Needed.size(); ++Hop)
-        if (Needed[Hop] > 0 && HopBudget[Hop] < Needed[Hop]) {
+      for (size_t Hop = 0; Hop != HopNeeded.size(); ++Hop)
+        if (HopNeeded[Hop] > 0 && HopBudget[Hop] < HopNeeded[Hop]) {
           CanPush = false;
           BandwidthWait = true;
+          Cause = StallCause::NetworkDenied;
         }
       if (CanPush) {
-        for (size_t Hop = 0; Hop != Needed.size(); ++Hop) {
-          HopBudget[Hop] -= Needed[Hop];
-          NetworkBytesMoved += Needed[Hop];
+        for (size_t Hop = 0; Hop != HopNeeded.size(); ++Hop) {
+          HopBudget[Hop] -= HopNeeded[Hop];
+          NetworkBytesMoved += HopNeeded[Hop];
         }
       }
     }
@@ -448,21 +491,46 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
   }
 
   bool Finished = U.Emitted == U.StreamVectors;
-  if (!MadeProgress && !Finished)
+  if (!MadeProgress && !Finished) {
     ++U.StallCycles;
+    U.Stalls.add(Cause);
+  }
+  if (ActiveTrace) {
+    const char *State;
+    if (Finished)
+      State = "done";
+    else if (!MadeProgress)
+      State = stallStateName(Cause);
+    else if (U.Step <= U.InitSteps)
+      State = "init";
+    else if (U.Issued == U.StreamVectors)
+      State = "drain";
+    else
+      State = "active";
+    ActiveTrace->setState(U.TraceTrack, Cycle, State);
+  }
   return MadeProgress;
 }
 
 bool Machine::stepWriter(Writer &W, int64_t Cycle) {
-  if (W.VectorsWritten == W.TotalVectors)
+  auto Stalled = [&](StallCause Cause) {
+    W.Stalls.add(Cause);
+    if (ActiveTrace)
+      ActiveTrace->setState(W.TraceTrack, Cycle, stallStateName(Cause));
     return false;
+  };
+  if (W.VectorsWritten == W.TotalVectors) {
+    if (ActiveTrace)
+      ActiveTrace->setState(W.TraceTrack, Cycle, "done");
+    return false;
+  }
   Channel &In = *Channels[W.ChannelIndex];
   if (!In.readable(Cycle))
-    return false;
+    return Stalled(StallCause::InputStarved);
   double DataBytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
   if (!grantMemory(W.Device, DataBytes, /*IsWriter=*/true))
-    return false;
+    return Stalled(StallCause::MemoryDenied);
   In.pop(W.InVector.data(), Cycle);
   int64_t BaseCell = W.VectorsWritten * Lanes;
   for (int Lane = 0; Lane != Lanes; ++Lane) {
@@ -484,6 +552,8 @@ bool Machine::stepWriter(Writer &W, int64_t Cycle) {
       break;
     W.Index[Dim] = 0;
   }
+  if (ActiveTrace)
+    ActiveTrace->setState(W.TraceTrack, Cycle, "active");
   return true;
 }
 
@@ -534,6 +604,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
                        "' has the wrong number of cells");
     R.Data = &It->second;
     R.VectorsPushed = 0;
+    R.Stalls = StallBreakdown();
   }
   for (Unit &U : Units) {
     for (FieldStream &Stream : U.Streams) {
@@ -557,6 +628,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     U.PipeValues.clear();
     U.CenterIndex.assign(SpaceExtents.size(), 0);
     U.StallCycles = 0;
+    U.Stalls = StallBreakdown();
     U.Scratch.assign(U.Kernel->instructions().size(), 0.0);
     U.SlotValues.assign(U.Slots.size(), 0.0);
     U.OutVector.assign(static_cast<size_t>(Lanes), 0.0);
@@ -568,9 +640,22 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     W.Index.assign(SpaceExtents.size(), 0);
     W.VectorsWritten = 0;
     W.InVector.assign(static_cast<size_t>(Lanes), 0.0);
+    W.Stalls = StallBreakdown();
   }
   std::fill(MemoryBytesMoved.begin(), MemoryBytesMoved.end(), 0.0);
   NetworkBytesMoved = 0.0;
+
+  // Per-cycle scratch (hoisted: the run loop must not allocate).
+  ActiveReaders.assign(MemoryBudget.size(), 0);
+  ActiveWriters.assign(MemoryBudget.size(), 0);
+  HopNeeded.assign(HopBudget.size(), 0.0);
+
+  // Observability: attach the tracer, discarding any previous recording.
+  ActiveTrace = Config.Trace;
+  if (ActiveTrace) {
+    ActiveTrace->clear();
+    registerTrace(*ActiveTrace);
+  }
 
   int64_t MaxCycles =
       Config.MaxCycleFactor *
@@ -580,11 +665,14 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
 
   int64_t Cycle = 0;
   for (;; ++Cycle) {
-    if (Cycle >= MaxCycles)
+    if (Cycle >= MaxCycles) {
+      if (ActiveTrace)
+        ActiveTrace->finish(Cycle);
       return makeError(formatString(
           "simulation exceeded the cycle limit (%lld cycles; expected %lld)",
           static_cast<long long>(MaxCycles),
           static_cast<long long>(ExpectedCycles)));
+    }
 
     // Refill per-cycle budgets. Unused budget carries over (bounded by one
     // transaction beyond the per-cycle rate), so rates smaller than a
@@ -596,8 +684,8 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
         Config.PeakMemoryBytesPerCycle + TransactionBytes;
     // Split the refill between reader and writer pools proportionally to
     // the number of active endpoints on each device.
-    std::vector<int> ActiveReaders(MemoryBudget.size(), 0);
-    std::vector<int> ActiveWriters(MemoryBudget.size(), 0);
+    std::fill(ActiveReaders.begin(), ActiveReaders.end(), 0);
+    std::fill(ActiveWriters.begin(), ActiveWriters.end(), 0);
     for (const Reader &R : Readers)
       if (R.VectorsPushed != R.TotalVectors)
         ++ActiveReaders[static_cast<size_t>(R.Device)];
@@ -663,6 +751,9 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
                                Cycle);
     }
 
+    if (ActiveTrace && Cycle % ActiveTrace->sampleStride() == 0)
+      sampleTrace(*ActiveTrace, Cycle);
+
     bool Done = true;
     for (const Writer &W : Writers)
       Done &= W.VectorsWritten == W.TotalVectors;
@@ -679,10 +770,15 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
         Pending |= C->hasPendingArrival(Cycle);
       for (const Unit &U : Units)
         Pending |= !U.PipeReady.empty() && U.PipeReady.front() > Cycle;
-      if (!Pending)
+      if (!Pending) {
+        if (ActiveTrace)
+          ActiveTrace->finish(Cycle);
         return makeError(deadlockReport());
+      }
     }
   }
+  if (ActiveTrace)
+    ActiveTrace->finish(Cycle);
 
   SimResult Result;
   Result.Stats.Cycles = Cycle;
@@ -692,11 +788,57 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     Result.Stats.AchievedMemoryBytesPerCycle[Device] =
         MemoryBytesMoved[Device] / static_cast<double>(Cycle);
   Result.Stats.NetworkBytesMoved = NetworkBytesMoved;
-  for (const Unit &U : Units)
+  for (const Unit &U : Units) {
     Result.Stats.UnitStallCycles[U.Name] = U.StallCycles;
-  for (const auto &C : Channels)
+    Result.Stats.UnitStalls[U.Name] = U.Stalls;
+  }
+  for (const Reader &R : Readers)
+    Result.Stats.ReaderStalls[formatString("%s@%d", R.Field.c_str(),
+                                           R.Device)] = R.Stalls;
+  for (const Writer &W : Writers)
+    Result.Stats.WriterStalls[W.Field] = W.Stalls;
+  for (const auto &C : Channels) {
     Result.Stats.ChannelHighWater[C->name()] = C->highWaterMark();
+    Result.Stats.ChannelPeakOccupancy[C->name()] = C->peakOccupancy();
+    Result.Stats.ChannelCapacity[C->name()] = C->capacity();
+  }
   for (Writer &W : Writers)
     Result.Outputs[W.Field] = std::move(W.Data);
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+void Machine::registerTrace(Tracer &T) {
+  for (Reader &R : Readers)
+    R.TraceTrack = T.addTrack("read " + R.Field, R.Device);
+  for (Unit &U : Units)
+    U.TraceTrack = T.addTrack("unit " + U.Name, U.Device);
+  for (Writer &W : Writers)
+    W.TraceTrack = T.addTrack("write " + W.Field, W.Device);
+  ChannelCounters.clear();
+  for (size_t Index = 0; Index != Channels.size(); ++Index)
+    ChannelCounters.push_back(
+        T.addCounter("fifo " + Channels[Index]->name(),
+                     RemoteLinks[Index].LastHop, "vectors"));
+  MemoryCounters.clear();
+  LastMemBytes.assign(MemoryBytesMoved.size(), 0.0);
+  for (size_t Device = 0; Device != MemoryBytesMoved.size(); ++Device)
+    MemoryCounters.push_back(
+        T.addCounter(formatString("memory device %zu", Device),
+                     static_cast<int>(Device), "bytes/cycle"));
+}
+
+void Machine::sampleTrace(Tracer &T, int64_t Cycle) {
+  for (size_t Index = 0; Index != Channels.size(); ++Index)
+    T.sample(ChannelCounters[Index], Cycle,
+             static_cast<double>(Channels[Index]->size()));
+  double Window = static_cast<double>(T.sampleStride());
+  for (size_t Device = 0; Device != MemoryBytesMoved.size(); ++Device) {
+    T.sample(MemoryCounters[Device], Cycle,
+             (MemoryBytesMoved[Device] - LastMemBytes[Device]) / Window);
+    LastMemBytes[Device] = MemoryBytesMoved[Device];
+  }
 }

@@ -36,6 +36,7 @@
 #include "core/ValidRegion.h"
 #include "sim/Channel.h"
 #include "sim/Config.h"
+#include "sim/Trace.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -66,12 +67,37 @@ struct SimStats {
   /// blocked).
   std::map<std::string, int64_t> UnitStallCycles;
 
-  /// Highest observed occupancy per channel (vectors), keyed by the
-  /// channel name "source->consumer". Together with the analysis'
-  /// per-edge BufferDepth this empirically validates the delay-buffer
-  /// sizing: the critical edges fill to (at least close to) their
-  /// computed depth, and no channel ever needs more.
+  /// Per-cause attribution of each unit's stall cycles (sim/Trace.h).
+  /// For every unit, UnitStalls[name].total() == UnitStallCycles[name].
+  std::map<std::string, StallBreakdown> UnitStalls;
+
+  /// Per-cause stall attribution of the memory reader endpoints, keyed
+  /// "field@device". Readers stall when downstream FIFOs are full
+  /// (output-blocked) or the memory controller denies bandwidth
+  /// (memory-denied).
+  std::map<std::string, StallBreakdown> ReaderStalls;
+
+  /// Per-cause stall attribution of the memory writer endpoints, keyed by
+  /// output field. Writers stall waiting for produced data
+  /// (input-starved — this includes the pipeline's initialization phase)
+  /// or on memory bandwidth (memory-denied).
+  std::map<std::string, StallBreakdown> WriterStalls;
+
+  /// Highest observed *visible* occupancy per channel (vectors), keyed by
+  /// the channel name "source->consumer"; in-flight remote vectors are
+  /// excluded. Together with the analysis' per-edge BufferDepth this
+  /// empirically validates the delay-buffer sizing: the critical edges
+  /// fill to (at least close to) their computed depth, and no channel
+  /// ever needs more.
   std::map<std::string, int64_t> ChannelHighWater;
+
+  /// Highest total occupancy per channel including in-flight vectors —
+  /// what the physical FIFO allocation must cover.
+  std::map<std::string, int64_t> ChannelPeakOccupancy;
+
+  /// Configured capacity per channel (vectors), for occupancy ratios in
+  /// the metrics export.
+  std::map<std::string, int64_t> ChannelCapacity;
 };
 
 /// Results of one simulation: statistics plus the program outputs.
@@ -164,6 +190,8 @@ private:
     std::deque<double> PipeValues;  ///< W values per in-flight output.
     std::vector<int64_t> CenterIndex; ///< Multi-dim index of next output.
     int64_t StallCycles = 0;
+    StallBreakdown Stalls; ///< Per-cause split of StallCycles.
+    int TraceTrack = -1;   ///< Timeline track when tracing.
     std::vector<double> Scratch;    ///< Kernel evaluation scratch.
     std::vector<double> SlotValues; ///< Kernel input staging.
     std::vector<double> OutVector;  ///< Output staging.
@@ -179,6 +207,8 @@ private:
     /// Runtime state.
     const std::vector<double> *Data = nullptr;
     int64_t VectorsPushed = 0;
+    StallBreakdown Stalls;
+    int TraceTrack = -1;
   };
 
   /// A memory writer endpoint: commits one program output.
@@ -194,6 +224,8 @@ private:
     std::vector<int64_t> Index;
     int64_t VectorsWritten = 0;
     std::vector<double> InVector;
+    StallBreakdown Stalls;
+    int TraceTrack = -1;
   };
 
   /// Network bandwidth tracking for one remote channel.
@@ -262,6 +294,26 @@ private:
   /// this cycle; such waiting is progress-pending, not deadlock (unused
   /// budget carries over, so the grant eventually succeeds).
   bool BandwidthWait = false;
+
+  /// Per-cycle scratch, hoisted out of the run loop so the simulator
+  /// performs no heap allocation per simulated cycle.
+  std::vector<int> ActiveReaders;  ///< Per device, cleared each cycle.
+  std::vector<int> ActiveWriters;  ///< Per device, cleared each cycle.
+  std::vector<double> HopNeeded;   ///< Per hop, stepUnit emit scratch.
+
+  //===--------------------------------------------------------------------===//
+  // Tracing (active only while run() executes with Config.Trace set)
+  //===--------------------------------------------------------------------===//
+
+  /// Registers tracks/counters on \p T for all components.
+  void registerTrace(Tracer &T);
+  /// Emits the per-stride occupancy and bandwidth counter samples.
+  void sampleTrace(Tracer &T, int64_t Cycle);
+
+  Tracer *ActiveTrace = nullptr;       ///< Null when tracing is off.
+  std::vector<int> ChannelCounters;    ///< Tracer counter id per channel.
+  std::vector<int> MemoryCounters;     ///< Tracer counter id per device.
+  std::vector<double> LastMemBytes;    ///< Previous sample's totals.
 };
 
 } // namespace sim

@@ -1,0 +1,312 @@
+//===- sim/Trace.cpp - Simulation observability --------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+
+#include "sim/Machine.h"
+#include "support/JsonWriter.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace stencilflow;
+using namespace stencilflow::sim;
+
+//===----------------------------------------------------------------------===//
+// Stall causes
+//===----------------------------------------------------------------------===//
+
+const char *sim::stallCauseName(StallCause Cause) {
+  switch (Cause) {
+  case StallCause::InputStarved:
+    return "input-starved";
+  case StallCause::OutputBlocked:
+    return "output-blocked";
+  case StallCause::MemoryDenied:
+    return "memory-denied";
+  case StallCause::NetworkDenied:
+    return "network-denied";
+  case StallCause::PipelineLatency:
+    return "pipeline-latency";
+  }
+  return "unknown";
+}
+
+StallCause StallBreakdown::dominant() const {
+  int Best = NumStallCauses - 1;
+  for (int Cause = 0; Cause != NumStallCauses; ++Cause)
+    if (Counts[Cause] > Counts[Best])
+      Best = Cause;
+  return static_cast<StallCause>(Best);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer recording
+//===----------------------------------------------------------------------===//
+
+Tracer::Tracer(int64_t SampleStride)
+    : SampleStride(std::max<int64_t>(1, SampleStride)) {}
+
+void Tracer::clear() {
+  Tracks.clear();
+  Counters.clear();
+  Intervals.clear();
+  Samples.clear();
+  StateNames.clear();
+  StateIndex.clear();
+  FinalCycle = 0;
+}
+
+int Tracer::addTrack(std::string Name, int Device) {
+  Track T;
+  T.Name = std::move(Name);
+  T.Device = Device;
+  Tracks.push_back(std::move(T));
+  return static_cast<int>(Tracks.size()) - 1;
+}
+
+int Tracer::addCounter(std::string Name, int Device, std::string Series) {
+  Counter C;
+  C.Name = std::move(Name);
+  C.Device = Device;
+  C.Series = std::move(Series);
+  Counters.push_back(std::move(C));
+  return static_cast<int>(Counters.size()) - 1;
+}
+
+int Tracer::internState(std::string_view State) {
+  auto It = StateIndex.find(State);
+  if (It != StateIndex.end())
+    return It->second;
+  int Index = static_cast<int>(StateNames.size());
+  StateNames.emplace_back(State);
+  StateIndex.emplace(StateNames.back(), Index);
+  return Index;
+}
+
+void Tracer::setState(int TrackId, int64_t Cycle, std::string_view State) {
+  assert(TrackId >= 0 &&
+         TrackId < static_cast<int>(Tracks.size()) && "unknown track");
+  Track &T = Tracks[static_cast<size_t>(TrackId)];
+  int StateId = internState(State);
+  if (T.Open && T.State == StateId)
+    return;
+  if (T.Open && Cycle > T.Since)
+    Intervals.push_back({TrackId, T.State, T.Since, Cycle});
+  T.State = StateId;
+  T.Since = Cycle;
+  T.Open = true;
+}
+
+void Tracer::sample(int CounterId, int64_t Cycle, double Value) {
+  assert(CounterId >= 0 &&
+         CounterId < static_cast<int>(Counters.size()) && "unknown counter");
+  Samples.push_back({CounterId, Cycle, Value});
+}
+
+void Tracer::finish(int64_t Cycle) {
+  FinalCycle = Cycle;
+  for (size_t TrackId = 0; TrackId != Tracks.size(); ++TrackId) {
+    Track &T = Tracks[TrackId];
+    if (T.Open && Cycle > T.Since)
+      Intervals.push_back(
+          {static_cast<int>(TrackId), T.State, T.Since, Cycle});
+    T.Open = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event export
+//===----------------------------------------------------------------------===//
+
+std::string Tracer::chromeTraceJson() const {
+  std::string Out;
+  Out.reserve(128 + 96 * (Intervals.size() + Samples.size()));
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Process metadata: one "process" per simulated device.
+  std::set<int> Devices;
+  for (const Track &T : Tracks)
+    Devices.insert(T.Device);
+  for (const Counter &C : Counters)
+    Devices.insert(C.Device);
+  for (int Device : Devices) {
+    W.beginObject();
+    W.attribute("ph", "M");
+    W.attribute("name", "process_name");
+    W.attribute("pid", Device);
+    W.attribute("tid", 0);
+    W.key("args");
+    W.beginObject();
+    W.attribute("name", formatString("device %d", Device));
+    W.endObject();
+    W.endObject();
+  }
+
+  // Thread metadata: one "thread" per timeline track. tid 0 is reserved
+  // for the process row, so tracks start at 1.
+  for (size_t TrackId = 0; TrackId != Tracks.size(); ++TrackId) {
+    const Track &T = Tracks[TrackId];
+    W.beginObject();
+    W.attribute("ph", "M");
+    W.attribute("name", "thread_name");
+    W.attribute("pid", T.Device);
+    W.attribute("tid", static_cast<int64_t>(TrackId) + 1);
+    W.key("args");
+    W.beginObject();
+    W.attribute("name", T.Name);
+    W.endObject();
+    W.endObject();
+    W.beginObject();
+    W.attribute("ph", "M");
+    W.attribute("name", "thread_sort_index");
+    W.attribute("pid", T.Device);
+    W.attribute("tid", static_cast<int64_t>(TrackId) + 1);
+    W.key("args");
+    W.beginObject();
+    W.attribute("sort_index", static_cast<int64_t>(TrackId));
+    W.endObject();
+    W.endObject();
+  }
+
+  // State intervals as complete ("X") events; 1 cycle = 1 microsecond.
+  for (const Interval &I : Intervals) {
+    const Track &T = Tracks[static_cast<size_t>(I.Track)];
+    W.beginObject();
+    W.attribute("ph", "X");
+    W.attribute("name",
+                StateNames[static_cast<size_t>(I.State)]);
+    W.attribute("cat", "sim");
+    W.attribute("ts", I.Start);
+    W.attribute("dur", I.End - I.Start);
+    W.attribute("pid", T.Device);
+    W.attribute("tid", static_cast<int64_t>(I.Track) + 1);
+    W.endObject();
+  }
+
+  // Counter ("C") samples.
+  for (const Sample &S : Samples) {
+    const Counter &C = Counters[static_cast<size_t>(S.Counter)];
+    W.beginObject();
+    W.attribute("ph", "C");
+    W.attribute("name", C.Name);
+    W.attribute("ts", S.Cycle);
+    W.attribute("pid", C.Device);
+    W.key("args");
+    W.beginObject();
+    W.attribute(C.Series, S.Value);
+    W.endObject();
+    W.endObject();
+  }
+
+  W.endArray();
+  W.attribute("displayTimeUnit", "ms");
+  W.key("otherData");
+  W.beginObject();
+  W.attribute("generator", "stencilflow-sim");
+  W.attribute("cycles", FinalCycle);
+  W.attribute("sampleStride", SampleStride);
+  W.attribute("timeUnit", "1 cycle = 1 us");
+  W.endObject();
+  W.endObject();
+  assert(W.complete() && "unbalanced trace document");
+  return Out;
+}
+
+Error Tracer::writeChromeTrace(const std::string &Path) const {
+  return writeTextFile(Path, chromeTraceJson());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics CSV
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void csvNumber(std::string &Out, double Value) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15)
+    Out += formatString("%lld", static_cast<long long>(Value));
+  else
+    Out += formatString("%.6g", Value);
+}
+
+void csvRow(std::string &Out, const char *Section, const std::string &Name,
+            const std::string &Metric, double Value) {
+  Out += Section;
+  Out += ',';
+  Out += Name;
+  Out += ',';
+  Out += Metric;
+  Out += ',';
+  csvNumber(Out, Value);
+  Out += '\n';
+}
+
+void csvBreakdown(std::string &Out, const char *Section,
+                  const std::string &Name, const StallBreakdown &Stalls) {
+  csvRow(Out, Section, Name, "stall_cycles",
+         static_cast<double>(Stalls.total()));
+  for (int Cause = 0; Cause != NumStallCauses; ++Cause)
+    csvRow(Out, Section, Name,
+           formatString("stall.%s", stallCauseName(
+                                        static_cast<StallCause>(Cause))),
+           static_cast<double>(Stalls.Counts[Cause]));
+}
+
+} // namespace
+
+std::string sim::formatMetricsCsv(const SimStats &Stats) {
+  std::string Out = "section,name,metric,value\n";
+  csvRow(Out, "sim", "total", "cycles",
+         static_cast<double>(Stats.Cycles));
+  csvRow(Out, "sim", "total", "network_bytes", Stats.NetworkBytesMoved);
+  for (size_t Device = 0; Device != Stats.MemoryBytesMoved.size();
+       ++Device) {
+    std::string Name = formatString("%zu", Device);
+    csvRow(Out, "device", Name, "memory_bytes",
+           Stats.MemoryBytesMoved[Device]);
+    csvRow(Out, "device", Name, "memory_bytes_per_cycle",
+           Stats.AchievedMemoryBytesPerCycle[Device]);
+  }
+  for (const auto &[Name, Stalls] : Stats.UnitStalls)
+    csvBreakdown(Out, "unit", Name, Stalls);
+  for (const auto &[Name, Stalls] : Stats.ReaderStalls)
+    csvBreakdown(Out, "reader", Name, Stalls);
+  for (const auto &[Name, Stalls] : Stats.WriterStalls)
+    csvBreakdown(Out, "writer", Name, Stalls);
+  for (const auto &[Name, HighWater] : Stats.ChannelHighWater) {
+    csvRow(Out, "channel", Name, "high_water",
+           static_cast<double>(HighWater));
+    auto Peak = Stats.ChannelPeakOccupancy.find(Name);
+    if (Peak != Stats.ChannelPeakOccupancy.end())
+      csvRow(Out, "channel", Name, "peak_occupancy",
+             static_cast<double>(Peak->second));
+    auto Capacity = Stats.ChannelCapacity.find(Name);
+    if (Capacity != Stats.ChannelCapacity.end())
+      csvRow(Out, "channel", Name, "capacity",
+             static_cast<double>(Capacity->second));
+  }
+  return Out;
+}
+
+Error sim::writeTextFile(const std::string &Path, std::string_view Text) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return makeError("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  bool Ok = Written == Text.size() && std::fclose(File) == 0;
+  if (!Ok)
+    return makeError("failed to write '" + Path + "'");
+  return Error::success();
+}

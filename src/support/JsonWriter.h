@@ -1,0 +1,83 @@
+//===- support/JsonWriter.h - Streaming JSON emitter --------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward-only streaming JSON emitter. Unlike json::Value (which builds
+/// the whole document in memory), the writer appends directly to a string
+/// buffer, so emitters of large documents — e.g. the simulator's Chrome
+/// trace export, which can contain hundreds of thousands of events — never
+/// materialize a value tree. The writer tracks the container nesting and
+/// inserts commas automatically; misuse (a value where a key is required,
+/// unbalanced begin/end) is caught by assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SUPPORT_JSONWRITER_H
+#define STENCILFLOW_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stencilflow {
+namespace json {
+
+/// Appends JSON tokens to an externally owned string buffer.
+class JsonWriter {
+public:
+  /// \p Out receives the serialized text; it must outlive the writer.
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  /// Containers.
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; the next emitted token is its value.
+  void key(std::string_view Key);
+
+  /// Scalar values.
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(double D);
+  void value(int64_t I);
+  void value(int I) { value(static_cast<int64_t>(I)); }
+  void value(size_t I) { value(static_cast<int64_t>(I)); }
+  void value(bool B);
+  void valueNull();
+
+  /// Convenience: key followed by a scalar value.
+  template <typename T> void attribute(std::string_view Key, T Val) {
+    key(Key);
+    value(Val);
+  }
+
+  /// True once every opened container has been closed.
+  bool complete() const { return Stack.empty() && EmittedValue; }
+
+  /// Escapes \p S for inclusion in a JSON string literal (quotes not
+  /// included).
+  static void escape(std::string_view S, std::string &Out);
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+  void beforeValue();
+
+  std::string &Out;
+  std::vector<Scope> Stack;
+  /// Whether the current container already holds a member (comma needed).
+  std::vector<bool> HasMembers;
+  /// Whether a key was just emitted (suppresses the comma for its value).
+  bool PendingKey = false;
+  bool EmittedValue = false;
+};
+
+} // namespace json
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SUPPORT_JSONWRITER_H

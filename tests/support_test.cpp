@@ -7,6 +7,7 @@
 #include "support/CommandLine.h"
 #include "support/Error.h"
 #include "support/Json.h"
+#include "support/JsonWriter.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
 
@@ -248,4 +249,69 @@ TEST(CommandLineTest, DefaultsApply) {
   EXPECT_EQ(Parsed->getInt("w", 4), 4);
   EXPECT_DOUBLE_EQ(Parsed->getDouble("w", 2.5), 2.5);
   EXPECT_FALSE(Parsed->has("w"));
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, EmitsNestedDocument) {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.attribute("name", "trace");
+  W.key("events");
+  W.beginArray();
+  W.beginObject();
+  W.attribute("ts", static_cast<int64_t>(42));
+  W.attribute("ok", true);
+  W.endObject();
+  W.value(1.5);
+  W.valueNull();
+  W.endArray();
+  W.endObject();
+  EXPECT_TRUE(W.complete());
+  EXPECT_EQ(Out,
+            "{\"name\":\"trace\",\"events\":[{\"ts\":42,\"ok\":true},"
+            "1.5,null]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.attribute("k\"ey", "line\nbreak\ttab\\slash");
+  W.endObject();
+  EXPECT_EQ(Out, "{\"k\\\"ey\":\"line\\nbreak\\ttab\\\\slash\"}");
+}
+
+TEST(JsonWriterTest, IntegralDoublesPrintAsIntegers) {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginArray();
+  W.value(3.0);
+  W.value(0.25);
+  W.endArray();
+  EXPECT_EQ(Out, "[3,0.25]");
+}
+
+TEST(JsonWriterTest, OutputRoundTripsThroughParser) {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.key("nested");
+  W.beginArray();
+  for (int I = 0; I != 3; ++I) {
+    W.beginObject();
+    W.attribute("i", I);
+    W.attribute("label", formatString("item %d", I));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  auto Parsed = json::parse(Out);
+  ASSERT_TRUE(Parsed) << Parsed.message();
+  const auto &Nested = Parsed->getObject().get("nested")->getArray();
+  ASSERT_EQ(Nested.size(), 3u);
+  EXPECT_EQ(Nested[2].getObject().get("label")->getString(), "item 2");
 }
