@@ -111,6 +111,57 @@ void BM_SimulatorCyclesPerSecond(benchmark::State &State) {
 }
 BENCHMARK(BM_SimulatorCyclesPerSecond);
 
+// The reliable-transport guard: with a fault plan attached but empty, the
+// remote streams run the full Go-Back-N protocol (sequence numbers,
+// checksums, send window) yet must simulate the *same cycle count* as the
+// plain transport — the simulated protocol overhead is zero, and the
+// host-side bookkeeping must stay within ~2% wall-clock of the plain
+// path. Compare this benchmark's rate against
+// BM_SimulatorTwoDevicePlain to audit the latter; the former is asserted
+// here (and bit-exactness in tests/fault_test.cpp).
+void simulateTwoDeviceChain(benchmark::State &State,
+                            const sim::FaultPlan *Plan) {
+  auto Compiled = CompiledProgram::compile(
+      workloads::jacobi3dChain(6, 8, 16, 16));
+  auto Dataflow = analyzeDataflow(*Compiled);
+  PartitionOptions Options;
+  Options.TargetUtilization = 1.0;
+  Options.Device.DSPs = 7 * 3; // Three chained stencils per device.
+  Options.MaxDevices = 64;
+  auto Placement = partitionProgram(*Compiled, *Dataflow, Options);
+  sim::SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  auto Inputs = materializeInputs(Compiled->program());
+  Config.Faults = nullptr;
+  auto Baseline =
+      sim::Machine::build(*Compiled, *Dataflow, &*Placement, Config)
+          ->run(Inputs);
+  Config.Faults = Plan;
+  int64_t Cycles = 0;
+  for (auto _ : State) {
+    auto M =
+        sim::Machine::build(*Compiled, *Dataflow, &*Placement, Config);
+    auto Result = M->run(Inputs);
+    benchmark::DoNotOptimize(Result);
+    if (Result)
+      Cycles = Result->Stats.Cycles;
+  }
+  if (Plan && Cycles != Baseline->Stats.Cycles)
+    State.SkipWithError("reliable transport changed the cycle count");
+  State.SetItemsProcessed(State.iterations() * Cycles);
+}
+
+void BM_SimulatorTwoDevicePlain(benchmark::State &State) {
+  simulateTwoDeviceChain(State, nullptr);
+}
+BENCHMARK(BM_SimulatorTwoDevicePlain);
+
+void BM_SimulatorTwoDeviceReliable(benchmark::State &State) {
+  static const sim::FaultPlan EmptyPlan;
+  simulateTwoDeviceChain(State, &EmptyPlan);
+}
+BENCHMARK(BM_SimulatorTwoDeviceReliable);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -14,19 +14,30 @@
 //             [--fuse] [--emit] [--dot] [--vectorize W]
 //             [--constrained-memory] [--report]
 //             [--trace FILE] [--metrics FILE] [--trace-stride N]
+//             [--fault-plan FILE] [--stall-timeout N]
 //
 // --trace writes a Chrome trace-event timeline of the simulation (open in
 // chrome://tracing or https://ui.perfetto.dev); --metrics writes a tidy
 // CSV of the per-component stall attribution and channel occupancies.
+// --fault-plan injects a deterministic fault schedule (see sim/Fault.h for
+// the JSON format) and switches remote streams to the reliable transport;
+// --stall-timeout enables the progress watchdog.
 // Sample descriptions live in examples/programs/.
+//
+// The exit code classifies the outcome so CI scripts can branch on it:
+// 0 success, 1 unclassified error, 2 validation mismatch, 3 deadlock,
+// 4 cycle limit, 5 device lost, 6 link failure, 7 data corruption,
+// 8 starvation (see support/Error.h exitCodeFor).
 //
 //===----------------------------------------------------------------------===//
 
 #include "frontend/ProgramLoader.h"
 #include "runtime/Pipeline.h"
 #include "sdfg/Lowering.h"
+#include "sim/Fault.h"
 #include "sim/Trace.h"
 #include "support/CommandLine.h"
+#include "support/Json.h"
 
 #include <cstdio>
 
@@ -36,7 +47,7 @@ int main(int argc, char **argv) {
   auto Args = CommandLine::parse(
       argc, argv,
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
-       "trace", "metrics", "trace-stride"});
+       "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -46,7 +57,8 @@ int main(int argc, char **argv) {
                          "[--emit] [--dot] [--vectorize W] "
                          "[--constrained-memory] [--report] "
                          "[--trace FILE] [--metrics FILE] "
-                         "[--trace-stride N]\n");
+                         "[--trace-stride N] [--fault-plan FILE] "
+                         "[--stall-timeout N]\n");
     return 1;
   }
 
@@ -69,6 +81,28 @@ int main(int argc, char **argv) {
   Options.FuseStencils = Args->has("fuse");
   Options.EmitCode = Args->has("emit");
   Options.Simulator.UnconstrainedMemory = !Args->has("constrained-memory");
+  Options.Simulator.StallTimeoutCycles = Args->getInt("stall-timeout", 0);
+
+  // The plan must outlive the pipeline run; SimConfig holds a pointer.
+  sim::FaultPlan FaultPlan;
+  if (Args->has("fault-plan")) {
+    Expected<json::Value> PlanJson =
+        json::parseFile(Args->getString("fault-plan"));
+    if (!PlanJson) {
+      std::fprintf(stderr, "error: %s\n", PlanJson.message().c_str());
+      return 1;
+    }
+    Expected<sim::FaultPlan> Parsed = sim::FaultPlan::fromJson(*PlanJson);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s\n", Parsed.message().c_str());
+      return 1;
+    }
+    FaultPlan = Parsed.takeValue();
+    Options.Simulator.Faults = &FaultPlan;
+    std::printf("faults: injecting %zu event(s), seed %llu\n",
+                FaultPlan.Events.size(),
+                static_cast<unsigned long long>(FaultPlan.Seed));
+  }
 
   sim::Tracer Tracer(Args->getInt("trace-stride", 16));
   if (Args->has("trace"))
@@ -89,7 +123,7 @@ int main(int argc, char **argv) {
   }
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.message().c_str());
-    return 1;
+    return exitCodeFor(Result.code());
   }
 
   if (Args->has("metrics")) {
@@ -132,6 +166,14 @@ int main(int argc, char **argv) {
     std::printf("stalls: %lld component-cycles, dominant cause: %s\n",
                 static_cast<long long>(TotalStalls.total()),
                 sim::stallCauseName(TotalStalls.dominant()));
+  if (!Result->Recovery.Log.empty()) {
+    for (const std::string &Line : Result->Recovery.Log)
+      std::printf("recovery: %s\n", Line.c_str());
+    std::printf("recovery: %s after %d attempt(s)\n",
+                sim::terminationReasonName(
+                    Result->Simulation.Termination),
+                Result->Recovery.Attempts);
+  }
   for (const ValidationReport &Report : Result->Validations)
     std::printf("validation: %s\n", Report.Summary.c_str());
 
@@ -139,5 +181,7 @@ int main(int argc, char **argv) {
     for (const GeneratedSource &Source : Result->Sources)
       std::printf("\n===== %s =====\n%s", Source.FileName.c_str(),
                   Source.Source.c_str());
-  return Result->ValidationPassed ? 0 : 1;
+  return Result->ValidationPassed
+             ? 0
+             : exitCodeFor(ErrorCode::ValidationMismatch);
 }

@@ -186,8 +186,25 @@ stencilflow::emitOpenCL(const CompiledProgram &Compiled,
         if (Stream.SourceDevice == Ctx.Device ||
             Stream.ConsumerDevice == Ctx.Device)
           HasRemote = true;
-    if (HasRemote)
+    if (HasRemote) {
       S += "#include <smi.h> // Streaming Message Interface (Sec. VI-B)\n";
+      // Reliable framing: every inter-device vector travels with a
+      // sequence number and a CRC-32 of its payload, mirroring the
+      // simulator's Go-Back-N transport (sim/Machine.cpp). The receiver
+      // drops out-of-sequence or corrupted frames; the SMI runtime's
+      // rewind covers the gap.
+      S += "\ntypedef struct { uint seq; uint crc; } sf_frame_t;\n\n";
+      S += "inline uint sf_crc32(const uchar *data, int len) {\n"
+           "  uint crc = 0xFFFFFFFFu;\n"
+           "  for (int i = 0; i < len; ++i) {\n"
+           "    crc ^= data[i];\n"
+           "    #pragma unroll\n"
+           "    for (int b = 0; b < 8; ++b)\n"
+           "      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));\n"
+           "  }\n"
+           "  return ~crc;\n"
+           "}\n";
+    }
     S += "\n";
 
     // Channel declarations: every edge whose consumer lives here and whose
@@ -270,6 +287,16 @@ stencilflow::emitOpenCL(const CompiledProgram &Compiled,
                           RomFields[R].c_str());
       }
       S += ") {\n";
+
+      // Send sequence counters for the reliable framing, one per remote
+      // consumer of this node.
+      for (size_t Consumer : Program.consumersOf(Node.Name)) {
+        const StencilNode &ConsumerNode = Program.Nodes[Consumer];
+        if (deviceOf(ConsumerNode.Name) != Ctx.Device)
+          S += formatString("  uint smi_seq_%s_to_%s = 0;\n",
+                            Node.Name.c_str(),
+                            ConsumerNode.Name.c_str());
+      }
 
       // Shift registers (Intel shift-register pattern, Sec. VI-A).
       struct StreamInfo {
@@ -449,11 +476,20 @@ stencilflow::emitOpenCL(const CompiledProgram &Compiled,
                             channelName(Node.Name, ConsumerNode.Name)
                                 .c_str());
         } else {
+          // Framed remote push: header (seq + payload CRC) then payload.
           S += formatString(
-              "      SMI_Push(&smi_%s_to_%s, &result); // remote stream to "
-              "device %d\n",
-              Node.Name.c_str(), ConsumerNode.Name.c_str(),
-              deviceOf(ConsumerNode.Name));
+              "      { // remote stream to device %d\n"
+              "        sf_frame_t frame;\n"
+              "        frame.seq = smi_seq_%s_to_%s++;\n"
+              "        frame.crc = sf_crc32((const uchar *)&result, "
+              "(int)sizeof(result));\n"
+              "        SMI_Push(&smi_%s_to_%s, &frame);\n"
+              "        SMI_Push(&smi_%s_to_%s, &result);\n"
+              "      }\n",
+              deviceOf(ConsumerNode.Name), Node.Name.c_str(),
+              ConsumerNode.Name.c_str(), Node.Name.c_str(),
+              ConsumerNode.Name.c_str(), Node.Name.c_str(),
+              ConsumerNode.Name.c_str());
         }
       }
       if (Program.isProgramOutput(Node.Name))
@@ -494,13 +530,24 @@ stencilflow::emitOpenCL(const CompiledProgram &Compiled,
           continue;
         std::string VType =
             vectorType(Program.fieldType(Stream.Source), W);
+        // The receiver verifies sequence and CRC; corrupted or stale
+        // frames are dropped and the sender's Go-Back-N rewind re-covers
+        // the gap, so only clean in-order vectors reach the compute
+        // kernels.
         S += formatString(
             "__attribute__((autorun))\n__kernel void smi_recv_%s_to_%s() "
-            "{\n  for (long i = 0; i < %lld; ++i) {\n    %s value;\n    "
+            "{\n  uint seq = 0;\n  for (long i = 0; i < %lld;) {\n    "
+            "sf_frame_t frame;\n    %s value;\n    "
+            "SMI_Pop(&smi_%s_to_%s, &frame);\n    "
             "SMI_Pop(&smi_%s_to_%s, &value);\n    "
-            "write_channel_intel(%s, value);\n  }\n}\n\n",
+            "if (frame.seq == seq &&\n        frame.crc == "
+            "sf_crc32((const uchar *)&value, (int)sizeof(value))) {\n"
+            "      write_channel_intel(%s, value);\n      ++seq;\n      "
+            "++i;\n    } // else: corrupted or stale frame; dropped.\n  "
+            "}\n}\n\n",
             Stream.Source.c_str(), Stream.Consumer.c_str(),
             static_cast<long long>(Iterations), VType.c_str(),
+            Stream.Source.c_str(), Stream.Consumer.c_str(),
             Stream.Source.c_str(), Stream.Consumer.c_str(),
             channelName(Stream.Source, Stream.Consumer).c_str());
       }

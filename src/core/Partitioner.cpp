@@ -69,7 +69,8 @@ stencilflow::partitionProgram(const CompiledProgram &Compiled,
   for (size_t Index : Compiled.topologicalOrder()) {
     ResourceUsage Cost = nodeCost(Index);
     if (!Cost.fitsWithin(Budget))
-      return makeError("stencil '" + Program.Nodes[Index].Name +
+      return makeError(ErrorCode::Infeasible,
+                       "stencil '" + Program.Nodes[Index].Name +
                        "' alone exceeds one device's capacity (" +
                        Cost.report(Options.Device) + ")");
     ResourceUsage Combined = Current + Cost;
@@ -79,8 +80,9 @@ stencilflow::partitionProgram(const CompiledProgram &Compiled,
     if (!Combined.fitsWithin(Budget) || KernelCountExceeded) {
       // Spill to a new device.
       if (static_cast<int>(Result.Devices.size()) >= Options.MaxDevices)
-        return makeError(formatString(
-            "program does not fit on %d device(s)", Options.MaxDevices));
+        return makeError(ErrorCode::Infeasible,
+                         formatString("program does not fit on %d "
+                                      "device(s)", Options.MaxDevices));
       Result.Devices.emplace_back();
       Current = Cost;
     } else {

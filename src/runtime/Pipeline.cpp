@@ -11,6 +11,9 @@
 #include "compute/Simplify.h"
 #include "frontend/SemanticAnalysis.h"
 #include "sdfg/StencilFusion.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
 
 using namespace stencilflow;
 
@@ -75,19 +78,83 @@ stencilflow::runPipeline(StencilProgram Program,
     Result.Sources = Sources.takeValue();
   }
 
-  // Simulated execution and validation.
+  // Simulated execution and validation, with graceful degradation: a
+  // permanent device loss re-partitions the DAG across the survivors and
+  // re-runs (paper Sec. VI-B fabrics must outlive single-node failures).
   if (Options.Simulate) {
-    Expected<sim::Machine> M = sim::Machine::build(
-        Result.Compiled, Result.Dataflow,
-        Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr,
-        Options.Simulator);
-    if (!M)
-      return M.takeError().addContext("simulator construction");
     auto Inputs = materializeInputs(Result.Compiled.program());
-    Expected<sim::SimResult> Sim = M->run(Inputs);
-    if (!Sim)
-      return Sim.takeError().addContext("simulation");
-    Result.Simulation = Sim.takeValue();
+    sim::SimConfig SimConfig = Options.Simulator;
+    sim::FaultPlan SurvivorPlan; // Retry plan: device failures stripped.
+    for (int Attempt = 1;; ++Attempt) {
+      Result.Recovery.Attempts = Attempt;
+      Expected<sim::Machine> M = sim::Machine::build(
+          Result.Compiled, Result.Dataflow,
+          Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr,
+          SimConfig);
+      if (!M)
+        return M.takeError().addContext("simulator construction");
+      Expected<sim::SimResult> Sim = M->run(Inputs);
+      if (Sim) {
+        Result.Simulation = Sim.takeValue();
+        for (const auto &[Name, Link] : Result.Simulation.Stats.Links) {
+          Result.Recovery.Retransmissions += Link.Retransmissions;
+          Result.Recovery.CorruptedVectors += Link.CorruptedVectors;
+        }
+        if (Attempt > 1 || Result.Recovery.Retransmissions > 0 ||
+            Result.Recovery.CorruptedVectors > 0)
+          Result.Recovery.Log.push_back(formatString(
+              "attempt %d: completed on %zu device(s), absorbing %lld "
+              "corrupted vector(s) via %lld retransmission(s)",
+              Attempt, Result.Placement.numDevices(),
+              static_cast<long long>(Result.Recovery.CorruptedVectors),
+              static_cast<long long>(Result.Recovery.Retransmissions)));
+        break;
+      }
+      Error Err = Sim.takeError();
+      const sim::FailureReport &Failure = M->lastFailure();
+      // Each lost node shrinks the testbed's device pool by one; the
+      // program is re-partitioned across the survivors (a spare takes the
+      // failed node's place when the pool still has slack). Unrecoverable
+      // when the pool is exhausted.
+      int Survivors = PartOptions.MaxDevices -
+                      (Result.Recovery.DevicesLost + 1);
+      bool Recoverable = Err.code() == ErrorCode::DeviceLost &&
+                         Options.RecoverFromDeviceLoss &&
+                         Attempt < Options.MaxSimAttempts &&
+                         Survivors >= 1;
+      if (!Recoverable)
+        return Err.addContext("simulation");
+
+      ++Result.Recovery.DevicesLost;
+      Result.Recovery.Log.push_back(formatString(
+          "attempt %d: device %d lost at cycle %lld; re-partitioning "
+          "across a pool of %d surviving device(s)",
+          Attempt, Failure.FailedDevice,
+          static_cast<long long>(Failure.Cycle), Survivors));
+
+      PartitionOptions Degraded = PartOptions;
+      Degraded.MaxDevices = Survivors;
+      Expected<Partition> Replacement =
+          partitionProgram(Result.Compiled, Result.Dataflow, Degraded);
+      if (!Replacement)
+        return Replacement.takeError().addContext(formatString(
+            "re-partitioning after losing device %d",
+            Failure.FailedDevice));
+      Result.Placement = Replacement.takeValue();
+
+      // The failed node is gone; keep only the survivors' faults.
+      if (SimConfig.Faults) {
+        SurvivorPlan = *SimConfig.Faults;
+        SurvivorPlan.Events.erase(
+            std::remove_if(SurvivorPlan.Events.begin(),
+                           SurvivorPlan.Events.end(),
+                           [](const sim::FaultEvent &E) {
+                             return E.Kind == sim::FaultKind::DeviceFailure;
+                           }),
+            SurvivorPlan.Events.end());
+        SimConfig.Faults = &SurvivorPlan;
+      }
+    }
 
     if (Options.Validate) {
       Expected<ExecutionResult> Reference =

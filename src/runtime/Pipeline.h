@@ -60,9 +60,40 @@ struct PipelineOptions {
   PartitionOptions Partitioning;
   sim::SimConfig Simulator;
 
+  /// Graceful degradation: when the simulation aborts with
+  /// ErrorCode::DeviceLost, the failed node leaves the testbed's device
+  /// pool (Partitioning.MaxDevices shrinks by one), the DAG is
+  /// re-partitioned across the survivors — a spare takes the failed
+  /// node's place when the pool has slack — the machine is rebuilt, and
+  /// the run retried. Permanent device-failure events are stripped from
+  /// the fault plan on the retry (the failed node is gone; the survivors'
+  /// transient faults stay in force). Unrecoverable once the pool is
+  /// exhausted or MaxSimAttempts is reached.
+  bool RecoverFromDeviceLoss = true;
+
+  /// Total simulation attempts (first run plus device-loss re-runs).
+  int MaxSimAttempts = 3;
+
   /// Validation tolerance: fused programs compute through the halo, so
   /// boundary cells may differ; interior cells must match exactly.
   double Tolerance = 0.0;
+};
+
+/// What the pipeline's resilience policy did across simulation attempts.
+struct RecoveryReport {
+  /// Simulation attempts performed (1 = no recovery needed).
+  int Attempts = 1;
+
+  /// Devices lost (and recovered from) across attempts.
+  int DevicesLost = 0;
+
+  /// Transient faults the reliable transport absorbed on the final,
+  /// successful attempt (summed over all remote streams).
+  int64_t Retransmissions = 0;
+  int64_t CorruptedVectors = 0;
+
+  /// Human-readable narrative, one line per recovery action.
+  std::vector<std::string> Log;
 };
 
 /// Everything the pipeline produced.
@@ -78,6 +109,7 @@ struct PipelineResult {
   std::vector<ValidationReport> Validations;
   bool ValidationPassed = true;
   int FusedPairs = 0;
+  RecoveryReport Recovery; ///< When Simulate, what resilience absorbed.
 
   /// Simulated wall-clock seconds at the modeled frequency.
   double simulatedSeconds() const {

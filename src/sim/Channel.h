@@ -98,18 +98,15 @@ public:
     return Count > 0 && ReadyCycles[static_cast<size_t>(Head)] > Cycle;
   }
 
-private:
-  /// Folds the current visible occupancy (total minus in flight at
-  /// \p Cycle) into the visible high-water mark. Ready cycles are
+  /// Occupancy visible to the consumer at \p Cycle: enqueued vectors that
+  /// have matured past the arrival latency. Ready cycles are
   /// non-decreasing in FIFO order (constant latency, monotone push
   /// cycles), so scanning newest-to-oldest stops at the first matured
   /// vector; the cost is O(in-flight), which is bounded by the arrival
   /// latency, and zero for local channels.
-  void recordVisible(int64_t Cycle) {
-    if (ArrivalLatency == 0) {
-      VisibleHighWater = std::max(VisibleHighWater, Count);
-      return;
-    }
+  int64_t visibleSize(int64_t Cycle) const {
+    if (ArrivalLatency == 0)
+      return Count;
     int64_t InFlight = 0;
     while (InFlight < Count) {
       int64_t Slot = (Head + Count - 1 - InFlight) % Capacity;
@@ -117,7 +114,13 @@ private:
         break;
       ++InFlight;
     }
-    VisibleHighWater = std::max(VisibleHighWater, Count - InFlight);
+    return Count - InFlight;
+  }
+
+private:
+  /// Folds the current visible occupancy into the visible high-water mark.
+  void recordVisible(int64_t Cycle) {
+    VisibleHighWater = std::max(VisibleHighWater, visibleSize(Cycle));
   }
 
   std::string Name;

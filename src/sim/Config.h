@@ -25,6 +25,7 @@ namespace stencilflow {
 namespace sim {
 
 class Tracer;
+struct FaultPlan;
 
 /// Simulator knobs.
 struct SimConfig {
@@ -93,6 +94,44 @@ struct SimConfig {
   /// the run aborts (deadlock or cycle limit), so stuck configurations
   /// can be inspected in chrome://tracing.
   Tracer *Trace = nullptr;
+
+  //===--------------------------------------------------------------------===//
+  // Resilience (see sim/Fault.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Optional fault-injection plan, not owned. When null — the default —
+  /// no faults are scheduled and remote streams use the plain (fire and
+  /// forget) transport, so fault-free runs pay nothing. Attaching a plan,
+  /// even an empty one, switches every inter-device stream to the
+  /// reliable transport: sequence numbers, per-vector checksums, and
+  /// bounded retransmission.
+  const FaultPlan *Faults = nullptr;
+
+  /// When false, corruption is still detected by the receiver's checksum
+  /// but never recovered: the first corrupted vector aborts the run with
+  /// ErrorCode::DataCorruption. Models detection-only deployments and
+  /// demonstrates what the retransmission protocol buys.
+  bool ReliableStreams = true;
+
+  /// Progress watchdog: if a component makes no progress for this many
+  /// cycles while the rest of the system still advances, the run aborts
+  /// with ErrorCode::Starvation (livelock / unfair arbitration), as
+  /// opposed to the global no-progress check which reports a true
+  /// Deadlock. 0 disables the watchdog.
+  int64_t StallTimeoutCycles = 0;
+
+  /// Reliable transport: how many times one vector may be retransmitted
+  /// before the stream declares the link dead (ErrorCode::LinkFailure).
+  int MaxRetransmitAttempts = 16;
+
+  /// Reliable transport: base backoff, in cycles, the sender waits after
+  /// a NACK before rewinding; doubles per consecutive NACK of the same
+  /// vector (capped at 64x).
+  int64_t RetransmitBackoffCycles = 8;
+
+  /// Reliable transport: maximum unacknowledged vectors in flight per
+  /// remote stream before the sender blocks (Go-Back-N send window).
+  int64_t SendWindowVectors = 512;
 
   //===--------------------------------------------------------------------===//
   // Safety

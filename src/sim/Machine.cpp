@@ -34,6 +34,16 @@ const char *stallStateName(StallCause Cause) {
 
 } // namespace
 
+const char *sim::terminationReasonName(TerminationReason Reason) {
+  switch (Reason) {
+  case TerminationReason::Completed:
+    return "completed";
+  case TerminationReason::CompletedDegraded:
+    return "completed-degraded";
+  }
+  return "completed";
+}
+
 //===----------------------------------------------------------------------===//
 // Build
 //===----------------------------------------------------------------------===//
@@ -43,6 +53,9 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
                                  const Partition *Placement,
                                  const SimConfig &Config) {
   const StencilProgram &Program = Compiled.program();
+  if (Config.Faults)
+    if (Error Err = Config.Faults->validate())
+      return Err.addContext("fault plan");
   Machine M;
   M.Config = Config;
   M.Compiled = &Compiled;
@@ -91,14 +104,26 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
     Link.ChannelIndex = M.Channels.size();
     Link.FirstHop = SourceDevice;
     Link.LastHop = Consumer.Device;
+    int ReliableIndex = -1;
     if (SourceDevice != Consumer.Device) {
       int Hops = Consumer.Device - SourceDevice;
       Latency = Config.NetworkLatencyCyclesPerHop * Hops;
       Capacity += Config.NetworkExtraChannelDepth;
+      // With a fault plan attached, the reliable transport owns the wire
+      // latency; the Channel becomes the zero-latency delivery FIFO.
+      if (Config.Faults) {
+        ReliableStream RS;
+        RS.ChannelIndex = Link.ChannelIndex;
+        RS.WireLatency = Latency;
+        Latency = 0;
+        ReliableIndex = static_cast<int>(M.Reliable.size());
+        M.Reliable.push_back(std::move(RS));
+      }
     }
     M.Channels.push_back(std::make_unique<Channel>(
         Source + "->" + Consumer.Name, Capacity, M.Lanes, Latency));
     M.RemoteLinks.push_back(Link);
+    M.ReliableOf.push_back(ReliableIndex);
     return M.Channels.size() - 1;
   };
 
@@ -222,6 +247,7 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
     Link.ChannelIndex = M.Channels.size() - 1;
     Link.FirstHop = Link.LastHop = Producer.Device;
     M.RemoteLinks.push_back(Link);
+    M.ReliableOf.push_back(-1);
     W.ChannelIndex = M.Channels.size() - 1;
     Producer.OutChannels.push_back(W.ChannelIndex);
     M.Writers.push_back(std::move(W));
@@ -233,6 +259,9 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
   M.MemoryBytesMoved.assign(static_cast<size_t>(M.NumDevices), 0.0);
   M.HopBudget.assign(static_cast<size_t>(std::max(0, M.NumDevices - 1)),
                      0.0);
+  M.EarliestDeviceFail = Config.Faults
+                             ? Config.Faults->earliestDeviceFailure()
+                             : std::numeric_limits<int64_t>::max();
   return M;
 }
 
@@ -241,7 +270,12 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
 //===----------------------------------------------------------------------===//
 
 bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter) {
-  if (Config.UnconstrainedMemory) {
+  // A memory brownout overrides unconstrained memory: the device falls
+  // back to the budgeted path, whose refill is scaled by the brownout
+  // factor.
+  bool BrownedOut =
+      Config.Faults && Brownout[static_cast<size_t>(Device)];
+  if (Config.UnconstrainedMemory && !BrownedOut) {
     MemoryBytesMoved[static_cast<size_t>(Device)] += DataBytes;
     return true;
   }
@@ -284,6 +318,114 @@ bool Machine::grantNetwork(size_t ChannelIndex) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Reliable remote streams (Go-Back-N; active only with a fault plan)
+//===----------------------------------------------------------------------===//
+
+bool Machine::channelFull(size_t ChannelIndex) const {
+  int Rel = ReliableOf[ChannelIndex];
+  if (Rel < 0)
+    return Channels[ChannelIndex]->full();
+  const ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+  // Backpressure mirrors the plain transport exactly in the fault-free
+  // case: outstanding (unacked, i.e. in flight) plus delivered-not-popped
+  // equals the plain channel's total occupancy. The send window and the
+  // rewind block only engage under faults.
+  int64_t Outstanding = RS.NextSeq - RS.SendBase;
+  if (Outstanding + Channels[ChannelIndex]->size() >=
+      Channels[ChannelIndex]->capacity())
+    return true;
+  if (Outstanding >= Config.SendWindowVectors)
+    return true;
+  return RS.ResendNext >= 0; // Rewinding: no fresh vectors until caught up.
+}
+
+void Machine::channelPush(size_t ChannelIndex, const double *Vector,
+                          int64_t Cycle) {
+  int Rel = ReliableOf[ChannelIndex];
+  if (Rel < 0) {
+    Channels[ChannelIndex]->push(Vector, Cycle);
+    return;
+  }
+  ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+  const RemoteLink &Link = RemoteLinks[ChannelIndex];
+  RS.SendBuffer.emplace_back(Vector, Vector + Lanes);
+  bool Corrupted = Config.Faults->corruptsTransmission(
+      Cycle, ChannelIndex, RS.NextSeq, RS.TransmissionNonce++,
+      Link.FirstHop, Link.LastHop);
+  RS.Wire.push_back({RS.NextSeq, Cycle + RS.WireLatency, Corrupted});
+  ++RS.Stats.Transmissions;
+  ++RS.NextSeq;
+  RS.PeakOutstanding =
+      std::max(RS.PeakOutstanding, RS.NextSeq - RS.SendBase +
+                                       Channels[ChannelIndex]->size());
+}
+
+Error Machine::linkReceive(int64_t Cycle) {
+  for (ReliableStream &RS : Reliable) {
+    Channel &Delivery = *Channels[RS.ChannelIndex];
+    while (!RS.Wire.empty() && RS.Wire.front().ArriveCycle <= Cycle) {
+      ReliableStream::InFlight Arrival = RS.Wire.front();
+      RS.Wire.pop_front();
+      if (Arrival.Corrupted) {
+        ++RS.Stats.CorruptedVectors;
+        if (!Config.ReliableStreams)
+          return abortRun(ErrorCode::DataCorruption, Cycle,
+                          Delivery.name());
+        if (Arrival.Seq != RS.ExpectedSeq)
+          continue; // Stale pre-rewind transmission: discard silently.
+        if (++RS.AttemptsOnExpected > Config.MaxRetransmitAttempts)
+          return abortRun(ErrorCode::LinkFailure, Cycle, Delivery.name());
+        // NACK: the sender rewinds to the expected vector after an
+        // exponential backoff.
+        ++RS.Stats.Nacks;
+        ++RS.NackStreak;
+        RS.BackoffUntil =
+            Cycle + (Config.RetransmitBackoffCycles
+                     << std::min(RS.NackStreak - 1, 6));
+        RS.ResendNext = RS.ExpectedSeq;
+        continue;
+      }
+      if (Arrival.Seq != RS.ExpectedSeq)
+        continue; // Duplicate or stale: discard silently.
+      // In-order delivery; the instantaneous cumulative ACK releases the
+      // sender's window slot.
+      Delivery.push(RS.SendBuffer.front().data(), Cycle);
+      RS.SendBuffer.pop_front();
+      ++RS.ExpectedSeq;
+      ++RS.SendBase;
+      ++RS.Stats.Delivered;
+      RS.AttemptsOnExpected = 0;
+      RS.NackStreak = 0;
+    }
+  }
+  return Error::success();
+}
+
+void Machine::linkSend(int64_t Cycle) {
+  for (ReliableStream &RS : Reliable) {
+    if (RS.ResendNext < 0 || Cycle < RS.BackoffUntil)
+      continue;
+    if (RS.ResendNext >= RS.NextSeq) { // Caught up; resume fresh sends.
+      RS.ResendNext = -1;
+      continue;
+    }
+    // Retransmissions pay hop bandwidth like any transmission, from
+    // whatever this cycle's emit phase left unspent.
+    if (!grantNetwork(RS.ChannelIndex))
+      continue;
+    const RemoteLink &Link = RemoteLinks[RS.ChannelIndex];
+    bool Corrupted = Config.Faults->corruptsTransmission(
+        Cycle, RS.ChannelIndex, RS.ResendNext, RS.TransmissionNonce++,
+        Link.FirstHop, Link.LastHop);
+    RS.Wire.push_back({RS.ResendNext, Cycle + RS.WireLatency, Corrupted});
+    ++RS.Stats.Transmissions;
+    ++RS.Stats.Retransmissions;
+    if (++RS.ResendNext == RS.NextSeq)
+      RS.ResendNext = -1;
+  }
+}
+
 bool Machine::stepReader(Reader &R, int64_t Cycle) {
   auto Stalled = [&](StallCause Cause) {
     R.Stalls.add(Cause);
@@ -297,7 +439,7 @@ bool Machine::stepReader(Reader &R, int64_t Cycle) {
     return false;
   }
   for (size_t ChannelIndex : R.OutChannels)
-    if (Channels[ChannelIndex]->full())
+    if (channelFull(ChannelIndex))
       return Stalled(StallCause::OutputBlocked);
   // Charge the arbitration penalty once per requesting endpoint per cycle.
   double DataBytes = static_cast<double>(Lanes) *
@@ -308,7 +450,7 @@ bool Machine::stepReader(Reader &R, int64_t Cycle) {
       R.Data->data() + static_cast<size_t>(R.VectorsPushed) *
                            static_cast<size_t>(Lanes);
   for (size_t ChannelIndex : R.OutChannels)
-    Channels[ChannelIndex]->push(Vector, Cycle);
+    channelPush(ChannelIndex, Vector, Cycle);
   ++R.VectorsPushed;
   if (ActiveTrace)
     ActiveTrace->setState(R.TraceTrack, Cycle, "active");
@@ -449,7 +591,7 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
   if (!U.PipeReady.empty() && U.PipeReady.front() <= Cycle) {
     bool CanPush = true;
     for (size_t ChannelIndex : U.OutChannels)
-      if (Channels[ChannelIndex]->full())
+      if (channelFull(ChannelIndex))
         CanPush = false;
     if (!CanPush)
       Cause = StallCause::OutputBlocked;
@@ -484,7 +626,7 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
       }
       U.PipeReady.pop_front();
       for (size_t ChannelIndex : U.OutChannels)
-        Channels[ChannelIndex]->push(U.OutVector.data(), Cycle);
+        channelPush(ChannelIndex, U.OutVector.data(), Cycle);
       ++U.Emitted;
       MadeProgress = true;
     }
@@ -561,32 +703,93 @@ bool Machine::stepWriter(Writer &W, int64_t Cycle) {
 // Run
 //===----------------------------------------------------------------------===//
 
-std::string Machine::deadlockReport() const {
-  std::string Report = "deadlock detected; stuck components:\n";
+void Machine::buildFailureReport(ErrorCode Code, int64_t Cycle) {
+  LastFailure = FailureReport();
+  LastFailure.Code = Code;
+  LastFailure.Cycle = Cycle;
+  if (Config.Faults)
+    LastFailure.FailedDevice = Config.Faults->firstFailedDevice(Cycle);
+
+  // Channels adjacent to any stuck component, each reported once.
+  std::vector<char> ChannelSeen(Channels.size(), 0);
+  auto AddChannel = [&](size_t ChannelIndex) {
+    if (ChannelSeen[ChannelIndex])
+      return;
+    ChannelSeen[ChannelIndex] = 1;
+    const Channel &C = *Channels[ChannelIndex];
+    FailureChannel FC;
+    FC.Name = C.name();
+    FC.Occupancy = C.visibleSize(Cycle);
+    FC.Capacity = C.capacity();
+    FC.Full = channelFull(ChannelIndex);
+    LastFailure.Channels.push_back(std::move(FC));
+  };
+
+  for (const Reader &R : Readers) {
+    if (R.VectorsPushed == R.TotalVectors)
+      continue;
+    FailureComponent FC;
+    FC.Name = R.Field;
+    FC.Kind = "reader";
+    FC.Device = R.Device;
+    FC.Cause = R.Stalls.dominant();
+    FC.StallCycles = R.Stalls.total();
+    FC.Progress = R.VectorsPushed;
+    FC.Total = R.TotalVectors;
+    LastFailure.Components.push_back(std::move(FC));
+    for (size_t ChannelIndex : R.OutChannels)
+      AddChannel(ChannelIndex);
+  }
   for (const Unit &U : Units) {
     if (U.Emitted == U.StreamVectors)
       continue;
-    Report += formatString(
-        "  unit %-20s step %lld/%lld, issued %lld, emitted %lld/%lld\n",
-        U.Name.c_str(), static_cast<long long>(U.Step),
-        static_cast<long long>(U.StreamVectors + U.InitSteps),
-        static_cast<long long>(U.Issued), static_cast<long long>(U.Emitted),
-        static_cast<long long>(U.StreamVectors));
+    FailureComponent FC;
+    FC.Name = U.Name;
+    FC.Kind = "unit";
+    FC.Device = U.Device;
+    FC.Cause = U.Stalls.dominant();
+    FC.StallCycles = U.StallCycles;
+    FC.Progress = U.Emitted;
+    FC.Total = U.StreamVectors;
+    LastFailure.Components.push_back(std::move(FC));
     for (const FieldStream &Stream : U.Streams)
-      Report += formatString(
-          "    in  %-28s %lld/%lld vectors queued\n",
-          Channels[Stream.ChannelIndex]->name().c_str(),
-          static_cast<long long>(Channels[Stream.ChannelIndex]->size()),
-          static_cast<long long>(Channels[Stream.ChannelIndex]->capacity()));
+      AddChannel(Stream.ChannelIndex);
     for (size_t ChannelIndex : U.OutChannels)
-      Report += formatString(
-          "    out %-28s %lld/%lld vectors queued%s\n",
-          Channels[ChannelIndex]->name().c_str(),
-          static_cast<long long>(Channels[ChannelIndex]->size()),
-          static_cast<long long>(Channels[ChannelIndex]->capacity()),
-          Channels[ChannelIndex]->full() ? "  [FULL]" : "");
+      AddChannel(ChannelIndex);
   }
-  return Report;
+  for (const Writer &W : Writers) {
+    if (W.VectorsWritten == W.TotalVectors)
+      continue;
+    FailureComponent FC;
+    FC.Name = W.Field;
+    FC.Kind = "writer";
+    FC.Device = W.Device;
+    FC.Cause = W.Stalls.dominant();
+    FC.StallCycles = W.Stalls.total();
+    FC.Progress = W.VectorsWritten;
+    FC.Total = W.TotalVectors;
+    LastFailure.Components.push_back(std::move(FC));
+    AddChannel(W.ChannelIndex);
+  }
+
+  // The headline component: the most-stalled stuck one.
+  const FailureComponent *Worst = nullptr;
+  for (const FailureComponent &FC : LastFailure.Components)
+    if (!Worst || FC.StallCycles > Worst->StallCycles)
+      Worst = &FC;
+  if (Worst) {
+    LastFailure.Component = Worst->Name;
+    LastFailure.DominantCause = Worst->Cause;
+  }
+}
+
+Error Machine::abortRun(ErrorCode Code, int64_t Cycle,
+                        const std::string &FailedChannel) {
+  buildFailureReport(Code, Cycle);
+  LastFailure.FailedChannel = FailedChannel;
+  if (ActiveTrace)
+    ActiveTrace->finish(Cycle);
+  return makeError(Code, LastFailure.render());
 }
 
 Expected<SimResult>
@@ -605,6 +808,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     R.Data = &It->second;
     R.VectorsPushed = 0;
     R.Stalls = StallBreakdown();
+    R.LastProgress = 0;
   }
   for (Unit &U : Units) {
     for (FieldStream &Stream : U.Streams) {
@@ -629,6 +833,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     U.CenterIndex.assign(SpaceExtents.size(), 0);
     U.StallCycles = 0;
     U.Stalls = StallBreakdown();
+    U.LastProgress = 0;
     U.Scratch.assign(U.Kernel->instructions().size(), 0.0);
     U.SlotValues.assign(U.Slots.size(), 0.0);
     U.OutVector.assign(static_cast<size_t>(Lanes), 0.0);
@@ -641,9 +846,28 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     W.VectorsWritten = 0;
     W.InVector.assign(static_cast<size_t>(Lanes), 0.0);
     W.Stalls = StallBreakdown();
+    W.LastProgress = 0;
   }
   std::fill(MemoryBytesMoved.begin(), MemoryBytesMoved.end(), 0.0);
   NetworkBytesMoved = 0.0;
+
+  // Resilience state.
+  const FaultPlan *Plan = Config.Faults;
+  for (ReliableStream &RS : Reliable) {
+    RS.SendBuffer.clear();
+    RS.Wire.clear();
+    RS.NextSeq = RS.SendBase = RS.ExpectedSeq = 0;
+    RS.ResendNext = -1;
+    RS.BackoffUntil = 0;
+    RS.NackStreak = 0;
+    RS.AttemptsOnExpected = 0;
+    RS.TransmissionNonce = 0;
+    RS.PeakOutstanding = 0;
+    RS.Stats = LinkStats();
+  }
+  DeadDevice.assign(static_cast<size_t>(NumDevices), 0);
+  Brownout.assign(static_cast<size_t>(NumDevices), 0);
+  LastFailure = FailureReport();
 
   // Per-cycle scratch (hoisted: the run loop must not allocate).
   ActiveReaders.assign(MemoryBudget.size(), 0);
@@ -665,14 +889,21 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
 
   int64_t Cycle = 0;
   for (;; ++Cycle) {
-    if (Cycle >= MaxCycles) {
-      if (ActiveTrace)
-        ActiveTrace->finish(Cycle);
-      return makeError(formatString(
-          "simulation exceeded the cycle limit (%lld cycles; expected %lld)",
-          static_cast<long long>(MaxCycles),
-          static_cast<long long>(ExpectedCycles)));
-    }
+    if (Cycle >= MaxCycles)
+      return abortRun(ErrorCode::CycleLimit, Cycle);
+
+    // Refresh the per-device fault state for this cycle.
+    if (Plan && !Plan->empty())
+      for (int Device = 0; Device != NumDevices; ++Device) {
+        Brownout[static_cast<size_t>(Device)] =
+            Plan->memoryBrownoutAt(Device, Cycle);
+        if (Cycle >= EarliestDeviceFail)
+          DeadDevice[static_cast<size_t>(Device)] =
+              Plan->deviceFailedAt(Device, Cycle);
+      }
+    auto IsDead = [&](int Device) {
+      return Plan && DeadDevice[static_cast<size_t>(Device)] != 0;
+    };
 
     // Refill per-cycle budgets. Unused budget carries over (bounded by one
     // transaction beyond the per-cycle rate), so rates smaller than a
@@ -687,10 +918,10 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     std::fill(ActiveReaders.begin(), ActiveReaders.end(), 0);
     std::fill(ActiveWriters.begin(), ActiveWriters.end(), 0);
     for (const Reader &R : Readers)
-      if (R.VectorsPushed != R.TotalVectors)
+      if (R.VectorsPushed != R.TotalVectors && !IsDead(R.Device))
         ++ActiveReaders[static_cast<size_t>(R.Device)];
     for (const Writer &W : Writers)
-      if (W.VectorsWritten != W.TotalVectors)
+      if (W.VectorsWritten != W.TotalVectors && !IsDead(W.Device))
         ++ActiveWriters[static_cast<size_t>(W.Device)];
     for (size_t Device = 0; Device != MemoryBudget.size(); ++Device) {
       int Total = ActiveReaders[Device] + ActiveWriters[Device];
@@ -699,6 +930,9 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
                      : static_cast<double>(ActiveWriters[Device]) /
                            static_cast<double>(Total);
       double Refill = Config.PeakMemoryBytesPerCycle;
+      // A brownout throttles the refill rate, not the accumulated budget.
+      if (Plan && Brownout[Device])
+        Refill *= Plan->memoryFactor(static_cast<int>(Device), Cycle);
       WriterBudget[Device] = std::min(
           WriterBudget[Device] + Refill * WriterShare,
           MemoryClamp * WriterShare + TransactionBytes);
@@ -711,9 +945,20 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
                                     static_cast<double>(ElementBytes) *
                                     static_cast<double>(
                                         std::max(1, NumDevices - 1));
-    for (double &Budget : HopBudget)
-      Budget = std::min(Budget + HopRate, HopClamp);
+    for (size_t Hop = 0; Hop != HopBudget.size(); ++Hop) {
+      double Rate = HopRate;
+      if (Plan)
+        Rate *= Plan->linkFactor(static_cast<int>(Hop), Cycle);
+      HopBudget[Hop] = std::min(HopBudget[Hop] + Rate, HopClamp);
+    }
     BandwidthWait = false;
+
+    // Reliable streams: matured wire transmissions are verified and
+    // delivered before any component steps, so the consumer-visible
+    // timing is identical to the plain transport's arrival latency.
+    if (!Reliable.empty())
+      if (Error Err = linkReceive(Cycle))
+        return Err;
 
     // Crossbar arbitration pressure: each active endpoint costs a small
     // amount of routing bandwidth (the mild pre-plateau droop of Fig. 16).
@@ -738,18 +983,50 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     bool Progress = false;
     if (!Readers.empty()) {
       size_t Offset = static_cast<size_t>(Cycle) % Readers.size();
-      for (size_t R = 0; R != Readers.size(); ++R)
-        Progress |= stepReader(Readers[(R + Offset) % Readers.size()],
-                               Cycle);
+      for (size_t Index = 0; Index != Readers.size(); ++Index) {
+        Reader &R = Readers[(Index + Offset) % Readers.size()];
+        if (IsDead(R.Device)) {
+          if (ActiveTrace)
+            ActiveTrace->setState(R.TraceTrack, Cycle, "dead");
+          continue;
+        }
+        if (stepReader(R, Cycle)) {
+          R.LastProgress = Cycle;
+          Progress = true;
+        }
+      }
     }
-    for (Unit &U : Units)
-      Progress |= stepUnit(U, Cycle);
+    for (Unit &U : Units) {
+      if (IsDead(U.Device)) {
+        if (ActiveTrace)
+          ActiveTrace->setState(U.TraceTrack, Cycle, "dead");
+        continue;
+      }
+      if (stepUnit(U, Cycle)) {
+        U.LastProgress = Cycle;
+        Progress = true;
+      }
+    }
     if (!Writers.empty()) {
       size_t Offset = static_cast<size_t>(Cycle) % Writers.size();
-      for (size_t W = 0; W != Writers.size(); ++W)
-        Progress |= stepWriter(Writers[(W + Offset) % Writers.size()],
-                               Cycle);
+      for (size_t Index = 0; Index != Writers.size(); ++Index) {
+        Writer &W = Writers[(Index + Offset) % Writers.size()];
+        if (IsDead(W.Device)) {
+          if (ActiveTrace)
+            ActiveTrace->setState(W.TraceTrack, Cycle, "dead");
+          continue;
+        }
+        if (stepWriter(W, Cycle)) {
+          W.LastProgress = Cycle;
+          Progress = true;
+        }
+      }
     }
+
+    // Reliable streams: rewound senders retransmit from leftover hop
+    // bandwidth (fresh emissions had priority this cycle).
+    if (!Reliable.empty())
+      linkSend(Cycle);
 
     if (ActiveTrace && Cycle % ActiveTrace->sampleStride() == 0)
       sampleTrace(*ActiveTrace, Cycle);
@@ -763,17 +1040,47 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     }
 
     if (!Progress) {
-      // Time-dependent state (in-flight network vectors, pipeline stages)
-      // may still mature; otherwise this is a genuine deadlock.
+      // Time-dependent state (in-flight network vectors, retransmissions,
+      // pipeline stages) may still mature; otherwise no component can
+      // ever step again — a true deadlock, unless the quiescence was
+      // caused by a permanently failed device.
       bool Pending = BandwidthWait;
       for (const auto &C : Channels)
         Pending |= C->hasPendingArrival(Cycle);
       for (const Unit &U : Units)
         Pending |= !U.PipeReady.empty() && U.PipeReady.front() > Cycle;
+      for (const ReliableStream &RS : Reliable)
+        Pending |= !RS.Wire.empty() || RS.ResendNext >= 0;
       if (!Pending) {
-        if (ActiveTrace)
-          ActiveTrace->finish(Cycle);
-        return makeError(deadlockReport());
+        ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
+                             ? ErrorCode::DeviceLost
+                             : ErrorCode::Deadlock;
+        return abortRun(Code, Cycle);
+      }
+    }
+
+    // Progress watchdog: a component stuck past the timeout while the
+    // system as a whole still moves is livelock/starvation, not deadlock
+    // (the global no-progress check above catches true deadlocks the
+    // cycle they happen). A permanently failed device is reported as the
+    // root cause instead of the starvation it induces downstream.
+    if (Config.StallTimeoutCycles > 0 && Cycle != 0 &&
+        Cycle % 256 == 0) {
+      bool Starved = false;
+      for (const Reader &R : Readers)
+        Starved |= R.VectorsPushed != R.TotalVectors &&
+                   Cycle - R.LastProgress > Config.StallTimeoutCycles;
+      for (const Unit &U : Units)
+        Starved |= U.Emitted != U.StreamVectors &&
+                   Cycle - U.LastProgress > Config.StallTimeoutCycles;
+      for (const Writer &W : Writers)
+        Starved |= W.VectorsWritten != W.TotalVectors &&
+                   Cycle - W.LastProgress > Config.StallTimeoutCycles;
+      if (Starved) {
+        ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
+                             ? ErrorCode::DeviceLost
+                             : ErrorCode::Starvation;
+        return abortRun(Code, Cycle);
       }
     }
   }
@@ -797,10 +1104,22 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
                                            R.Device)] = R.Stalls;
   for (const Writer &W : Writers)
     Result.Stats.WriterStalls[W.Field] = W.Stalls;
-  for (const auto &C : Channels) {
-    Result.Stats.ChannelHighWater[C->name()] = C->highWaterMark();
-    Result.Stats.ChannelPeakOccupancy[C->name()] = C->peakOccupancy();
-    Result.Stats.ChannelCapacity[C->name()] = C->capacity();
+  for (size_t Index = 0; Index != Channels.size(); ++Index) {
+    const Channel &C = *Channels[Index];
+    Result.Stats.ChannelHighWater[C.name()] = C.highWaterMark();
+    // Reliable streams model the wire outside the Channel; their peak
+    // counts in-flight vectors the same way the plain transport does.
+    Result.Stats.ChannelPeakOccupancy[C.name()] =
+        ReliableOf[Index] >= 0
+            ? Reliable[static_cast<size_t>(ReliableOf[Index])]
+                  .PeakOutstanding
+            : C.peakOccupancy();
+    Result.Stats.ChannelCapacity[C.name()] = C.capacity();
+  }
+  for (const ReliableStream &RS : Reliable) {
+    Result.Stats.Links[Channels[RS.ChannelIndex]->name()] = RS.Stats;
+    if (RS.Stats.Retransmissions > 0 || RS.Stats.CorruptedVectors > 0)
+      Result.Termination = TerminationReason::CompletedDegraded;
   }
   for (Writer &W : Writers)
     Result.Outputs[W.Field] = std::move(W.Data);

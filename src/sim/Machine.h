@@ -36,6 +36,7 @@
 #include "core/ValidRegion.h"
 #include "sim/Channel.h"
 #include "sim/Config.h"
+#include "sim/Fault.h"
 #include "sim/Trace.h"
 #include "support/Error.h"
 
@@ -48,6 +49,25 @@
 
 namespace stencilflow {
 namespace sim {
+
+/// Reliable-transport counters for one remote stream (all zero unless a
+/// fault plan is attached; see SimConfig::Faults).
+struct LinkStats {
+  /// Wire transmissions, including retransmissions.
+  int64_t Transmissions = 0;
+  /// Go-Back-N retransmissions (Transmissions - Retransmissions ==
+  /// Delivered on a completed run: every vector is delivered exactly
+  /// once).
+  int64_t Retransmissions = 0;
+  /// Corrupted arrivals discarded by the receiver's checksum.
+  int64_t CorruptedVectors = 0;
+  /// NACKs the receiver sent (corrupted arrivals of the expected
+  /// sequence number only; stale out-of-order arrivals are discarded
+  /// silently, so Nacks <= CorruptedVectors).
+  int64_t Nacks = 0;
+  /// Vectors delivered in order to the consumer.
+  int64_t Delivered = 0;
+};
 
 /// Execution statistics of one simulation.
 struct SimStats {
@@ -98,12 +118,33 @@ struct SimStats {
   /// Configured capacity per channel (vectors), for occupancy ratios in
   /// the metrics export.
   std::map<std::string, int64_t> ChannelCapacity;
+
+  /// Reliable-transport counters per remote stream, keyed by channel
+  /// name. Present (with zero counters) for every inter-device stream
+  /// when a fault plan is attached; empty otherwise.
+  std::map<std::string, LinkStats> Links;
 };
+
+/// How a returned simulation terminated. Failed runs return a typed
+/// \c Error instead (see \c Machine::lastFailure for the structured
+/// report), so a \c SimResult either completed cleanly or completed while
+/// the reliable transport absorbed injected faults.
+enum class TerminationReason : uint8_t {
+  /// Ran to completion; no faults were absorbed.
+  Completed,
+  /// Ran to completion, but the reliable transport detected corrupted
+  /// vectors and recovered via retransmission.
+  CompletedDegraded,
+};
+
+/// Stable name, e.g. "completed-degraded".
+const char *terminationReasonName(TerminationReason Reason);
 
 /// Results of one simulation: statistics plus the program outputs.
 struct SimResult {
   SimStats Stats;
   std::map<std::string, std::vector<double>> Outputs;
+  TerminationReason Termination = TerminationReason::Completed;
 };
 
 /// A built simulator instance. Build once, run with concrete inputs.
@@ -127,6 +168,11 @@ public:
 
   /// Number of devices in the machine.
   int numDevices() const { return NumDevices; }
+
+  /// The structured report of the most recent failed run (the same
+  /// information as the returned Error's message, machine-readable).
+  /// Code is ErrorCode::Unknown when the last run succeeded.
+  const FailureReport &lastFailure() const { return LastFailure; }
 
 private:
   //===--------------------------------------------------------------------===//
@@ -191,6 +237,7 @@ private:
     std::vector<int64_t> CenterIndex; ///< Multi-dim index of next output.
     int64_t StallCycles = 0;
     StallBreakdown Stalls; ///< Per-cause split of StallCycles.
+    int64_t LastProgress = 0; ///< Last cycle the unit made progress.
     int TraceTrack = -1;   ///< Timeline track when tracing.
     std::vector<double> Scratch;    ///< Kernel evaluation scratch.
     std::vector<double> SlotValues; ///< Kernel input staging.
@@ -208,6 +255,7 @@ private:
     const std::vector<double> *Data = nullptr;
     int64_t VectorsPushed = 0;
     StallBreakdown Stalls;
+    int64_t LastProgress = 0;
     int TraceTrack = -1;
   };
 
@@ -225,6 +273,7 @@ private:
     int64_t VectorsWritten = 0;
     std::vector<double> InVector;
     StallBreakdown Stalls;
+    int64_t LastProgress = 0;
     int TraceTrack = -1;
   };
 
@@ -233,6 +282,49 @@ private:
     size_t ChannelIndex = 0;
     int FirstHop = 0; ///< Crosses hops [FirstHop, LastHop).
     int LastHop = 0;
+  };
+
+  /// Go-Back-N reliable transport state for one remote channel, active
+  /// only when a fault plan is attached. The Channel object becomes the
+  /// receiver-side delivery FIFO (arrival latency zero); the wire — with
+  /// the hop latency — is modeled here, so corrupted transmissions can be
+  /// detected by the receiver's checksum and retransmitted from the
+  /// sender's window. Control-plane feedback (cumulative ACKs and NACKs)
+  /// is instantaneous, a fair simplification for a cycle simulator: the
+  /// data plane still pays full per-hop latency and bandwidth. With no
+  /// corruption events firing, the protocol is cycle- and bit-exact with
+  /// the plain transport.
+  struct ReliableStream {
+    size_t ChannelIndex = 0;
+    int64_t WireLatency = 0;
+
+    /// Sender: payloads of the unacknowledged window [SendBase, NextSeq).
+    std::deque<std::vector<double>> SendBuffer;
+    int64_t NextSeq = 0;     ///< Next fresh sequence number.
+    int64_t SendBase = 0;    ///< Lowest unacknowledged sequence number.
+    int64_t ResendNext = -1; ///< Next seq to retransmit; -1 = normal mode.
+    int64_t BackoffUntil = 0;
+    int NackStreak = 0;       ///< Consecutive NACKs (exponential backoff).
+    uint64_t TransmissionNonce = 0; ///< Keys the corruption PRNG.
+
+    /// One transmission in flight on the wire (payload lives in
+    /// SendBuffer; stale transmissions are discarded without it).
+    struct InFlight {
+      int64_t Seq;
+      int64_t ArriveCycle;
+      bool Corrupted; ///< Set in flight; detected by the receiver.
+    };
+    std::deque<InFlight> Wire;
+
+    /// Receiver.
+    int64_t ExpectedSeq = 0;
+    int AttemptsOnExpected = 0; ///< Corrupted arrivals of ExpectedSeq.
+
+    /// Highest outstanding occupancy (unacked + delivered-not-popped),
+    /// the reliable-mode equivalent of Channel::peakOccupancy.
+    int64_t PeakOutstanding = 0;
+
+    LinkStats Stats;
   };
 
   //===--------------------------------------------------------------------===//
@@ -258,7 +350,33 @@ private:
   /// Computes the value of slot \p Slot of \p U for lane \p Lane.
   double readSlot(const Unit &U, const SlotRef &Slot, int Lane) const;
 
-  std::string deadlockReport() const;
+  /// Producer-side view of channel \p ChannelIndex: plain Channel::full,
+  /// or the reliable stream's capacity/window/rewind backpressure.
+  bool channelFull(size_t ChannelIndex) const;
+
+  /// Producer-side push: plain Channel::push, or accept-and-transmit on
+  /// the reliable stream (the emit phase has already paid hop bandwidth).
+  void channelPush(size_t ChannelIndex, const double *Vector, int64_t Cycle);
+
+  /// Start-of-cycle receiver step: matured wire transmissions are
+  /// checksum-verified and delivered in order; corrupted or stale ones
+  /// are discarded (NACKing the sender when the expected vector was hit).
+  /// Fails with LinkFailure (retransmit budget exhausted) or
+  /// DataCorruption (recovery disabled).
+  Error linkReceive(int64_t Cycle);
+
+  /// End-of-cycle sender step: streams in rewind mode retransmit one
+  /// vector per cycle from leftover hop bandwidth, after backoff.
+  void linkSend(int64_t Cycle);
+
+  /// Fills LastFailure with the structured state of every stuck
+  /// component and its adjacent channels.
+  void buildFailureReport(ErrorCode Code, int64_t Cycle);
+
+  /// Builds the failure report, finalizes the trace, and returns the
+  /// typed Error whose message is the rendered report.
+  Error abortRun(ErrorCode Code, int64_t Cycle,
+                 const std::string &FailedChannel = std::string());
 
   //===--------------------------------------------------------------------===//
   // Configuration (set at build)
@@ -280,6 +398,17 @@ private:
   std::vector<Reader> Readers;
   std::vector<Unit> Units; ///< Global topological order.
   std::vector<Writer> Writers;
+
+  //===--------------------------------------------------------------------===//
+  // Resilience (active only when Config.Faults is set)
+  //===--------------------------------------------------------------------===//
+
+  std::vector<ReliableStream> Reliable;
+  std::vector<int> ReliableOf; ///< Per channel: index into Reliable or -1.
+  int64_t EarliestDeviceFail = 0; ///< INT64_MAX when no failure scheduled.
+  std::vector<char> DeadDevice;   ///< Per device, refreshed each cycle.
+  std::vector<char> Brownout;     ///< Per device, refreshed each cycle.
+  FailureReport LastFailure;
 
   //===--------------------------------------------------------------------===//
   // Per-cycle state

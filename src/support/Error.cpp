@@ -1,0 +1,67 @@
+//===- support/Error.cpp - Error-code taxonomy ---------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace stencilflow;
+
+const char *stencilflow::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Unknown:
+    return "unknown";
+  case ErrorCode::InvalidInput:
+    return "invalid-input";
+  case ErrorCode::Infeasible:
+    return "infeasible";
+  case ErrorCode::Deadlock:
+    return "deadlock";
+  case ErrorCode::Starvation:
+    return "starvation";
+  case ErrorCode::CycleLimit:
+    return "cycle-limit";
+  case ErrorCode::LinkFailure:
+    return "link-failure";
+  case ErrorCode::DataCorruption:
+    return "data-corruption";
+  case ErrorCode::DeviceLost:
+    return "device-lost";
+  case ErrorCode::ValidationMismatch:
+    return "validation-mismatch";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorCode>
+stencilflow::errorCodeFromName(std::string_view Name) {
+  for (int Code = 0; Code != NumErrorCodes; ++Code)
+    if (Name == errorCodeName(static_cast<ErrorCode>(Code)))
+      return static_cast<ErrorCode>(Code);
+  return std::nullopt;
+}
+
+int stencilflow::exitCodeFor(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::ValidationMismatch:
+    return 2;
+  case ErrorCode::Deadlock:
+    return 3;
+  case ErrorCode::CycleLimit:
+    return 4;
+  case ErrorCode::DeviceLost:
+    return 5;
+  case ErrorCode::LinkFailure:
+    return 6;
+  case ErrorCode::DataCorruption:
+    return 7;
+  case ErrorCode::Starvation:
+    return 8;
+  case ErrorCode::Unknown:
+  case ErrorCode::InvalidInput:
+  case ErrorCode::Infeasible:
+    return 1;
+  }
+  return 1;
+}

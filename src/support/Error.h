@@ -18,14 +18,63 @@
 #define STENCILFLOW_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
 namespace stencilflow {
 
-/// A recoverable error carrying a human-readable message.
+/// Machine-readable classification of a failure. The generic compiler /
+/// analysis paths use \c Unknown or \c InvalidInput; the distributed
+/// runtime and simulator return the resilience taxonomy (Deadlock,
+/// LinkFailure, DeviceLost, ...) so callers — the pipeline's recovery
+/// policy, CI scripts keying off exit codes — can branch on the *kind* of
+/// failure instead of string-matching messages.
+enum class ErrorCode : uint8_t {
+  /// Unclassified failure (the default for plain makeError(message)).
+  Unknown,
+  /// Malformed program description or invalid configuration.
+  InvalidInput,
+  /// No feasible mapping (partitioning/resources).
+  Infeasible,
+  /// True cyclic-dependency deadlock: no component can ever progress.
+  Deadlock,
+  /// Livelock/starvation: the system keeps progressing but a component
+  /// exceeded the progress watchdog's stall timeout.
+  Starvation,
+  /// The simulation exceeded its hard cycle limit.
+  CycleLimit,
+  /// A remote stream exhausted its bounded retransmit budget.
+  LinkFailure,
+  /// Payload corruption detected with no recovery protocol enabled.
+  DataCorruption,
+  /// A device failed permanently (fabric lost a node).
+  DeviceLost,
+  /// Simulated outputs disagree with the reference executor.
+  ValidationMismatch,
+};
+
+/// Number of distinct error codes (for iteration in tests).
+constexpr int NumErrorCodes =
+    static_cast<int>(ErrorCode::ValidationMismatch) + 1;
+
+/// Stable kebab-case name, e.g. "device-lost".
+const char *errorCodeName(ErrorCode Code);
+
+/// Inverse of \c errorCodeName; empty optional for unknown names.
+std::optional<ErrorCode> errorCodeFromName(std::string_view Name);
+
+/// Process exit code for CLI drivers: 0 is success, 1 an unclassified
+/// error, and each resilience code maps to a distinct small value so CI
+/// scripts can distinguish deadlock from cycle-limit aborts from
+/// validation mismatches.
+int exitCodeFor(ErrorCode Code);
+
+/// A recoverable error carrying a human-readable message and a
+/// machine-readable \c ErrorCode.
 ///
 /// An \c Error is either a success value (the default state) or a failure
 /// value with a message. It converts to \c true when it holds a failure,
@@ -49,6 +98,14 @@ public:
     return Err;
   }
 
+  /// Creates a classified failure value.
+  static Error failure(ErrorCode Code, std::string Message) {
+    Error Err;
+    Err.Message = std::move(Message);
+    Err.Code = Code;
+    return Err;
+  }
+
   /// Returns true if this holds a failure.
   explicit operator bool() const { return Message.has_value(); }
 
@@ -58,8 +115,16 @@ public:
     return *Message;
   }
 
+  /// Returns the failure classification (Unknown for unclassified
+  /// failures). Must only be called on failure values.
+  ErrorCode code() const {
+    assert(Message && "code() called on a success value");
+    return Code;
+  }
+
   /// Appends context to the failure message ("Context: message").
-  /// No-op on success values. Returns *this for chaining.
+  /// No-op on success values. Returns *this for chaining. The error code
+  /// is preserved.
   Error &addContext(const std::string &Context) {
     if (Message)
       Message = Context + ": " + *Message;
@@ -68,11 +133,17 @@ public:
 
 private:
   std::optional<std::string> Message;
+  ErrorCode Code = ErrorCode::Unknown;
 };
 
 /// Creates a failure \c Error from a message.
 inline Error makeError(std::string Message) {
   return Error::failure(std::move(Message));
+}
+
+/// Creates a classified failure \c Error.
+inline Error makeError(ErrorCode Code, std::string Message) {
+  return Error::failure(Code, std::move(Message));
 }
 
 /// A value-or-error type, analogous to llvm::Expected.
@@ -127,6 +198,12 @@ public:
   const std::string &message() const {
     assert(!*this && "message() called on a successful Expected");
     return std::get<Error>(Storage).message();
+  }
+
+  /// Returns the failure classification. Must only be called on failure.
+  ErrorCode code() const {
+    assert(!*this && "code() called on a successful Expected");
+    return std::get<Error>(Storage).code();
   }
 
 private:

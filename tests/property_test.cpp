@@ -22,9 +22,11 @@
 #include "common/TestPrograms.h"
 #include "core/BufferAnalysis.h"
 #include "core/DataflowAnalysis.h"
+#include "core/Partitioner.h"
 #include "runtime/InputData.h"
 #include "runtime/ReferenceExecutor.h"
 #include "runtime/Validation.h"
+#include "sim/Fault.h"
 #include "sim/Machine.h"
 
 #include <gtest/gtest.h>
@@ -248,3 +250,89 @@ TEST(ChannelOccupancyTest, DiamondCriticalEdgeActuallyFills) {
   EXPECT_GE(HighWater, Depth - 2);
   EXPECT_LE(HighWater, Depth + Config.MinChannelDepth);
 }
+
+//===----------------------------------------------------------------------===//
+// Fault-resilience property: transient faults never change the bits.
+//===----------------------------------------------------------------------===//
+
+// For seed-derived multi-device chains under seed-derived transient fault
+// plans (in-flight corruption, a link-degrade window, a memory brownout),
+// the reliable transport must deliver bit-exact agreement with the
+// sequential reference, and the per-link counters must stay consistent:
+// every transmission is either delivered or replayed, and NACKs never
+// exceed corrupted arrivals.
+class FaultResilienceProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FaultResilienceProperty, TransientFaultsPreserveBitExactness) {
+  uint64_t Seed = GetParam();
+  int Length = 4 + static_cast<int>(Seed % 3); // 2-4 devices at 2/device.
+  StencilProgram Program = jacobi3dChain(Length, 4, 6, 6);
+
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled) << Compiled.message();
+  auto Dataflow = analyzeDataflow(*Compiled);
+  ASSERT_TRUE(Dataflow) << Dataflow.message();
+
+  PartitionOptions PartOptions;
+  PartOptions.TargetUtilization = 1.0;
+  PartOptions.Device.DSPs = 7 * 2; // Two chained stencils per device.
+  PartOptions.MaxDevices = 64;
+  auto Placement = partitionProgram(*Compiled, *Dataflow, PartOptions);
+  ASSERT_TRUE(Placement) << Placement.message();
+  ASSERT_GT(Placement->numDevices(), 1u);
+
+  // A seed-derived transient-fault cocktail.
+  sim::FaultPlan Plan;
+  Plan.Seed = Seed;
+  sim::FaultEvent Corrupt;
+  Corrupt.Kind = sim::FaultKind::PayloadCorruption;
+  Corrupt.Probability = 0.05 + 0.04 * static_cast<double>(Seed % 5);
+  Plan.Events.push_back(Corrupt);
+  sim::FaultEvent Degrade;
+  Degrade.Kind = sim::FaultKind::LinkDegrade;
+  Degrade.Hop = static_cast<int>(Seed % Placement->numDevices()) - 1;
+  Degrade.Factor = 0.3;
+  Degrade.StartCycle = static_cast<int64_t>(Seed % 7) * 50;
+  Degrade.EndCycle = Degrade.StartCycle + 400;
+  Plan.Events.push_back(Degrade);
+  sim::FaultEvent Brownout;
+  Brownout.Kind = sim::FaultKind::MemoryBrownout;
+  Brownout.Device = static_cast<int>(Seed % Placement->numDevices());
+  Brownout.Factor = 0.5;
+  Brownout.StartCycle = 100;
+  Brownout.EndCycle = 600;
+  Plan.Events.push_back(Brownout);
+  ASSERT_FALSE(static_cast<bool>(Plan.validate()));
+
+  sim::SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.Faults = &Plan;
+  auto M = sim::Machine::build(*Compiled, *Dataflow, &*Placement, Config);
+  ASSERT_TRUE(M) << M.message();
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Result = M->run(Inputs);
+  ASSERT_TRUE(Result) << Result.message();
+
+  // Bit-exact despite the faults.
+  auto Reference = runReference(*Compiled, Inputs);
+  ASSERT_TRUE(Reference);
+  for (const std::string &Output : Compiled->program().Outputs) {
+    const auto &Sim = Result->Outputs.at(Output);
+    const auto &Ref = Reference->field(Output);
+    ASSERT_EQ(Sim.size(), Ref.size());
+    for (size_t I = 0; I != Ref.size(); ++I)
+      ASSERT_EQ(Sim[I], Ref[I]) << Output << "[" << I << "]";
+  }
+
+  // Counter consistency on every remote link.
+  for (const auto &[Name, Link] : Result->Stats.Links) {
+    EXPECT_EQ(Link.Transmissions - Link.Retransmissions, Link.Delivered)
+        << Name;
+    EXPECT_LE(Link.Nacks, Link.CorruptedVectors) << Name;
+    EXPECT_GE(Link.Retransmissions, Link.Nacks) << Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultResilienceProperty,
+                         ::testing::Range<uint64_t>(500, 510));

@@ -103,9 +103,10 @@ TEST(SdfgGraphTest, RemoveNodeDropsEdges) {
   AccessNode *A = S.addAccess("a");
   TaskletNode *T = S.addTasklet("t", "");
   S.connect(A, T, "a");
-  S.removeNode(T->id());
+  int TId = T->id();
+  S.removeNode(TId);
   EXPECT_TRUE(S.edges().empty());
-  EXPECT_EQ(S.findNode(T->id()), nullptr);
+  EXPECT_EQ(S.findNode(TId), nullptr);
 }
 
 //===----------------------------------------------------------------------===//
