@@ -5,16 +5,16 @@
 //===----------------------------------------------------------------------===//
 //
 // Quickstart: define a 2D Laplace stencil program in the JSON description
-// format (paper Sec. II, Lst. 1), run the full pipeline — analysis,
-// buffering, code generation, simulated hardware execution — and validate
-// the result against the reference executor.
+// format (paper Sec. II, Lst. 1), run the full pipeline through the
+// stencilflow::Session facade — analysis, buffering, code generation,
+// simulated hardware execution — and validate the result against the
+// reference executor.
 //
-// Run:  ./quickstart [--size N] [--vectorize W] [--emit]
+// Run:  ./quickstart [--size N] [--vectorize W] [--emit] [--parallel]
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/ProgramLoader.h"
-#include "runtime/Pipeline.h"
+#include "StencilFlow.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
@@ -23,7 +23,8 @@
 using namespace stencilflow;
 
 int main(int argc, char **argv) {
-  auto Args = CommandLine::parse(argc, argv, {"size", "vectorize", "emit"});
+  auto Args = CommandLine::parse(argc, argv,
+                                 {"size", "vectorize", "emit", "parallel"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -51,18 +52,20 @@ int main(int argc, char **argv) {
   })",
                                   Size, Size, W);
 
-  Expected<StencilProgram> Program = programFromJsonText(Json);
-  if (!Program) {
-    std::fprintf(stderr, "error: %s\n", Program.message().c_str());
+  // The Session facade is the library's front door: load once, chain the
+  // configuration, run.
+  Expected<Session> S = Session::fromJsonText(Json);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
     return 1;
   }
-  std::printf("%s\n", Program->summary().c_str());
+  std::printf("%s\n", S->program().summary().c_str());
 
-  PipelineOptions Options;
-  Options.Simulator.UnconstrainedMemory = true;
-  Options.EmitCode = Args->has("emit");
-  Expected<PipelineResult> Result = runPipeline(Program.takeValue(),
-                                                Options);
+  S->unconstrainedMemory(true).emitCode(Args->has("emit"));
+  if (Args->has("parallel"))
+    S->engine(sim::SimEngine::Parallel);
+
+  Expected<PipelineResult> Result = S->run();
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.message().c_str());
     return 1;
@@ -73,8 +76,9 @@ int main(int argc, char **argv) {
               static_cast<long long>(Result->Runtime.LatencyCycles),
               static_cast<long long>(Result->Runtime.StreamedCycles),
               static_cast<long long>(Result->Runtime.TotalCycles));
-  std::printf("simulated cycles:        %lld\n",
-              static_cast<long long>(Result->Simulation.Stats.Cycles));
+  std::printf("simulated cycles:        %lld (%s engine)\n",
+              static_cast<long long>(Result->Simulation.Stats.Cycles),
+              Result->Simulation.Stats.Engine.c_str());
   std::printf("modeled frequency:       %.0f MHz\n", Result->FrequencyMHz);
   std::printf("resources:               %s\n",
               Result->Resources
@@ -85,7 +89,7 @@ int main(int argc, char **argv) {
   for (const ValidationReport &Report : Result->Validations)
     std::printf("validation: %s\n", Report.Summary.c_str());
 
-  if (Options.EmitCode)
+  if (Args->has("emit"))
     for (const GeneratedSource &Source : Result->Sources)
       std::printf("\n===== %s =====\n%s", Source.FileName.c_str(),
                   Source.Source.c_str());

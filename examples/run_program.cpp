@@ -15,13 +15,16 @@
 //             [--constrained-memory] [--report]
 //             [--trace FILE] [--metrics FILE] [--trace-stride N]
 //             [--fault-plan FILE] [--stall-timeout N]
+//             [--parallel] [--threads N]
 //
 // --trace writes a Chrome trace-event timeline of the simulation (open in
 // chrome://tracing or https://ui.perfetto.dev); --metrics writes a tidy
 // CSV of the per-component stall attribution and channel occupancies.
 // --fault-plan injects a deterministic fault schedule (see sim/Fault.h for
 // the JSON format) and switches remote streams to the reliable transport;
-// --stall-timeout enables the progress watchdog.
+// --stall-timeout enables the progress watchdog. --parallel selects the
+// epoch-synchronized parallel engine (--threads pins its worker count);
+// tracing requires the serial engine, so --trace wins when both are given.
 // Sample descriptions live in examples/programs/.
 //
 // The exit code classifies the outcome so CI scripts can branch on it:
@@ -31,11 +34,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "frontend/ProgramLoader.h"
-#include "runtime/Pipeline.h"
+#include "StencilFlow.h"
 #include "sdfg/Lowering.h"
-#include "sim/Fault.h"
-#include "sim/Trace.h"
 #include "support/CommandLine.h"
 #include "support/Json.h"
 
@@ -47,7 +47,8 @@ int main(int argc, char **argv) {
   auto Args = CommandLine::parse(
       argc, argv,
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
-       "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout"});
+       "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
+       "parallel", "threads"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -58,33 +59,24 @@ int main(int argc, char **argv) {
                          "[--constrained-memory] [--report] "
                          "[--trace FILE] [--metrics FILE] "
                          "[--trace-stride N] [--fault-plan FILE] "
-                         "[--stall-timeout N]\n");
+                         "[--stall-timeout N] [--parallel] [--threads N]\n");
     return 1;
   }
 
-  Expected<StencilProgram> Program =
-      loadProgramFile(Args->positional()[0]);
-  if (!Program) {
-    std::fprintf(stderr, "error: %s\n", Program.message().c_str());
+  Expected<Session> S = Session::fromFile(Args->positional()[0]);
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
     return 1;
   }
-  if (Args->has("vectorize")) {
-    Program->VectorWidth = static_cast<int>(Args->getInt("vectorize", 1));
-    if (Error Err = Program->validate()) {
-      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
-      return 1;
-    }
-  }
-  std::printf("%s\n", Program->summary().c_str());
+  if (Args->has("vectorize"))
+    S->vectorize(static_cast<int>(Args->getInt("vectorize", 1)));
+  std::printf("%s\n", S->program().summary().c_str());
 
-  PipelineOptions Options;
-  Options.FuseStencils = Args->has("fuse");
-  Options.EmitCode = Args->has("emit");
-  Options.Simulator.UnconstrainedMemory = !Args->has("constrained-memory");
-  Options.Simulator.StallTimeoutCycles = Args->getInt("stall-timeout", 0);
+  S->fuseStencils(Args->has("fuse"))
+      .emitCode(Args->has("emit"))
+      .unconstrainedMemory(!Args->has("constrained-memory"))
+      .stallTimeout(Args->getInt("stall-timeout", 0));
 
-  // The plan must outlive the pipeline run; SimConfig holds a pointer.
-  sim::FaultPlan FaultPlan;
   if (Args->has("fault-plan")) {
     Expected<json::Value> PlanJson =
         json::parseFile(Args->getString("fault-plan"));
@@ -97,24 +89,30 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: %s\n", Parsed.message().c_str());
       return 1;
     }
-    FaultPlan = Parsed.takeValue();
-    Options.Simulator.Faults = &FaultPlan;
     std::printf("faults: injecting %zu event(s), seed %llu\n",
-                FaultPlan.Events.size(),
-                static_cast<unsigned long long>(FaultPlan.Seed));
+                Parsed->Events.size(),
+                static_cast<unsigned long long>(Parsed->Seed));
+    S->faults(Parsed.takeValue());
   }
 
-  sim::Tracer Tracer(Args->getInt("trace-stride", 16));
   if (Args->has("trace"))
-    Options.Simulator.Trace = &Tracer;
+    S->trace(Args->getInt("trace-stride", 16));
 
-  Expected<PipelineResult> Result = runPipeline(Program.takeValue(),
-                                                Options);
+  if (Args->has("parallel")) {
+    if (Args->has("trace"))
+      std::fprintf(stderr, "warning: tracing requires the serial engine; "
+                           "ignoring --parallel\n");
+    else
+      S->engine(sim::SimEngine::Parallel,
+                static_cast<int>(Args->getInt("threads", 0)));
+  }
+
+  Expected<PipelineResult> Result = S->run();
   // Write the trace even when the pipeline fails: a deadlocked or
   // cycle-limited simulation is exactly when the timeline is most useful.
   if (Args->has("trace")) {
     std::string Path = Args->getString("trace");
-    if (Error Err = Tracer.writeChromeTrace(Path))
+    if (Error Err = S->tracer()->writeChromeTrace(Path))
       std::fprintf(stderr, "error: %s\n", Err.message().c_str());
     else
       std::printf("trace: wrote %s (open in chrome://tracing or "
@@ -155,6 +153,12 @@ int main(int argc, char **argv) {
               static_cast<long long>(Result->Runtime.TotalCycles),
               Result->simulatedOpsPerSecond() / 1e9);
   const sim::SimStats &Stats = Result->Simulation.Stats;
+  std::printf("engine: %s (%lld epochs, %lld serial-fallback cycles, "
+              "%lld cycles fast-forwarded)\n",
+              Stats.Engine.c_str(),
+              static_cast<long long>(Stats.ParallelEpochs),
+              static_cast<long long>(Stats.SerialFallbackCycles),
+              static_cast<long long>(Stats.SkippedCycles));
   sim::StallBreakdown TotalStalls;
   for (const auto &[Name, Stalls] : Stats.UnitStalls)
     TotalStalls += Stalls;
@@ -177,7 +181,7 @@ int main(int argc, char **argv) {
   for (const ValidationReport &Report : Result->Validations)
     std::printf("validation: %s\n", Report.Summary.c_str());
 
-  if (Options.EmitCode)
+  if (Args->has("emit"))
     for (const GeneratedSource &Source : Result->Sources)
       std::printf("\n===== %s =====\n%s", Source.FileName.c_str(),
                   Source.Source.c_str());

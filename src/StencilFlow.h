@@ -1,0 +1,28 @@
+//===- StencilFlow.h - Library umbrella header --------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one header an application needs: the \c stencilflow::Session facade
+/// plus the types its configuration and results expose (programs, pipeline
+/// options/results, simulator config, fault plans, traces). Subsystem
+/// headers remain available for lower-level embedding — this umbrella only
+/// aggregates, it defines nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_STENCILFLOW_H
+#define STENCILFLOW_STENCILFLOW_H
+
+#include "frontend/ProgramLoader.h"
+#include "runtime/Pipeline.h"
+#include "runtime/Session.h"
+#include "sim/Config.h"
+#include "sim/Fault.h"
+#include "sim/Machine.h"
+#include "sim/Trace.h"
+#include "support/Error.h"
+
+#endif // STENCILFLOW_STENCILFLOW_H

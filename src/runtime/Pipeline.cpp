@@ -93,7 +93,7 @@ stencilflow::runPipeline(StencilProgram Program,
           SimConfig);
       if (!M)
         return M.takeError().addContext("simulator construction");
-      Expected<sim::SimResult> Sim = M->run(Inputs);
+      Expected<sim::SimResult, sim::SimFailure> Sim = M->run(Inputs);
       if (Sim) {
         Result.Simulation = Sim.takeValue();
         for (const auto &[Name, Link] : Result.Simulation.Stats.Links) {
@@ -110,8 +110,10 @@ stencilflow::runPipeline(StencilProgram Program,
               static_cast<long long>(Result.Recovery.Retransmissions)));
         break;
       }
-      Error Err = Sim.takeError();
-      const sim::FailureReport &Failure = M->lastFailure();
+      // The structured report travels with the failure itself.
+      sim::SimFailure Fail = Sim.takeError();
+      const sim::FailureReport &Failure = Fail.report();
+      Error Err = Fail;
       // Each lost node shrinks the testbed's device pool by one; the
       // program is re-partitioned across the survivors (a spare takes the
       // failed node's place when the pool still has slack). Unrecoverable

@@ -1,0 +1,55 @@
+//===- runtime/Session.cpp - Stable facade API ---------------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Session.h"
+
+#include "frontend/ProgramLoader.h"
+
+using namespace stencilflow;
+
+Expected<Session> Session::fromFile(const std::string &Path) {
+  Expected<StencilProgram> Program = loadProgramFile(Path);
+  if (!Program)
+    return Program.takeError().addContext("session");
+  return Session(Program.takeValue());
+}
+
+Expected<Session> Session::fromJsonText(std::string_view Json) {
+  Expected<StencilProgram> Program = programFromJsonText(Json);
+  if (!Program)
+    return Program.takeError().addContext("session");
+  return Session(Program.takeValue());
+}
+
+Session Session::fromProgram(StencilProgram Program) {
+  return Session(std::move(Program));
+}
+
+Session &Session::trace(int64_t SampleStride) {
+  OwnedTracer = std::make_unique<sim::Tracer>(SampleStride);
+  return *this;
+}
+
+Expected<PipelineResult> Session::run() {
+  // Fail fast on inconsistent state, before any expensive phase runs.
+  if (Error Err = Program.validate())
+    return Err.addContext("session program");
+
+  PipelineOptions O = Opts;
+  if (OwnedFaults)
+    O.Simulator.Faults = &*OwnedFaults;
+  if (OwnedTracer)
+    O.Simulator.Trace = OwnedTracer.get();
+  if (Error Err = O.Simulator.validate())
+    return Err.addContext("session");
+  if (O.Simulator.Faults)
+    if (Error Err = O.Simulator.Faults->validate())
+      return Err.addContext("session fault plan");
+
+  // The pipeline consumes its program; hand it a clone so the session
+  // stays runnable (option sweeps over one loaded program).
+  return runPipeline(Program.clone(), O);
+}

@@ -1,0 +1,182 @@
+//===- runtime/Session.h - Stable facade API ----------------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable front door of the library: \c stencilflow::Session wraps the
+/// whole parse -> analyze -> partition -> simulate -> validate pipeline
+/// behind a small, chainable configuration surface, and owns the
+/// cross-cutting state (fault plan, tracer) whose raw-pointer lifetimes the
+/// lower layers deliberately do not manage:
+///
+/// \code
+///   auto Session = stencilflow::Session::fromFile("diamond.json");
+///   if (!Session)
+///     return report(Session.takeError());
+///   Session->unconstrainedMemory(true)
+///           .engine(sim::SimEngine::Parallel)
+///           .faults(Plan);                      // owned copy, no dangling
+///   Expected<PipelineResult> Result = Session->run();
+/// \endcode
+///
+/// \c run() may be called repeatedly (each run works on a fresh copy of the
+/// program), so one Session can sweep configurations — engines, fault
+/// plans, vector widths — over one loaded program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_RUNTIME_SESSION_H
+#define STENCILFLOW_RUNTIME_SESSION_H
+
+#include "runtime/Pipeline.h"
+#include "sim/Fault.h"
+#include "sim/Trace.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace stencilflow {
+
+/// A loaded stencil program plus the pipeline configuration to run it
+/// under. Movable, not copyable (it may own a tracer recording).
+class Session {
+public:
+  //===--------------------------------------------------------------------===//
+  // Construction
+  //===--------------------------------------------------------------------===//
+
+  /// Loads a program description from a JSON file.
+  static Expected<Session> fromFile(const std::string &Path);
+
+  /// Parses a program description from JSON text.
+  static Expected<Session> fromJsonText(std::string_view Json);
+
+  /// Wraps an already-built program.
+  static Session fromProgram(StencilProgram Program);
+
+  //===--------------------------------------------------------------------===//
+  // Chainable configuration
+  //===--------------------------------------------------------------------===//
+
+  /// Replaces the entire option block (escape hatch; the named setters
+  /// below cover the common knobs).
+  Session &options(PipelineOptions O) {
+    Opts = std::move(O);
+    return *this;
+  }
+  /// Mutable access to the full option block.
+  PipelineOptions &pipelineOptions() { return Opts; }
+
+  /// Aggressive stencil fusion before analysis (paper Sec. V-B).
+  Session &fuseStencils(bool Enable = true) {
+    Opts.FuseStencils = Enable;
+    return *this;
+  }
+  /// Algebraic simplification of every node's code before analysis.
+  Session &simplifyCode(bool Enable = true) {
+    Opts.SimplifyCode = Enable;
+    return *this;
+  }
+  /// Emit OpenCL kernel sources into the result.
+  Session &emitCode(bool Enable = true) {
+    Opts.EmitCode = Enable;
+    return *this;
+  }
+  /// Simulate execution (on by default).
+  Session &simulate(bool Enable = true) {
+    Opts.Simulate = Enable;
+    return *this;
+  }
+  /// Validate simulated outputs against the reference executor.
+  Session &validate(bool Enable = true) {
+    Opts.Validate = Enable;
+    return *this;
+  }
+  /// Allow spanning multiple devices when one does not suffice.
+  Session &allowMultiDevice(bool Enable = true) {
+    Opts.AllowMultiDevice = Enable;
+    return *this;
+  }
+  /// Overrides the program's vectorization width.
+  Session &vectorize(int Width) {
+    Program.VectorWidth = Width;
+    return *this;
+  }
+
+  /// Replaces the simulator configuration wholesale.
+  Session &simulator(sim::SimConfig Config) {
+    Opts.Simulator = std::move(Config);
+    return *this;
+  }
+  /// Ideal (infinite-bandwidth) memory controller toggle.
+  Session &unconstrainedMemory(bool Enable = true) {
+    Opts.Simulator.UnconstrainedMemory = Enable;
+    return *this;
+  }
+  /// Selects the simulation engine; \p Threads > 0 pins the parallel
+  /// engine's worker count (0 = one per hardware thread).
+  Session &engine(sim::SimEngine Engine, int Threads = 0) {
+    Opts.Simulator.Engine = Engine;
+    Opts.Simulator.Threads = Threads;
+    return *this;
+  }
+  /// Progress watchdog threshold (0 disables).
+  Session &stallTimeout(int64_t Cycles) {
+    Opts.Simulator.StallTimeoutCycles = Cycles;
+    return *this;
+  }
+
+  /// Attaches an owned copy of \p Plan (an attached plan — even an empty
+  /// one — switches remote streams to the reliable transport). The copy
+  /// removes the SimConfig::Faults raw-pointer lifetime hazard.
+  Session &faults(sim::FaultPlan Plan) {
+    OwnedFaults = std::move(Plan);
+    return *this;
+  }
+  /// Detaches any owned fault plan.
+  Session &clearFaults() {
+    OwnedFaults.reset();
+    return *this;
+  }
+
+  /// Enables tracing with a Session-owned tracer sampling counters every
+  /// \p SampleStride cycles. The recording of the most recent run is
+  /// available via \c tracer(). Tracing requires the serial engine
+  /// (SimConfig::Builder rejects the combination).
+  Session &trace(int64_t SampleStride = 16);
+  /// The owned tracer, or null when \c trace() was never called.
+  sim::Tracer *tracer() { return OwnedTracer.get(); }
+
+  //===--------------------------------------------------------------------===//
+  // Introspection and execution
+  //===--------------------------------------------------------------------===//
+
+  /// The loaded program.
+  const StencilProgram &program() const { return Program; }
+  /// The current option block.
+  const PipelineOptions &pipelineOptions() const { return Opts; }
+
+  /// Runs the full pipeline under the current configuration. Validates
+  /// the program and the simulator configuration up front, so
+  /// inconsistent settings fail here with a typed error instead of deep
+  /// inside the pipeline. Repeatable: each call runs a fresh copy of the
+  /// program.
+  Expected<PipelineResult> run();
+
+private:
+  explicit Session(StencilProgram Program) : Program(std::move(Program)) {}
+
+  StencilProgram Program;
+  PipelineOptions Opts;
+  std::optional<sim::FaultPlan> OwnedFaults;
+  std::unique_ptr<sim::Tracer> OwnedTracer;
+};
+
+} // namespace stencilflow
+
+#endif // STENCILFLOW_RUNTIME_SESSION_H

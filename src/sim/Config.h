@@ -19,6 +19,8 @@
 #ifndef STENCILFLOW_SIM_CONFIG_H
 #define STENCILFLOW_SIM_CONFIG_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 
 namespace stencilflow {
@@ -26,6 +28,24 @@ namespace sim {
 
 class Tracer;
 struct FaultPlan;
+
+/// Which simulation engine steps the machine.
+enum class SimEngine : uint8_t {
+  /// The single-threaded reference stepper: every reader/unit/writer is
+  /// stepped on every cycle, in one global order. Always available, always
+  /// exact; the parallel engine is validated against it.
+  Serial,
+  /// The event-sliced parallel engine: one shard per simulated device,
+  /// worker threads synchronized in epochs bounded by the minimum
+  /// cross-device channel slack, plus a quiescence fast-forward that skips
+  /// cycles on which a device provably cannot progress. Produces cycle-
+  /// and bit-exact results relative to \c Serial (asserted by the parity
+  /// suite in tests/sim_test.cpp and tests/fault_test.cpp).
+  Parallel,
+};
+
+/// Stable name for an engine, e.g. "parallel".
+const char *simEngineName(SimEngine Engine);
 
 /// Simulator knobs.
 struct SimConfig {
@@ -141,6 +161,76 @@ struct SimConfig {
   /// MaxCycleFactor * (expected cycles) + MaxCycleSlack cycles.
   int64_t MaxCycleFactor = 64;
   int64_t MaxCycleSlack = 1000000;
+
+  //===--------------------------------------------------------------------===//
+  // Engine
+  //===--------------------------------------------------------------------===//
+
+  /// Which stepper runs the machine. The parallel engine requires
+  /// consistent settings (see \c validate) and falls back to serial
+  /// stepping cycle-by-cycle whenever exactness demands it (dirty
+  /// retransmission state, corrupted in-flight vectors, exhausted channel
+  /// slack); \c SimStats reports what actually ran.
+  SimEngine Engine = SimEngine::Serial;
+
+  /// Worker threads for the parallel engine; 0 means one per hardware
+  /// core, and the effective count never exceeds the number of simulated
+  /// devices. Ignored by the serial engine. The result is identical for
+  /// every thread count (asserted by the repeatability test).
+  int Threads = 0;
+
+  /// Checks the configuration for inconsistent settings — the same rules
+  /// \c Builder::build enforces; \c Machine::build calls this too, so a
+  /// hand-assembled config fails fast at construction instead of mid-run.
+  Error validate() const;
+
+  class Builder;
+};
+
+/// A validating builder for \c SimConfig. Chain setters, then call
+/// \c build(), which either returns a checked config or a classified
+/// InvalidInput error naming the inconsistent settings:
+/// \code
+///   Expected<SimConfig> Config = SimConfig::Builder()
+///                                    .engine(SimEngine::Parallel)
+///                                    .threads(8)
+///                                    .unconstrainedMemory(true)
+///                                    .build();
+/// \endcode
+class SimConfig::Builder {
+public:
+  Builder() = default;
+  /// Starts from an existing config (e.g. to toggle the engine on an
+  /// otherwise-validated setup).
+  explicit Builder(SimConfig Base) : C(Base) {}
+
+  Builder &unconstrainedMemory(bool Value = true);
+  Builder &peakMemoryBytesPerCycle(double Value);
+  Builder &transactionOverheadBytes(double Value);
+  Builder &arbitrationPenaltyBytesPerEndpoint(double Value);
+  Builder &linkBytesPerCycle(double Value);
+  Builder &linksPerHop(int Value);
+  Builder &networkLatencyCyclesPerHop(int64_t Value);
+  Builder &networkExtraChannelDepth(int64_t Value);
+  Builder &minChannelDepth(int64_t Value);
+  Builder &clampChannelsToMinimum(bool Value = true);
+  Builder &trace(Tracer *Value);
+  Builder &faults(const FaultPlan *Value);
+  Builder &reliableStreams(bool Value);
+  Builder &stallTimeoutCycles(int64_t Value);
+  Builder &maxRetransmitAttempts(int Value);
+  Builder &retransmitBackoffCycles(int64_t Value);
+  Builder &sendWindowVectors(int64_t Value);
+  Builder &maxCycleFactor(int64_t Value);
+  Builder &maxCycleSlack(int64_t Value);
+  Builder &engine(SimEngine Value);
+  Builder &threads(int Value);
+
+  /// Validates and returns the config, or an InvalidInput error.
+  Expected<SimConfig> build() const;
+
+private:
+  SimConfig C;
 };
 
 } // namespace sim

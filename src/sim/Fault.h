@@ -214,6 +214,56 @@ struct FailureReport {
   static Expected<FailureReport> fromJsonText(std::string_view Text);
 };
 
+/// The failure value of \c Machine::run: a classified \c Error plus the
+/// structured \c FailureReport behind it, carried together so callers no
+/// longer pair the returned error with a second \c Machine::lastFailure()
+/// call. Converts implicitly from and to \c Error, so generic error
+/// plumbing (\c makeError returns, \c Error::addContext, exit-code
+/// mapping) keeps working unchanged:
+/// \code
+///   Expected<SimResult, SimFailure> Result = M->run(Inputs);
+///   if (!Result) {
+///     SimFailure Failure = Result.takeError();
+///     recoverFrom(Failure.report());    // structured
+///     return Error(Failure);            // plain, for propagation
+///   }
+/// \endcode
+class SimFailure {
+public:
+  /// Success value (no failure). Exists so SimFailure composes with
+  /// Expected's assertions; real instances always carry a failure.
+  SimFailure() = default;
+
+  /// Wraps a plain error with an empty report (e.g. invalid inputs caught
+  /// before the run loop starts).
+  SimFailure(Error Err) : Err(std::move(Err)) {}
+
+  /// Wraps an abort from inside the run loop with its structured report.
+  SimFailure(Error Err, FailureReport Report)
+      : Err(std::move(Err)), Failure(std::move(Report)) {}
+
+  /// True when this holds a failure.
+  explicit operator bool() const { return static_cast<bool>(Err); }
+
+  /// The plain error view, for propagation through Error-typed plumbing.
+  operator Error() const { return Err; }
+
+  const std::string &message() const { return Err.message(); }
+  ErrorCode code() const { return Err.code(); }
+  SimFailure &addContext(const std::string &Context) {
+    Err.addContext(Context);
+    return *this;
+  }
+
+  /// The structured report. Empty (default-constructed) when the failure
+  /// occurred before the run loop produced one.
+  const FailureReport &report() const { return Failure; }
+
+private:
+  Error Err;
+  FailureReport Failure;
+};
+
 } // namespace sim
 } // namespace stencilflow
 

@@ -53,6 +53,8 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
                                  const Partition *Placement,
                                  const SimConfig &Config) {
   const StencilProgram &Program = Compiled.program();
+  if (Error Err = Config.validate())
+    return Err;
   if (Config.Faults)
     if (Error Err = Config.Faults->validate())
       return Err.addContext("fault plan");
@@ -269,7 +271,8 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
 // Per-cycle component steps
 //===----------------------------------------------------------------------===//
 
-bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter) {
+bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter,
+                          ExecCtx &Ctx) {
   // A memory brownout overrides unconstrained memory: the device falls
   // back to the budgeted path, whose refill is scaled by the brownout
   // factor.
@@ -287,7 +290,7 @@ bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter) {
   double Available =
       IsWriter ? Pool + MemoryBudget[static_cast<size_t>(Device)] : Pool;
   if (Available < Cost) {
-    BandwidthWait = true;
+    Ctx.BandwidthWait = true;
     return false;
   }
   if (IsWriter && Pool < Cost) {
@@ -300,7 +303,7 @@ bool Machine::grantMemory(int Device, double DataBytes, bool IsWriter) {
   return true;
 }
 
-bool Machine::grantNetwork(size_t ChannelIndex) {
+bool Machine::grantNetwork(size_t ChannelIndex, ExecCtx &Ctx) {
   const RemoteLink &Link = RemoteLinks[ChannelIndex];
   if (Link.FirstHop == Link.LastHop)
     return true;
@@ -308,12 +311,12 @@ bool Machine::grantNetwork(size_t ChannelIndex) {
                  static_cast<double>(ElementBytes);
   for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
     if (HopBudget[static_cast<size_t>(Hop)] < Bytes) {
-      BandwidthWait = true;
+      Ctx.BandwidthWait = true;
       return false;
     }
   for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
     HopBudget[static_cast<size_t>(Hop)] -= Bytes;
-  NetworkBytesMoved +=
+  Ctx.NetworkBytesMoved +=
       Bytes * static_cast<double>(Link.LastHop - Link.FirstHop);
   return true;
 }
@@ -323,6 +326,24 @@ bool Machine::grantNetwork(size_t ChannelIndex) {
 //===----------------------------------------------------------------------===//
 
 bool Machine::channelFull(size_t ChannelIndex) const {
+  // During a parallel epoch, cross-shard channels answer from the
+  // epoch-start snapshot plus this epoch's staged pushes. The snapshot is
+  // an upper bound on the serial occupancy (the consumer's in-epoch pops
+  // are invisible to the producer), and the epoch length is chosen so the
+  // bound never crosses the capacity/window threshold when the serial
+  // engine's occupancy would not — see computeEpochLength.
+  if (!Stages.empty() && Stages[ChannelIndex].Active) {
+    const ChannelStage &St = Stages[ChannelIndex];
+    int64_t Staged = static_cast<int64_t>(St.PushCycles.size());
+    if (St.OccSnapshot + Staged >= Channels[ChannelIndex]->capacity())
+      return true;
+    if (ReliableOf[ChannelIndex] >= 0 &&
+        St.OutstandingSnapshot + Staged >= Config.SendWindowVectors)
+      return true;
+    // ResendNext >= 0 never holds here: dirty streams force serial
+    // fallback chunks before an epoch starts.
+    return false;
+  }
   int Rel = ReliableOf[ChannelIndex];
   if (Rel < 0)
     return Channels[ChannelIndex]->full();
@@ -343,6 +364,25 @@ bool Machine::channelFull(size_t ChannelIndex) const {
 void Machine::channelPush(size_t ChannelIndex, const double *Vector,
                           int64_t Cycle) {
   int Rel = ReliableOf[ChannelIndex];
+  // During a parallel epoch, cross-shard pushes are staged (payload +
+  // cycle) and merged into the live channel at the barrier; the
+  // corruption flag is computed here because the sender-owned nonce and
+  // sequence counters advance push by push.
+  if (!Stages.empty() && Stages[ChannelIndex].Active) {
+    ChannelStage &St = Stages[ChannelIndex];
+    St.PushCycles.push_back(Cycle);
+    St.Payloads.insert(St.Payloads.end(), Vector, Vector + Lanes);
+    if (Rel >= 0) {
+      ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+      const RemoteLink &Link = RemoteLinks[ChannelIndex];
+      St.Corrupt.push_back(Config.Faults->corruptsTransmission(
+          Cycle, ChannelIndex, RS.NextSeq, RS.TransmissionNonce++,
+          Link.FirstHop, Link.LastHop));
+      ++RS.Stats.Transmissions;
+      ++RS.NextSeq;
+    }
+    return;
+  }
   if (Rel < 0) {
     Channels[ChannelIndex]->push(Vector, Cycle);
     return;
@@ -411,8 +451,10 @@ void Machine::linkSend(int64_t Cycle) {
       continue;
     }
     // Retransmissions pay hop bandwidth like any transmission, from
-    // whatever this cycle's emit phase left unspent.
-    if (!grantNetwork(RS.ChannelIndex))
+    // whatever this cycle's emit phase left unspent. linkSend only runs
+    // on the serial path (epochs never start with a rewinding stream),
+    // so the serial context is the right one.
+    if (!grantNetwork(RS.ChannelIndex, SerialCtx))
       continue;
     const RemoteLink &Link = RemoteLinks[RS.ChannelIndex];
     bool Corrupted = Config.Faults->corruptsTransmission(
@@ -426,9 +468,10 @@ void Machine::linkSend(int64_t Cycle) {
   }
 }
 
-bool Machine::stepReader(Reader &R, int64_t Cycle) {
+bool Machine::stepReader(Reader &R, int64_t Cycle, ExecCtx &Ctx) {
   auto Stalled = [&](StallCause Cause) {
     R.Stalls.add(Cause);
+    R.LastCause = Cause;
     if (ActiveTrace)
       ActiveTrace->setState(R.TraceTrack, Cycle, stallStateName(Cause));
     return false;
@@ -444,7 +487,7 @@ bool Machine::stepReader(Reader &R, int64_t Cycle) {
   // Charge the arbitration penalty once per requesting endpoint per cycle.
   double DataBytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
-  if (!grantMemory(R.Device, DataBytes, /*IsWriter=*/false))
+  if (!grantMemory(R.Device, DataBytes, /*IsWriter=*/false, Ctx))
     return Stalled(StallCause::MemoryDenied);
   const double *Vector =
       R.Data->data() + static_cast<size_t>(R.VectorsPushed) *
@@ -511,7 +554,7 @@ double Machine::readSlot(const Unit &U, const SlotRef &Slot,
   return R.Data[static_cast<size_t>(Linear)];
 }
 
-bool Machine::stepUnit(Unit &U, int64_t Cycle) {
+bool Machine::stepUnit(Unit &U, int64_t Cycle, ExecCtx &Ctx) {
   bool MadeProgress = false;
   int64_t TotalSteps = U.StreamVectors + U.InitSteps;
   // First blocking condition observed this cycle; the emit phase below
@@ -550,6 +593,10 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
         int64_t Base = Stream.WrittenElements % Stream.RingElements;
         if (Pops) {
           Channels[Stream.ChannelIndex]->pop(U.PopStaging.data(), Cycle);
+          // During a parallel epoch, cross-shard pops are logged so the
+          // barrier can replay the exact occupancy trajectory.
+          if (!Stages.empty() && Stages[Stream.ChannelIndex].Active)
+            Stages[Stream.ChannelIndex].PopCycles.push_back(Cycle);
           for (int L = 0; L != Lanes; ++L)
             Stream.Ring[static_cast<size_t>((Base + L) %
                                             Stream.RingElements)] =
@@ -595,27 +642,32 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
         CanPush = false;
     if (!CanPush)
       Cause = StallCause::OutputBlocked;
-    // Network feasibility for all remote pushes together. HopNeeded is a
-    // member (hoisted scratch): no per-cycle allocation.
+    // Network feasibility for all remote pushes together. HopNeeded is
+    // hoisted scratch on the context: no per-cycle allocation.
     if (CanPush) {
       double Bytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
-      std::fill(HopNeeded.begin(), HopNeeded.end(), 0.0);
+      std::fill(Ctx.HopNeeded.begin(), Ctx.HopNeeded.end(), 0.0);
       for (size_t ChannelIndex : U.OutChannels) {
         const RemoteLink &Link = RemoteLinks[ChannelIndex];
         for (int Hop = Link.FirstHop; Hop != Link.LastHop; ++Hop)
-          HopNeeded[static_cast<size_t>(Hop)] += Bytes;
+          Ctx.HopNeeded[static_cast<size_t>(Hop)] += Bytes;
       }
-      for (size_t Hop = 0; Hop != HopNeeded.size(); ++Hop)
-        if (HopNeeded[Hop] > 0 && HopBudget[Hop] < HopNeeded[Hop]) {
+      for (size_t Hop = 0; Hop != Ctx.HopNeeded.size(); ++Hop)
+        if (Ctx.HopNeeded[Hop] > 0 && HopBudget[Hop] < Ctx.HopNeeded[Hop]) {
           CanPush = false;
-          BandwidthWait = true;
+          Ctx.BandwidthWait = true;
           Cause = StallCause::NetworkDenied;
         }
       if (CanPush) {
-        for (size_t Hop = 0; Hop != HopNeeded.size(); ++Hop) {
-          HopBudget[Hop] -= HopNeeded[Hop];
-          NetworkBytesMoved += HopNeeded[Hop];
+        // Touch only hops this unit actually crosses: under the parallel
+        // engine every other HopBudget slot belongs to a different shard,
+        // and even a -= 0.0 write there is a cross-thread race.
+        for (size_t Hop = 0; Hop != Ctx.HopNeeded.size(); ++Hop) {
+          if (Ctx.HopNeeded[Hop] == 0.0)
+            continue;
+          HopBudget[Hop] -= Ctx.HopNeeded[Hop];
+          Ctx.NetworkBytesMoved += Ctx.HopNeeded[Hop];
         }
       }
     }
@@ -636,6 +688,7 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
   if (!MadeProgress && !Finished) {
     ++U.StallCycles;
     U.Stalls.add(Cause);
+    U.LastCause = Cause;
   }
   if (ActiveTrace) {
     const char *State;
@@ -654,9 +707,10 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle) {
   return MadeProgress;
 }
 
-bool Machine::stepWriter(Writer &W, int64_t Cycle) {
+bool Machine::stepWriter(Writer &W, int64_t Cycle, ExecCtx &Ctx) {
   auto Stalled = [&](StallCause Cause) {
     W.Stalls.add(Cause);
+    W.LastCause = Cause;
     if (ActiveTrace)
       ActiveTrace->setState(W.TraceTrack, Cycle, stallStateName(Cause));
     return false;
@@ -671,7 +725,7 @@ bool Machine::stepWriter(Writer &W, int64_t Cycle) {
     return Stalled(StallCause::InputStarved);
   double DataBytes = static_cast<double>(Lanes) *
                      static_cast<double>(ElementBytes);
-  if (!grantMemory(W.Device, DataBytes, /*IsWriter=*/true))
+  if (!grantMemory(W.Device, DataBytes, /*IsWriter=*/true, Ctx))
     return Stalled(StallCause::MemoryDenied);
   In.pop(W.InVector.data(), Cycle);
   int64_t BaseCell = W.VectorsWritten * Lanes;
@@ -783,17 +837,17 @@ void Machine::buildFailureReport(ErrorCode Code, int64_t Cycle) {
   }
 }
 
-Error Machine::abortRun(ErrorCode Code, int64_t Cycle,
-                        const std::string &FailedChannel) {
+SimFailure Machine::abortRun(ErrorCode Code, int64_t Cycle,
+                             const std::string &FailedChannel) {
   buildFailureReport(Code, Cycle);
   LastFailure.FailedChannel = FailedChannel;
   if (ActiveTrace)
     ActiveTrace->finish(Cycle);
-  return makeError(Code, LastFailure.render());
+  return SimFailure(makeError(Code, LastFailure.render()), LastFailure);
 }
 
-Expected<SimResult>
-Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
+Error Machine::prepareRun(
+    const std::map<std::string, std::vector<double>> &Inputs) {
   const StencilProgram &Program = Compiled->program();
 
   // Bind inputs and reset runtime state.
@@ -808,6 +862,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     R.Data = &It->second;
     R.VectorsPushed = 0;
     R.Stalls = StallBreakdown();
+    R.LastCause = StallCause::OutputBlocked;
     R.LastProgress = 0;
   }
   for (Unit &U : Units) {
@@ -833,6 +888,7 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     U.CenterIndex.assign(SpaceExtents.size(), 0);
     U.StallCycles = 0;
     U.Stalls = StallBreakdown();
+    U.LastCause = StallCause::PipelineLatency;
     U.LastProgress = 0;
     U.Scratch.assign(U.Kernel->instructions().size(), 0.0);
     U.SlotValues.assign(U.Slots.size(), 0.0);
@@ -846,13 +902,15 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     W.VectorsWritten = 0;
     W.InVector.assign(static_cast<size_t>(Lanes), 0.0);
     W.Stalls = StallBreakdown();
+    W.LastCause = StallCause::InputStarved;
     W.LastProgress = 0;
   }
   std::fill(MemoryBytesMoved.begin(), MemoryBytesMoved.end(), 0.0);
-  NetworkBytesMoved = 0.0;
+  std::fill(MemoryBudget.begin(), MemoryBudget.end(), 0.0);
+  std::fill(WriterBudget.begin(), WriterBudget.end(), 0.0);
+  std::fill(HopBudget.begin(), HopBudget.end(), 0.0);
 
   // Resilience state.
-  const FaultPlan *Plan = Config.Faults;
   for (ReliableStream &RS : Reliable) {
     RS.SendBuffer.clear();
     RS.Wire.clear();
@@ -872,7 +930,29 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
   // Per-cycle scratch (hoisted: the run loop must not allocate).
   ActiveReaders.assign(MemoryBudget.size(), 0);
   ActiveWriters.assign(MemoryBudget.size(), 0);
-  HopNeeded.assign(HopBudget.size(), 0.0);
+  SerialCtx.BandwidthWait = false;
+  SerialCtx.NetworkBytesMoved = 0.0;
+  SerialCtx.HopNeeded.assign(HopBudget.size(), 0.0);
+
+  // Engine bookkeeping.
+  EngineNote = simEngineName(SimEngine::Serial);
+  EpochCount = 0;
+  SerialFallbackCount = 0;
+  for (ChannelStage &St : Stages) {
+    St.Active = false;
+    St.PushCycles.clear();
+    St.Payloads.clear();
+    St.Corrupt.clear();
+    St.PopCycles.clear();
+  }
+  for (Shard &S : Shards) {
+    S.Ctx.BandwidthWait = false;
+    S.Ctx.NetworkBytesMoved = 0.0;
+    S.Ctx.HopNeeded.assign(HopBudget.size(), 0.0);
+    S.AllWritersDoneCycle =
+        S.WriterIdx.empty() ? -1 : std::numeric_limits<int64_t>::max();
+    S.SkippedCycles = 0;
+  }
 
   // Observability: attach the tracer, discarding any previous recording.
   ActiveTrace = Config.Trace;
@@ -881,220 +961,258 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
     registerTrace(*ActiveTrace);
   }
 
-  int64_t MaxCycles =
-      Config.MaxCycleFactor *
-          (ExpectedCycles +
-           Config.NetworkLatencyCyclesPerHop * NumDevices) +
-      Config.MaxCycleSlack;
+  MaxCycles = Config.MaxCycleFactor *
+                  (ExpectedCycles +
+                   Config.NetworkLatencyCyclesPerHop * NumDevices) +
+              Config.MaxCycleSlack;
+  return Error::success();
+}
 
-  int64_t Cycle = 0;
-  for (;; ++Cycle) {
-    if (Cycle >= MaxCycles)
-      return abortRun(ErrorCode::CycleLimit, Cycle);
+void Machine::refillDeviceBudgets(size_t Device, int64_t Cycle, int ActiveR,
+                                  int ActiveW) {
+  const FaultPlan *Plan = Config.Faults;
+  double TransactionBytes = static_cast<double>(Lanes) *
+                                static_cast<double>(ElementBytes) +
+                            Config.TransactionOverheadBytes;
+  double MemoryClamp = Config.PeakMemoryBytesPerCycle + TransactionBytes;
+  int Total = ActiveR + ActiveW;
+  double WriterShare =
+      Total == 0 ? 0.0
+                 : static_cast<double>(ActiveW) / static_cast<double>(Total);
+  double Refill = Config.PeakMemoryBytesPerCycle;
+  // A brownout throttles the refill rate, not the accumulated budget.
+  if (Plan && Brownout[Device])
+    Refill *= Plan->memoryFactor(static_cast<int>(Device), Cycle);
+  WriterBudget[Device] =
+      std::min(WriterBudget[Device] + Refill * WriterShare,
+               MemoryClamp * WriterShare + TransactionBytes);
+  MemoryBudget[Device] =
+      std::min(MemoryBudget[Device] + Refill * (1.0 - WriterShare),
+               MemoryClamp);
+}
 
-    // Refresh the per-device fault state for this cycle.
-    if (Plan && !Plan->empty())
-      for (int Device = 0; Device != NumDevices; ++Device) {
-        Brownout[static_cast<size_t>(Device)] =
-            Plan->memoryBrownoutAt(Device, Cycle);
-        if (Cycle >= EarliestDeviceFail)
-          DeadDevice[static_cast<size_t>(Device)] =
-              Plan->deviceFailedAt(Device, Cycle);
-      }
-    auto IsDead = [&](int Device) {
-      return Plan && DeadDevice[static_cast<size_t>(Device)] != 0;
-    };
+void Machine::refillHopBudget(size_t Hop, int64_t Cycle) {
+  const FaultPlan *Plan = Config.Faults;
+  double HopRate = Config.LinkBytesPerCycle * Config.LinksPerHop;
+  double HopClamp = HopRate + static_cast<double>(Lanes) *
+                                  static_cast<double>(ElementBytes) *
+                                  static_cast<double>(
+                                      std::max(1, NumDevices - 1));
+  double Rate = HopRate;
+  if (Plan)
+    Rate *= Plan->linkFactor(static_cast<int>(Hop), Cycle);
+  HopBudget[Hop] = std::min(HopBudget[Hop] + Rate, HopClamp);
+}
 
-    // Refill per-cycle budgets. Unused budget carries over (bounded by one
-    // transaction beyond the per-cycle rate), so rates smaller than a
-    // single transaction still make progress every few cycles.
-    double TransactionBytes = static_cast<double>(Lanes) *
-                                  static_cast<double>(ElementBytes) +
-                              Config.TransactionOverheadBytes;
-    double MemoryClamp =
-        Config.PeakMemoryBytesPerCycle + TransactionBytes;
-    // Split the refill between reader and writer pools proportionally to
-    // the number of active endpoints on each device.
-    std::fill(ActiveReaders.begin(), ActiveReaders.end(), 0);
-    std::fill(ActiveWriters.begin(), ActiveWriters.end(), 0);
-    for (const Reader &R : Readers)
-      if (R.VectorsPushed != R.TotalVectors && !IsDead(R.Device))
-        ++ActiveReaders[static_cast<size_t>(R.Device)];
-    for (const Writer &W : Writers)
-      if (W.VectorsWritten != W.TotalVectors && !IsDead(W.Device))
-        ++ActiveWriters[static_cast<size_t>(W.Device)];
-    for (size_t Device = 0; Device != MemoryBudget.size(); ++Device) {
-      int Total = ActiveReaders[Device] + ActiveWriters[Device];
-      double WriterShare =
-          Total == 0 ? 0.0
-                     : static_cast<double>(ActiveWriters[Device]) /
-                           static_cast<double>(Total);
-      double Refill = Config.PeakMemoryBytesPerCycle;
-      // A brownout throttles the refill rate, not the accumulated budget.
-      if (Plan && Brownout[Device])
-        Refill *= Plan->memoryFactor(static_cast<int>(Device), Cycle);
-      WriterBudget[Device] = std::min(
-          WriterBudget[Device] + Refill * WriterShare,
-          MemoryClamp * WriterShare + TransactionBytes);
-      MemoryBudget[Device] =
-          std::min(MemoryBudget[Device] + Refill * (1.0 - WriterShare),
-                   MemoryClamp);
+void Machine::applyArbitrationPenalty(size_t Device, int ActiveR,
+                                      int ActiveW) {
+  MemoryBudget[Device] =
+      std::max(0.0, MemoryBudget[Device] -
+                        Config.ArbitrationPenaltyBytesPerEndpoint * ActiveR);
+  WriterBudget[Device] =
+      std::max(0.0, WriterBudget[Device] -
+                        Config.ArbitrationPenaltyBytesPerEndpoint * ActiveW);
+}
+
+Machine::StepOutcome Machine::stepCycleSerial(int64_t Cycle,
+                                              SimFailure &Failure) {
+  const FaultPlan *Plan = Config.Faults;
+  if (Cycle >= MaxCycles) {
+    Failure = abortRun(ErrorCode::CycleLimit, Cycle);
+    return StepOutcome::Failed;
+  }
+
+  // Refresh the per-device fault state for this cycle.
+  if (Plan && !Plan->empty())
+    for (int Device = 0; Device != NumDevices; ++Device) {
+      Brownout[static_cast<size_t>(Device)] =
+          Plan->memoryBrownoutAt(Device, Cycle);
+      if (Cycle >= EarliestDeviceFail)
+        DeadDevice[static_cast<size_t>(Device)] =
+            Plan->deviceFailedAt(Device, Cycle);
     }
-    double HopRate = Config.LinkBytesPerCycle * Config.LinksPerHop;
-    double HopClamp = HopRate + static_cast<double>(Lanes) *
-                                    static_cast<double>(ElementBytes) *
-                                    static_cast<double>(
-                                        std::max(1, NumDevices - 1));
-    for (size_t Hop = 0; Hop != HopBudget.size(); ++Hop) {
-      double Rate = HopRate;
-      if (Plan)
-        Rate *= Plan->linkFactor(static_cast<int>(Hop), Cycle);
-      HopBudget[Hop] = std::min(HopBudget[Hop] + Rate, HopClamp);
+  auto IsDead = [&](int Device) {
+    return Plan && DeadDevice[static_cast<size_t>(Device)] != 0;
+  };
+
+  // Refill per-cycle budgets. Unused budget carries over (bounded by one
+  // transaction beyond the per-cycle rate), so rates smaller than a
+  // single transaction still make progress every few cycles.
+  // Split the refill between reader and writer pools proportionally to
+  // the number of active endpoints on each device.
+  std::fill(ActiveReaders.begin(), ActiveReaders.end(), 0);
+  std::fill(ActiveWriters.begin(), ActiveWriters.end(), 0);
+  for (const Reader &R : Readers)
+    if (R.VectorsPushed != R.TotalVectors && !IsDead(R.Device))
+      ++ActiveReaders[static_cast<size_t>(R.Device)];
+  for (const Writer &W : Writers)
+    if (W.VectorsWritten != W.TotalVectors && !IsDead(W.Device))
+      ++ActiveWriters[static_cast<size_t>(W.Device)];
+  for (size_t Device = 0; Device != MemoryBudget.size(); ++Device)
+    refillDeviceBudgets(Device, Cycle, ActiveReaders[Device],
+                        ActiveWriters[Device]);
+  for (size_t Hop = 0; Hop != HopBudget.size(); ++Hop)
+    refillHopBudget(Hop, Cycle);
+  SerialCtx.BandwidthWait = false;
+
+  // Reliable streams: matured wire transmissions are verified and
+  // delivered before any component steps, so the consumer-visible
+  // timing is identical to the plain transport's arrival latency.
+  if (!Reliable.empty())
+    if (Error Err = linkReceive(Cycle)) {
+      Failure = SimFailure(std::move(Err), LastFailure);
+      return StepOutcome::Failed;
     }
-    BandwidthWait = false;
 
-    // Reliable streams: matured wire transmissions are verified and
-    // delivered before any component steps, so the consumer-visible
-    // timing is identical to the plain transport's arrival latency.
-    if (!Reliable.empty())
-      if (Error Err = linkReceive(Cycle))
-        return Err;
+  // Crossbar arbitration pressure: each active endpoint costs a small
+  // amount of routing bandwidth (the mild pre-plateau droop of Fig. 16).
+  // Pools never go negative: the penalty can only consume this cycle's
+  // refill.
+  if (!Config.UnconstrainedMemory &&
+      Config.ArbitrationPenaltyBytesPerEndpoint > 0.0)
+    for (size_t Device = 0; Device != MemoryBudget.size(); ++Device)
+      applyArbitrationPenalty(Device, ActiveReaders[Device],
+                              ActiveWriters[Device]);
 
-    // Crossbar arbitration pressure: each active endpoint costs a small
-    // amount of routing bandwidth (the mild pre-plateau droop of Fig. 16).
-    // Pools never go negative: the penalty can only consume this cycle's
-    // refill.
-    if (!Config.UnconstrainedMemory &&
-        Config.ArbitrationPenaltyBytesPerEndpoint > 0.0)
-      for (size_t Device = 0; Device != MemoryBudget.size(); ++Device) {
-        MemoryBudget[Device] =
-            std::max(0.0, MemoryBudget[Device] -
-                              Config.ArbitrationPenaltyBytesPerEndpoint *
-                                  ActiveReaders[Device]);
-        WriterBudget[Device] =
-            std::max(0.0, WriterBudget[Device] -
-                              Config.ArbitrationPenaltyBytesPerEndpoint *
-                                  ActiveWriters[Device]);
-      }
-
-    // Readers and writers are served in a rotating order so bandwidth
-    // arbitration is fair when the controller is oversubscribed (a fixed
-    // priority would starve the tail endpoints and halve throughput).
-    bool Progress = false;
-    if (!Readers.empty()) {
-      size_t Offset = static_cast<size_t>(Cycle) % Readers.size();
-      for (size_t Index = 0; Index != Readers.size(); ++Index) {
-        Reader &R = Readers[(Index + Offset) % Readers.size()];
-        if (IsDead(R.Device)) {
-          if (ActiveTrace)
-            ActiveTrace->setState(R.TraceTrack, Cycle, "dead");
-          continue;
-        }
-        if (stepReader(R, Cycle)) {
-          R.LastProgress = Cycle;
-          Progress = true;
-        }
-      }
-    }
-    for (Unit &U : Units) {
-      if (IsDead(U.Device)) {
+  // Readers and writers are served in a rotating order so bandwidth
+  // arbitration is fair when the controller is oversubscribed (a fixed
+  // priority would starve the tail endpoints and halve throughput).
+  bool Progress = false;
+  if (!Readers.empty()) {
+    size_t Offset = static_cast<size_t>(Cycle) % Readers.size();
+    for (size_t Index = 0; Index != Readers.size(); ++Index) {
+      Reader &R = Readers[(Index + Offset) % Readers.size()];
+      if (IsDead(R.Device)) {
         if (ActiveTrace)
-          ActiveTrace->setState(U.TraceTrack, Cycle, "dead");
+          ActiveTrace->setState(R.TraceTrack, Cycle, "dead");
         continue;
       }
-      if (stepUnit(U, Cycle)) {
-        U.LastProgress = Cycle;
+      if (stepReader(R, Cycle, SerialCtx)) {
+        R.LastProgress = Cycle;
         Progress = true;
       }
     }
-    if (!Writers.empty()) {
-      size_t Offset = static_cast<size_t>(Cycle) % Writers.size();
-      for (size_t Index = 0; Index != Writers.size(); ++Index) {
-        Writer &W = Writers[(Index + Offset) % Writers.size()];
-        if (IsDead(W.Device)) {
-          if (ActiveTrace)
-            ActiveTrace->setState(W.TraceTrack, Cycle, "dead");
-          continue;
-        }
-        if (stepWriter(W, Cycle)) {
-          W.LastProgress = Cycle;
-          Progress = true;
-        }
+  }
+  for (Unit &U : Units) {
+    if (IsDead(U.Device)) {
+      if (ActiveTrace)
+        ActiveTrace->setState(U.TraceTrack, Cycle, "dead");
+      continue;
+    }
+    if (stepUnit(U, Cycle, SerialCtx)) {
+      U.LastProgress = Cycle;
+      Progress = true;
+    }
+  }
+  if (!Writers.empty()) {
+    size_t Offset = static_cast<size_t>(Cycle) % Writers.size();
+    for (size_t Index = 0; Index != Writers.size(); ++Index) {
+      Writer &W = Writers[(Index + Offset) % Writers.size()];
+      if (IsDead(W.Device)) {
+        if (ActiveTrace)
+          ActiveTrace->setState(W.TraceTrack, Cycle, "dead");
+        continue;
       }
-    }
-
-    // Reliable streams: rewound senders retransmit from leftover hop
-    // bandwidth (fresh emissions had priority this cycle).
-    if (!Reliable.empty())
-      linkSend(Cycle);
-
-    if (ActiveTrace && Cycle % ActiveTrace->sampleStride() == 0)
-      sampleTrace(*ActiveTrace, Cycle);
-
-    bool Done = true;
-    for (const Writer &W : Writers)
-      Done &= W.VectorsWritten == W.TotalVectors;
-    if (Done) {
-      ++Cycle;
-      break;
-    }
-
-    if (!Progress) {
-      // Time-dependent state (in-flight network vectors, retransmissions,
-      // pipeline stages) may still mature; otherwise no component can
-      // ever step again — a true deadlock, unless the quiescence was
-      // caused by a permanently failed device.
-      bool Pending = BandwidthWait;
-      for (const auto &C : Channels)
-        Pending |= C->hasPendingArrival(Cycle);
-      for (const Unit &U : Units)
-        Pending |= !U.PipeReady.empty() && U.PipeReady.front() > Cycle;
-      for (const ReliableStream &RS : Reliable)
-        Pending |= !RS.Wire.empty() || RS.ResendNext >= 0;
-      if (!Pending) {
-        ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
-                             ? ErrorCode::DeviceLost
-                             : ErrorCode::Deadlock;
-        return abortRun(Code, Cycle);
-      }
-    }
-
-    // Progress watchdog: a component stuck past the timeout while the
-    // system as a whole still moves is livelock/starvation, not deadlock
-    // (the global no-progress check above catches true deadlocks the
-    // cycle they happen). A permanently failed device is reported as the
-    // root cause instead of the starvation it induces downstream.
-    if (Config.StallTimeoutCycles > 0 && Cycle != 0 &&
-        Cycle % 256 == 0) {
-      bool Starved = false;
-      for (const Reader &R : Readers)
-        Starved |= R.VectorsPushed != R.TotalVectors &&
-                   Cycle - R.LastProgress > Config.StallTimeoutCycles;
-      for (const Unit &U : Units)
-        Starved |= U.Emitted != U.StreamVectors &&
-                   Cycle - U.LastProgress > Config.StallTimeoutCycles;
-      for (const Writer &W : Writers)
-        Starved |= W.VectorsWritten != W.TotalVectors &&
-                   Cycle - W.LastProgress > Config.StallTimeoutCycles;
-      if (Starved) {
-        ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
-                             ? ErrorCode::DeviceLost
-                             : ErrorCode::Starvation;
-        return abortRun(Code, Cycle);
+      if (stepWriter(W, Cycle, SerialCtx)) {
+        W.LastProgress = Cycle;
+        Progress = true;
       }
     }
   }
+
+  // Reliable streams: rewound senders retransmit from leftover hop
+  // bandwidth (fresh emissions had priority this cycle).
+  if (!Reliable.empty())
+    linkSend(Cycle);
+
+  if (ActiveTrace && Cycle % ActiveTrace->sampleStride() == 0)
+    sampleTrace(*ActiveTrace, Cycle);
+
+  bool Done = true;
+  for (const Writer &W : Writers)
+    Done &= W.VectorsWritten == W.TotalVectors;
+  if (Done)
+    return StepOutcome::Finished;
+
+  if (!Progress) {
+    // Time-dependent state (in-flight network vectors, retransmissions,
+    // pipeline stages) may still mature; otherwise no component can
+    // ever step again — a true deadlock, unless the quiescence was
+    // caused by a permanently failed device.
+    bool Pending = SerialCtx.BandwidthWait;
+    for (const auto &C : Channels)
+      Pending |= C->hasPendingArrival(Cycle);
+    for (const Unit &U : Units)
+      Pending |= !U.PipeReady.empty() && U.PipeReady.front() > Cycle;
+    for (const ReliableStream &RS : Reliable)
+      Pending |= !RS.Wire.empty() || RS.ResendNext >= 0;
+    if (!Pending) {
+      ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
+                           ? ErrorCode::DeviceLost
+                           : ErrorCode::Deadlock;
+      Failure = abortRun(Code, Cycle);
+      return StepOutcome::Failed;
+    }
+  }
+
+  // Progress watchdog: a component stuck past the timeout while the
+  // system as a whole still moves is livelock/starvation, not deadlock
+  // (the global no-progress check above catches true deadlocks the
+  // cycle they happen). A permanently failed device is reported as the
+  // root cause instead of the starvation it induces downstream.
+  if (Config.StallTimeoutCycles > 0 && Cycle != 0 && Cycle % 256 == 0) {
+    bool Starved = false;
+    for (const Reader &R : Readers)
+      Starved |= R.VectorsPushed != R.TotalVectors &&
+                 Cycle - R.LastProgress > Config.StallTimeoutCycles;
+    for (const Unit &U : Units)
+      Starved |= U.Emitted != U.StreamVectors &&
+                 Cycle - U.LastProgress > Config.StallTimeoutCycles;
+    for (const Writer &W : Writers)
+      Starved |= W.VectorsWritten != W.TotalVectors &&
+                 Cycle - W.LastProgress > Config.StallTimeoutCycles;
+    if (Starved) {
+      ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
+                           ? ErrorCode::DeviceLost
+                           : ErrorCode::Starvation;
+      Failure = abortRun(Code, Cycle);
+      return StepOutcome::Failed;
+    }
+  }
+  return StepOutcome::Running;
+}
+
+Machine::StepOutcome Machine::runSerialLoop(int64_t &FinalCycles,
+                                            SimFailure &Failure) {
+  for (int64_t Cycle = 0;; ++Cycle) {
+    StepOutcome Outcome = stepCycleSerial(Cycle, Failure);
+    if (Outcome == StepOutcome::Running)
+      continue;
+    if (Outcome == StepOutcome::Finished)
+      FinalCycles = Cycle + 1;
+    return Outcome;
+  }
+}
+
+SimResult Machine::collectResult(int64_t FinalCycles) {
   if (ActiveTrace)
-    ActiveTrace->finish(Cycle);
+    ActiveTrace->finish(FinalCycles);
 
   SimResult Result;
-  Result.Stats.Cycles = Cycle;
+  Result.Stats.Cycles = FinalCycles;
   Result.Stats.MemoryBytesMoved = MemoryBytesMoved;
   Result.Stats.AchievedMemoryBytesPerCycle.resize(MemoryBytesMoved.size());
   for (size_t Device = 0; Device != MemoryBytesMoved.size(); ++Device)
     Result.Stats.AchievedMemoryBytesPerCycle[Device] =
-        MemoryBytesMoved[Device] / static_cast<double>(Cycle);
-  Result.Stats.NetworkBytesMoved = NetworkBytesMoved;
+        MemoryBytesMoved[Device] / static_cast<double>(FinalCycles);
+  Result.Stats.NetworkBytesMoved = SerialCtx.NetworkBytesMoved;
+  Result.Stats.Engine = EngineNote;
+  Result.Stats.ParallelEpochs = EpochCount;
+  Result.Stats.SerialFallbackCycles = SerialFallbackCount;
+  for (const Shard &S : Shards) {
+    Result.Stats.NetworkBytesMoved += S.Ctx.NetworkBytesMoved;
+    Result.Stats.SkippedCycles += S.SkippedCycles;
+  }
   for (const Unit &U : Units) {
     Result.Stats.UnitStallCycles[U.Name] = U.StallCycles;
     Result.Stats.UnitStalls[U.Name] = U.Stalls;
@@ -1124,6 +1242,22 @@ Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
   for (Writer &W : Writers)
     Result.Outputs[W.Field] = std::move(W.Data);
   return Result;
+}
+
+Expected<SimResult, SimFailure>
+Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
+  if (Error Err = prepareRun(Inputs))
+    return Err;
+  SimFailure Failure;
+  int64_t FinalCycles = 0;
+  StepOutcome Outcome;
+  if (Config.Engine == SimEngine::Parallel && !mustRunSerial())
+    Outcome = runParallelLoop(FinalCycles, Failure);
+  else
+    Outcome = runSerialLoop(FinalCycles, Failure);
+  if (Outcome == StepOutcome::Failed)
+    return Failure;
+  return collectResult(FinalCycles);
 }
 
 //===----------------------------------------------------------------------===//

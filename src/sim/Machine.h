@@ -123,6 +123,20 @@ struct SimStats {
   /// name. Present (with zero counters) for every inter-device stream
   /// when a fault plan is attached; empty otherwise.
   std::map<std::string, LinkStats> Links;
+
+  /// The engine that actually stepped the machine ("serial" or
+  /// "parallel"), with a parenthesized reason when the parallel engine
+  /// fell back to serial stepping for the whole run (e.g. multi-hop
+  /// remote streams).
+  std::string Engine = "serial";
+
+  /// Parallel-engine introspection (zero under the serial engine):
+  /// epoch barriers executed, cycles stepped serially between epochs to
+  /// preserve exactness (dirty retransmission state, exhausted channel
+  /// slack), and cycles fast-forwarded by the quiescence skip.
+  int64_t ParallelEpochs = 0;
+  int64_t SerialFallbackCycles = 0;
+  int64_t SkippedCycles = 0;
 };
 
 /// How a returned simulation terminated. Failed runs return a typed
@@ -158,8 +172,10 @@ public:
                                  const SimConfig &Config = {});
 
   /// Runs the machine to completion (or deadlock / cycle-limit abort).
-  /// \p Inputs maps every program input field to its data.
-  Expected<SimResult>
+  /// \p Inputs maps every program input field to its data. On failure the
+  /// returned \c SimFailure carries both the classified error and the
+  /// structured \c FailureReport, so no separate accessor call is needed.
+  Expected<SimResult, SimFailure>
   run(const std::map<std::string, std::vector<double>> &Inputs);
 
   /// The runtime model's expected cycle count C = L + N (Eq. 1), excluding
@@ -169,10 +185,15 @@ public:
   /// Number of devices in the machine.
   int numDevices() const { return NumDevices; }
 
-  /// The structured report of the most recent failed run (the same
-  /// information as the returned Error's message, machine-readable).
-  /// Code is ErrorCode::Unknown when the last run succeeded.
-  const FailureReport &lastFailure() const { return LastFailure; }
+  /// The structured report of the most recent failed run. Deprecated: the
+  /// report now travels with the failure itself — use
+  /// `run(...).takeError().report()` instead of pairing the returned
+  /// error with this second call.
+  [[deprecated("use the FailureReport carried by run()'s SimFailure "
+               "instead")]] const FailureReport &
+  lastFailure() const {
+    return LastFailure;
+  }
 
 private:
   //===--------------------------------------------------------------------===//
@@ -237,6 +258,7 @@ private:
     std::vector<int64_t> CenterIndex; ///< Multi-dim index of next output.
     int64_t StallCycles = 0;
     StallBreakdown Stalls; ///< Per-cause split of StallCycles.
+    StallCause LastCause = StallCause::PipelineLatency; ///< Most recent stall.
     int64_t LastProgress = 0; ///< Last cycle the unit made progress.
     int TraceTrack = -1;   ///< Timeline track when tracing.
     std::vector<double> Scratch;    ///< Kernel evaluation scratch.
@@ -255,6 +277,7 @@ private:
     const std::vector<double> *Data = nullptr;
     int64_t VectorsPushed = 0;
     StallBreakdown Stalls;
+    StallCause LastCause = StallCause::OutputBlocked; ///< Most recent stall.
     int64_t LastProgress = 0;
     int TraceTrack = -1;
   };
@@ -273,6 +296,7 @@ private:
     int64_t VectorsWritten = 0;
     std::vector<double> InVector;
     StallBreakdown Stalls;
+    StallCause LastCause = StallCause::InputStarved; ///< Most recent stall.
     int64_t LastProgress = 0;
     int TraceTrack = -1;
   };
@@ -328,12 +352,47 @@ private:
   };
 
   //===--------------------------------------------------------------------===//
+  // Execution context
+  //===--------------------------------------------------------------------===//
+
+  /// Mutable per-stepper state that must not be shared between shards:
+  /// the serial engine owns one instance (SerialCtx); the parallel engine
+  /// gives each shard its own, merging the totals at result collection.
+  struct ExecCtx {
+    /// Set when a component was ready to move data but was denied
+    /// bandwidth this cycle; such waiting is progress-pending, not
+    /// deadlock (unused budget carries over, so the grant eventually
+    /// succeeds).
+    bool BandwidthWait = false;
+    /// Bytes this context moved across the network.
+    double NetworkBytesMoved = 0.0;
+    /// Per-hop scratch for the emit phase's all-or-nothing feasibility
+    /// check, hoisted so the run loop performs no per-cycle allocation.
+    std::vector<double> HopNeeded;
+  };
+
+  /// What one stepped cycle (or one merged epoch) concluded.
+  enum class StepOutcome : uint8_t { Running, Finished, Failed };
+
+  //===--------------------------------------------------------------------===//
   // Helpers
   //===--------------------------------------------------------------------===//
 
-  bool stepReader(Reader &R, int64_t Cycle);
-  bool stepUnit(Unit &U, int64_t Cycle);
-  bool stepWriter(Writer &W, int64_t Cycle);
+  bool stepReader(Reader &R, int64_t Cycle, ExecCtx &Ctx);
+  bool stepUnit(Unit &U, int64_t Cycle, ExecCtx &Ctx);
+  bool stepWriter(Writer &W, int64_t Cycle, ExecCtx &Ctx);
+
+  /// Refills one device's reader/writer memory pools for \p Cycle given
+  /// the active endpoint counts (shared by the serial stepper and the
+  /// per-shard parallel stepper; each device is touched by exactly one).
+  void refillDeviceBudgets(size_t Device, int64_t Cycle, int ActiveR,
+                           int ActiveW);
+
+  /// Refills one hop's link budget for \p Cycle.
+  void refillHopBudget(size_t Hop, int64_t Cycle);
+
+  /// Charges the crossbar arbitration penalty against one device's pools.
+  void applyArbitrationPenalty(size_t Device, int ActiveR, int ActiveW);
 
   /// Requests a memory transaction of \p DataBytes on \p Device. Returns
   /// true (and charges the budget) if granted this cycle. The per-cycle
@@ -341,21 +400,27 @@ private:
   /// the active endpoint counts, so the writers (served after the
   /// readers) cannot be starved under oversubscription; reader leftovers
   /// spill into the writer pool.
-  bool grantMemory(int Device, double DataBytes, bool IsWriter);
+  bool grantMemory(int Device, double DataBytes, bool IsWriter, ExecCtx &Ctx);
 
   /// Requests network bandwidth for pushing one vector into channel
   /// \p ChannelIndex, if it is remote. Returns true if granted (or local).
-  bool grantNetwork(size_t ChannelIndex);
+  bool grantNetwork(size_t ChannelIndex, ExecCtx &Ctx);
 
   /// Computes the value of slot \p Slot of \p U for lane \p Lane.
   double readSlot(const Unit &U, const SlotRef &Slot, int Lane) const;
 
   /// Producer-side view of channel \p ChannelIndex: plain Channel::full,
-  /// or the reliable stream's capacity/window/rewind backpressure.
+  /// or the reliable stream's capacity/window/rewind backpressure. During
+  /// a parallel epoch, cross-shard channels answer from the epoch-start
+  /// snapshot plus this epoch's staged pushes (an upper bound on the
+  /// serial occupancy that the epoch length guarantees never differs on
+  /// the full/not-full question — see DESIGN.md).
   bool channelFull(size_t ChannelIndex) const;
 
   /// Producer-side push: plain Channel::push, or accept-and-transmit on
   /// the reliable stream (the emit phase has already paid hop bandwidth).
+  /// During a parallel epoch, cross-shard pushes are staged and merged at
+  /// the barrier.
   void channelPush(size_t ChannelIndex, const double *Vector, int64_t Cycle);
 
   /// Start-of-cycle receiver step: matured wire transmissions are
@@ -374,9 +439,106 @@ private:
   void buildFailureReport(ErrorCode Code, int64_t Cycle);
 
   /// Builds the failure report, finalizes the trace, and returns the
-  /// typed Error whose message is the rendered report.
-  Error abortRun(ErrorCode Code, int64_t Cycle,
-                 const std::string &FailedChannel = std::string());
+  /// typed failure carrying both the rendered Error and the structured
+  /// report.
+  SimFailure abortRun(ErrorCode Code, int64_t Cycle,
+                      const std::string &FailedChannel = std::string());
+
+  //===--------------------------------------------------------------------===//
+  // Engine decomposition (Machine.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Binds inputs, resets all runtime state, and registers the trace.
+  Error prepareRun(const std::map<std::string, std::vector<double>> &Inputs);
+
+  /// Steps every component through one cycle in the global reference
+  /// order. The unit of exactness: the parallel engine is defined as
+  /// producing the same state trajectory as repeated calls to this.
+  StepOutcome stepCycleSerial(int64_t Cycle, SimFailure &Failure);
+
+  /// Reference engine: stepCycleSerial until completion or failure.
+  StepOutcome runSerialLoop(int64_t &FinalCycles, SimFailure &Failure);
+
+  /// Gathers stats and outputs after a completed run.
+  SimResult collectResult(int64_t FinalCycles);
+
+  //===--------------------------------------------------------------------===//
+  // Parallel engine (Parallel.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Epoch-local logs for one cross-shard (remote) channel. The producer
+  /// shard appends pushes (payload + cycle, plus the precomputed
+  /// corruption flag on reliable streams); the consumer shard appends pop
+  /// cycles. The two roles touch disjoint members, so no lock is needed;
+  /// the barrier merges pushes into the live channel and replays the
+  /// interleaved trajectory to recover the exact peak occupancy.
+  struct ChannelStage {
+    bool Active = false; ///< True during a parallel epoch.
+    /// Producer-visible occupancy at epoch start: channel size (plain) or
+    /// outstanding + delivered-not-popped (reliable).
+    int64_t OccSnapshot = 0;
+    /// Reliable only: unacknowledged vectors at epoch start.
+    int64_t OutstandingSnapshot = 0;
+    // Producer-written.
+    std::vector<int64_t> PushCycles;
+    std::vector<double> Payloads; ///< Lanes values per push.
+    std::vector<uint8_t> Corrupt; ///< Reliable only.
+    // Consumer-written.
+    std::vector<int64_t> PopCycles;
+  };
+
+  /// One device's slice of the machine: index lists into the global
+  /// component arrays (kept sorted so the serial rotation order can be
+  /// reproduced locally), the channels it consumes and the remote
+  /// channels it produces, plus its private execution context and
+  /// per-epoch progress/pending bits.
+  struct Shard {
+    int Device = 0;
+    std::vector<size_t> ReaderIdx, UnitIdx, WriterIdx; ///< Sorted global.
+    std::vector<size_t> InChannels;  ///< Channels consumed on this device.
+    std::vector<size_t> OutRemote;   ///< Remote channels produced here.
+    std::vector<size_t> InRemote;    ///< Remote channels consumed here.
+    std::vector<int> InReliable;     ///< Reliable streams delivered here.
+    std::vector<size_t> OwnedHops;   ///< Hops whose budget this shard pays.
+    ExecCtx Ctx;
+    /// Per-epoch records, indexed by cycle - T0.
+    std::vector<uint8_t> ProgressBits, PendingBits;
+    /// First absolute cycle at which every local writer had finished;
+    /// INT64_MAX until observed, -1 for shards with no writers.
+    int64_t AllWritersDoneCycle = 0;
+    /// Cycles the quiescence fast-forward skipped on this shard.
+    int64_t SkippedCycles = 0;
+  };
+
+  /// Parallel engine driver: epoch sizing, worker coordination, serial
+  /// fallback chunks, and barrier merges.
+  StepOutcome runParallelLoop(int64_t &FinalCycles, SimFailure &Failure);
+
+  /// Builds the per-device shards and channel stages (first parallel run).
+  void buildShards();
+
+  /// True when the machine cannot run parallel epochs at all for this
+  /// run; sets EngineNote with the reason.
+  bool mustRunSerial();
+
+  /// Largest exact epoch length starting at \p T0 (at most \p MaxLen),
+  /// or 0 when the next cycle must be stepped serially (dirty
+  /// retransmission state, corrupted arrival due, no channel slack).
+  int64_t computeEpochLength(int64_t T0) const;
+
+  /// Steps one shard through cycles [T0, T1], including the quiescence
+  /// fast-forward. Runs on a worker thread; touches only shard-owned
+  /// state plus the staged channel logs.
+  void runShardEpoch(Shard &S, int64_t T0, int64_t T1);
+
+  /// Takes the epoch-start snapshots and activates the channel stages.
+  void beginEpoch(int64_t T0, int64_t T1);
+
+  /// Merges staged pushes, replays occupancy peaks, scans the combined
+  /// progress/pending bits for completion/deadlock/watchdog, and rolls
+  /// back overrun stall counters when the run ended mid-epoch.
+  StepOutcome mergeEpoch(int64_t T0, int64_t T1, int64_t &FinalCycles,
+                         SimFailure &Failure);
 
   //===--------------------------------------------------------------------===//
   // Configuration (set at build)
@@ -418,17 +580,37 @@ private:
   std::vector<double> WriterBudget;      ///< Writer pool per device.
   std::vector<double> HopBudget;         ///< Per hop, bytes this cycle.
   std::vector<double> MemoryBytesMoved;  ///< Per device, total.
-  double NetworkBytesMoved = 0.0;
-  /// Set when a component was ready to move data but was denied bandwidth
-  /// this cycle; such waiting is progress-pending, not deadlock (unused
-  /// budget carries over, so the grant eventually succeeds).
-  bool BandwidthWait = false;
+
+  /// The serial engine's execution context (also used for the parallel
+  /// engine's serial fallback chunks).
+  ExecCtx SerialCtx;
 
   /// Per-cycle scratch, hoisted out of the run loop so the simulator
   /// performs no heap allocation per simulated cycle.
   std::vector<int> ActiveReaders;  ///< Per device, cleared each cycle.
   std::vector<int> ActiveWriters;  ///< Per device, cleared each cycle.
-  std::vector<double> HopNeeded;   ///< Per hop, stepUnit emit scratch.
+
+  /// Hard cycle limit of the current run (set by prepareRun).
+  int64_t MaxCycles = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Parallel engine state (empty under the serial engine)
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Shard> Shards;
+  std::vector<ChannelStage> Stages; ///< Indexed like Channels.
+  /// Sorted fault-event boundary cycles (starts and ends); the quiescence
+  /// skip never jumps across one, so per-cycle fault refresh stays exact.
+  std::vector<int64_t> FaultBoundaries;
+  /// Per device: first cycle at which a DeviceFailure event has it dead
+  /// (INT64_MAX when none). Used to roll back bulk-accounted stalls when
+  /// an epoch aborts mid-way.
+  std::vector<int64_t> DeviceFailCycle;
+  /// What SimStats::Engine reports: the configured engine plus fallback
+  /// notes.
+  std::string EngineNote;
+  int64_t EpochCount = 0;          ///< Parallel epochs executed.
+  int64_t SerialFallbackCount = 0; ///< Cycles stepped serially mid-run.
 
   //===--------------------------------------------------------------------===//
   // Tracing (active only while run() executes with Config.Trace set)

@@ -1,0 +1,686 @@
+//===- sim/Parallel.cpp - Event-sliced parallel engine -------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel simulation engine: one shard per simulated device, stepped
+/// concurrently in fixed cycle epochs whose length is bounded so that no
+/// cross-device interaction can occur inside an epoch (conservative
+/// lookahead). The engine is cycle- and bit-exact with the serial stepper:
+///
+///  - Epoch length E never exceeds the minimum cross-device wire latency,
+///    so every vector pushed onto a remote stream during the epoch arrives
+///    in a later epoch; producers stage such pushes and the barrier merges
+///    them into the consumer-owned channel.
+///  - E never exceeds the free capacity (and reliable-transport window
+///    slack) of any remote channel at epoch start, so the producer's stale,
+///    pop-free occupancy view provably answers every full/not-full query
+///    exactly as the serial engine would (neither ever observes "full"
+///    inside the epoch).
+///  - Cycles that the reliable transport makes history-dependent — a
+///    rewinding sender, out-of-order or corrupted transmissions about to
+///    arrive — are stepped serially, one reference cycle at a time.
+///  - A quiescent shard (no progress, nobody denied bandwidth) fast-forwards
+///    to its next event, bulk-accounting the per-cycle stall attribution
+///    that the serial engine would have recorded cycle by cycle.
+///
+/// See DESIGN.md ("Epoch synchronization") for the full exactness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <limits>
+#include <thread>
+
+using namespace stencilflow;
+using namespace stencilflow::sim;
+
+namespace {
+constexpr int64_t Infinite = std::numeric_limits<int64_t>::max();
+/// Epoch cap when no remote stream bounds the lookahead (single device):
+/// bounds the per-epoch bit vectors and the merge scan.
+constexpr int64_t MaxEpochLength = 4096;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Shard construction
+//===----------------------------------------------------------------------===//
+
+void Machine::buildShards() {
+  Shards.assign(static_cast<size_t>(NumDevices), Shard());
+  for (int Device = 0; Device != NumDevices; ++Device)
+    Shards[static_cast<size_t>(Device)].Device = Device;
+
+  // Component index lists stay ascending (push in iteration order), so a
+  // shard can reproduce the serial engine's rotating arbitration order and
+  // topological unit order locally.
+  for (size_t Index = 0; Index != Readers.size(); ++Index)
+    Shards[static_cast<size_t>(Readers[Index].Device)].ReaderIdx.push_back(
+        Index);
+  for (size_t Index = 0; Index != Units.size(); ++Index)
+    Shards[static_cast<size_t>(Units[Index].Device)].UnitIdx.push_back(Index);
+  for (size_t Index = 0; Index != Writers.size(); ++Index)
+    Shards[static_cast<size_t>(Writers[Index].Device)].WriterIdx.push_back(
+        Index);
+
+  // Channels are owned by their consumer shard; remote channels are
+  // additionally staged on the producer shard. Reader and writer channels
+  // are always device-local by construction (asserted below), so only
+  // unit-to-unit streams cross shards.
+  Stages.assign(Channels.size(), ChannelStage());
+  for (size_t Index = 0; Index != Channels.size(); ++Index) {
+    const RemoteLink &Link = RemoteLinks[Index];
+    Shards[static_cast<size_t>(Link.LastHop)].InChannels.push_back(Index);
+    if (Link.FirstHop == Link.LastHop)
+      continue;
+    Shards[static_cast<size_t>(Link.FirstHop)].OutRemote.push_back(Index);
+    Shards[static_cast<size_t>(Link.LastHop)].InRemote.push_back(Index);
+    if (ReliableOf[Index] >= 0)
+      Shards[static_cast<size_t>(Link.LastHop)].InReliable.push_back(
+          ReliableOf[Index]);
+  }
+#ifndef NDEBUG
+  for (const Reader &R : Readers)
+    for (size_t ChannelIndex : R.OutChannels)
+      assert(RemoteLinks[ChannelIndex].FirstHop == R.Device &&
+             RemoteLinks[ChannelIndex].LastHop == R.Device &&
+             "reader channels must be device-local");
+  for (const Writer &W : Writers)
+    assert(RemoteLinks[W.ChannelIndex].FirstHop ==
+               RemoteLinks[W.ChannelIndex].LastHop &&
+           "writer channels must be device-local");
+#endif
+
+  // Hop d connects devices d and d+1; with the single-hop restriction
+  // (mustRunSerial) only producers on device d spend hop d's budget, so
+  // shard d refills it. Every hop is refilled by exactly one shard every
+  // epoch cycle, mirroring the serial engine's unconditional refill.
+  for (int Device = 0; Device + 1 < NumDevices; ++Device)
+    Shards[static_cast<size_t>(Device)].OwnedHops.push_back(
+        static_cast<size_t>(Device));
+
+  // Fault-event boundaries: the quiescence fast-forward never skips across
+  // one, so the per-cycle dead/brownout refresh stays exact.
+  FaultBoundaries.clear();
+  DeviceFailCycle.assign(static_cast<size_t>(NumDevices), Infinite);
+  if (Config.Faults) {
+    for (const FaultEvent &Ev : Config.Faults->Events) {
+      FaultBoundaries.push_back(Ev.StartCycle);
+      if (Ev.Kind != FaultKind::DeviceFailure && Ev.EndCycle != Infinite)
+        FaultBoundaries.push_back(Ev.EndCycle);
+      if (Ev.Kind == FaultKind::DeviceFailure && Ev.Device >= 0 &&
+          Ev.Device < NumDevices)
+        DeviceFailCycle[static_cast<size_t>(Ev.Device)] =
+            std::min(DeviceFailCycle[static_cast<size_t>(Ev.Device)],
+                     Ev.StartCycle);
+    }
+    std::sort(FaultBoundaries.begin(), FaultBoundaries.end());
+    FaultBoundaries.erase(
+        std::unique(FaultBoundaries.begin(), FaultBoundaries.end()),
+        FaultBoundaries.end());
+  }
+
+  for (Shard &S : Shards) {
+    S.Ctx.HopNeeded.assign(HopBudget.size(), 0.0);
+    S.AllWritersDoneCycle = S.WriterIdx.empty() ? -1 : Infinite;
+  }
+}
+
+bool Machine::mustRunSerial() {
+  for (const RemoteLink &Link : RemoteLinks)
+    if (std::abs(Link.LastHop - Link.FirstHop) > 1) {
+      EngineNote = "serial (parallel requested; multi-hop remote streams "
+                   "step serially)";
+      return true;
+    }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch sizing
+//===----------------------------------------------------------------------===//
+
+int64_t Machine::computeEpochLength(int64_t T0) const {
+  int64_t E = MaxEpochLength;
+
+  for (const RemoteLink &Link : RemoteLinks) {
+    if (Link.FirstHop == Link.LastHop)
+      continue;
+    const Channel &C = *Channels[Link.ChannelIndex];
+    int64_t WireLatency = Config.NetworkLatencyCyclesPerHop *
+                          static_cast<int64_t>(Link.LastHop - Link.FirstHop);
+    int Rel = ReliableOf[Link.ChannelIndex];
+    if (Rel < 0) {
+      // In-epoch pushes must arrive next epoch, and the producer's stale
+      // occupancy view (epoch-start size plus staged pushes, at most one
+      // per cycle) must never reach the capacity — then neither the
+      // staged view nor the serial engine ever observes "full" inside the
+      // epoch, so the views agree on every query.
+      E = std::min(E, WireLatency);
+      E = std::min(E, C.capacity() - C.size());
+      continue;
+    }
+    const ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+    // History-dependent transport state steps serially: a rewinding
+    // sender retransmits via linkSend, a receiver mid-recovery NACKs, and
+    // a wire carrying out-of-order (stale post-rewind) transmissions
+    // delivers out of sequence — none of which the in-epoch receiver
+    // models.
+    if (RS.ResendNext >= 0 || RS.AttemptsOnExpected > 0)
+      return 0;
+    if (RS.ExpectedSeq != RS.SendBase)
+      return 0;
+    for (size_t K = 0; K != RS.Wire.size(); ++K)
+      if (RS.Wire[K].Seq != RS.ExpectedSeq + static_cast<int64_t>(K))
+        return 0;
+    E = std::min(E, RS.WireLatency);
+    int64_t Outstanding = RS.NextSeq - RS.SendBase;
+    int64_t Occupied = Outstanding + C.size();
+    // A delivery leaves outstanding + delivered-not-popped unchanged, so
+    // the epoch-start sum plus staged pushes bounds both the capacity and
+    // the send-window backpressure tests.
+    E = std::min(E, C.capacity() - Occupied);
+    E = std::min(E, Config.SendWindowVectors - Outstanding);
+    // Corrupted transmissions already in flight must arrive after the
+    // epoch; the serial chunk in front of them runs the full receiver.
+    for (const ReliableStream::InFlight &F : RS.Wire)
+      if (F.Corrupted) {
+        E = std::min(E, F.ArriveCycle - T0);
+        break;
+      }
+  }
+
+  if (E < 1)
+    return 0;
+
+  // The watchdog samples LastProgress exactly at multiples of 256; align
+  // epochs so such a cycle is always an epoch's last cycle, where the
+  // merged component state equals the serial state.
+  if (Config.StallTimeoutCycles > 0) {
+    int64_t NextW = std::max<int64_t>(256, ((T0 + 255) / 256) * 256);
+    if (NextW <= T0 + E - 1)
+      E = NextW - T0 + 1;
+  }
+
+  E = std::min(E, MaxCycles - T0);
+  return std::max<int64_t>(E, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch start
+//===----------------------------------------------------------------------===//
+
+void Machine::beginEpoch(int64_t T0, int64_t T1) {
+  (void)T0;
+  (void)T1;
+  for (const Shard &S : Shards)
+    for (size_t ChannelIndex : S.OutRemote) {
+      ChannelStage &St = Stages[ChannelIndex];
+      St.Active = true;
+      St.PushCycles.clear();
+      St.Payloads.clear();
+      St.Corrupt.clear();
+      St.PopCycles.clear();
+      int Rel = ReliableOf[ChannelIndex];
+      if (Rel < 0) {
+        St.OccSnapshot = Channels[ChannelIndex]->size();
+        St.OutstandingSnapshot = 0;
+      } else {
+        const ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+        St.OutstandingSnapshot = RS.NextSeq - RS.SendBase;
+        St.OccSnapshot =
+            St.OutstandingSnapshot + Channels[ChannelIndex]->size();
+      }
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-shard epoch stepping
+//===----------------------------------------------------------------------===//
+
+void Machine::runShardEpoch(Shard &S, int64_t T0, int64_t T1) {
+  const FaultPlan *Plan = Config.Faults;
+  size_t Dev = static_cast<size_t>(S.Device);
+  int64_t E = T1 - T0 + 1;
+  S.ProgressBits.assign(static_cast<size_t>(E), 0);
+  S.PendingBits.assign(static_cast<size_t>(E), 0);
+
+  for (int64_t Cycle = T0; Cycle <= T1; ++Cycle) {
+    // Fault state of this shard's device only (disjoint writes).
+    if (Plan && !Plan->empty()) {
+      Brownout[Dev] = Plan->memoryBrownoutAt(S.Device, Cycle);
+      if (Cycle >= EarliestDeviceFail)
+        DeadDevice[Dev] = Plan->deviceFailedAt(S.Device, Cycle);
+    }
+    bool Dead = Plan && DeadDevice[Dev] != 0;
+
+    // Budget refill for the owned device and hops, with the serial
+    // engine's per-cycle formulas.
+    int ActiveR = 0, ActiveW = 0;
+    for (size_t Index : S.ReaderIdx)
+      if (Readers[Index].VectorsPushed != Readers[Index].TotalVectors &&
+          !Dead)
+        ++ActiveR;
+    for (size_t Index : S.WriterIdx)
+      if (Writers[Index].VectorsWritten != Writers[Index].TotalVectors &&
+          !Dead)
+        ++ActiveW;
+    refillDeviceBudgets(Dev, Cycle, ActiveR, ActiveW);
+    for (size_t Hop : S.OwnedHops)
+      refillHopBudget(Hop, Cycle);
+    S.Ctx.BandwidthWait = false;
+
+    // Receiver step for reliable streams delivered on this device. Epoch
+    // sizing guarantees every arrival in [T0, T1] is clean and in order,
+    // so this is the exact fault-free slice of linkReceive.
+    for (int Rel : S.InReliable) {
+      ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+      Channel &Delivery = *Channels[RS.ChannelIndex];
+      while (!RS.Wire.empty() && RS.Wire.front().ArriveCycle <= Cycle) {
+        assert(!RS.Wire.front().Corrupted &&
+               RS.Wire.front().Seq == RS.ExpectedSeq &&
+               "epoch admitted a non-clean arrival");
+        RS.Wire.pop_front();
+        Delivery.push(RS.SendBuffer.front().data(), Cycle);
+        RS.SendBuffer.pop_front();
+        ++RS.ExpectedSeq;
+        ++RS.SendBase;
+        ++RS.Stats.Delivered;
+      }
+    }
+
+    if (!Config.UnconstrainedMemory &&
+        Config.ArbitrationPenaltyBytesPerEndpoint > 0.0)
+      applyArbitrationPenalty(Dev, ActiveR, ActiveW);
+
+    // Components, in the serial engine's order: readers (rotating), units
+    // (topological), writers (rotating). The rotation offset is defined
+    // over the *global* component array; the sorted local index lists
+    // reproduce the relative order by starting at the first local index
+    // >= offset and wrapping.
+    bool Progress = false;
+    if (!S.ReaderIdx.empty() && !Dead) {
+      size_t Offset = static_cast<size_t>(Cycle) % Readers.size();
+      auto Start = std::lower_bound(S.ReaderIdx.begin(), S.ReaderIdx.end(),
+                                    Offset);
+      auto StepOne = [&](size_t Index) {
+        if (stepReader(Readers[Index], Cycle, S.Ctx)) {
+          Readers[Index].LastProgress = Cycle;
+          Progress = true;
+        }
+      };
+      for (auto It = Start; It != S.ReaderIdx.end(); ++It)
+        StepOne(*It);
+      for (auto It = S.ReaderIdx.begin(); It != Start; ++It)
+        StepOne(*It);
+    }
+    if (!Dead)
+      for (size_t Index : S.UnitIdx)
+        if (stepUnit(Units[Index], Cycle, S.Ctx)) {
+          Units[Index].LastProgress = Cycle;
+          Progress = true;
+        }
+    if (!S.WriterIdx.empty() && !Dead) {
+      size_t Offset = static_cast<size_t>(Cycle) % Writers.size();
+      auto Start = std::lower_bound(S.WriterIdx.begin(), S.WriterIdx.end(),
+                                    Offset);
+      auto StepOne = [&](size_t Index) {
+        if (stepWriter(Writers[Index], Cycle, S.Ctx)) {
+          Writers[Index].LastProgress = Cycle;
+          Progress = true;
+        }
+      };
+      for (auto It = Start; It != S.WriterIdx.end(); ++It)
+        StepOne(*It);
+      for (auto It = S.WriterIdx.begin(); It != Start; ++It)
+        StepOne(*It);
+    }
+
+    if (S.AllWritersDoneCycle == Infinite) {
+      bool Done = true;
+      for (size_t Index : S.WriterIdx)
+        Done &= Writers[Index].VectorsWritten == Writers[Index].TotalVectors;
+      if (Done)
+        S.AllWritersDoneCycle = Cycle;
+    }
+
+    // Shard-local slice of the serial engine's progress/pending facts.
+    // Producer-staged pushes count as pending here (the consumer cannot
+    // see them yet); everything else mirrors the serial checks.
+    bool Pending = S.Ctx.BandwidthWait;
+    if (!Pending)
+      for (size_t ChannelIndex : S.InRemote)
+        if (Channels[ChannelIndex]->hasPendingArrival(Cycle)) {
+          Pending = true;
+          break;
+        }
+    if (!Pending)
+      for (size_t Index : S.UnitIdx) {
+        const Unit &U = Units[Index];
+        if (!U.PipeReady.empty() && U.PipeReady.front() > Cycle) {
+          Pending = true;
+          break;
+        }
+      }
+    if (!Pending)
+      for (int Rel : S.InReliable)
+        if (!Reliable[static_cast<size_t>(Rel)].Wire.empty()) {
+          Pending = true;
+          break;
+        }
+    if (!Pending)
+      for (size_t ChannelIndex : S.OutRemote)
+        if (!Stages[ChannelIndex].PushCycles.empty()) {
+          Pending = true;
+          break;
+        }
+    S.ProgressBits[static_cast<size_t>(Cycle - T0)] = Progress;
+    S.PendingBits[static_cast<size_t>(Cycle - T0)] = Pending;
+
+    if (Progress || S.Ctx.BandwidthWait || Cycle == T1)
+      continue;
+
+    // Quiescence fast-forward: with no progress and nobody waiting on
+    // bandwidth, the shard's state is frozen until its next event — the
+    // earliest in-flight arrival, pipeline maturation, or reliable-wire
+    // arrival. The skip stops at fault boundaries (dead/brownout flags
+    // and the accrual set change there) and at the epoch end.
+    int64_t NextEvent = Infinite;
+    for (size_t ChannelIndex : S.InRemote) {
+      const Channel &C = *Channels[ChannelIndex];
+      if (C.hasPendingArrival(Cycle))
+        NextEvent = std::min(NextEvent, C.nextReadyCycle());
+    }
+    for (size_t Index : S.UnitIdx) {
+      const Unit &U = Units[Index];
+      if (!U.PipeReady.empty() && U.PipeReady.front() > Cycle)
+        NextEvent = std::min(NextEvent, U.PipeReady.front());
+    }
+    for (int Rel : S.InReliable) {
+      const ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+      if (!RS.Wire.empty())
+        NextEvent = std::min(NextEvent, RS.Wire.front().ArriveCycle);
+    }
+    int64_t Wake = std::min(NextEvent, T1 + 1);
+    auto Boundary = std::upper_bound(FaultBoundaries.begin(),
+                                     FaultBoundaries.end(), Cycle);
+    if (Boundary != FaultBoundaries.end())
+      Wake = std::min(Wake, *Boundary);
+    int64_t Skipped = Wake - (Cycle + 1);
+    if (Skipped <= 0)
+      continue;
+
+    // Bulk-account the skipped cycles: exact per-cycle budget refills
+    // (brownout/link factors are cycle-dependent), one stall per
+    // unfinished non-dead component per cycle with the cause the frozen
+    // state pins, and the frozen progress/pending bits.
+    for (int64_t C = Cycle + 1; C != Wake; ++C) {
+      refillDeviceBudgets(Dev, C, ActiveR, ActiveW);
+      for (size_t Hop : S.OwnedHops)
+        refillHopBudget(Hop, C);
+      if (!Config.UnconstrainedMemory &&
+          Config.ArbitrationPenaltyBytesPerEndpoint > 0.0)
+        applyArbitrationPenalty(Dev, ActiveR, ActiveW);
+    }
+    if (!Dead) {
+      for (size_t Index : S.ReaderIdx) {
+        Reader &R = Readers[Index];
+        if (R.VectorsPushed != R.TotalVectors)
+          R.Stalls.Counts[static_cast<int>(R.LastCause)] += Skipped;
+      }
+      for (size_t Index : S.UnitIdx) {
+        Unit &U = Units[Index];
+        if (U.Emitted != U.StreamVectors) {
+          U.StallCycles += Skipped;
+          U.Stalls.Counts[static_cast<int>(U.LastCause)] += Skipped;
+        }
+      }
+      for (size_t Index : S.WriterIdx) {
+        Writer &W = Writers[Index];
+        if (W.VectorsWritten != W.TotalVectors)
+          W.Stalls.Counts[static_cast<int>(W.LastCause)] += Skipped;
+      }
+    }
+    uint8_t FrozenPending = Pending || NextEvent != Infinite;
+    for (int64_t C = Cycle + 1; C != Wake; ++C)
+      S.PendingBits[static_cast<size_t>(C - T0)] = FrozenPending;
+    S.SkippedCycles += Skipped;
+    Cycle = Wake - 1; // Resumes at Wake.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch merge
+//===----------------------------------------------------------------------===//
+
+Machine::StepOutcome Machine::mergeEpoch(int64_t T0, int64_t T1,
+                                         int64_t &FinalCycles,
+                                         SimFailure &Failure) {
+  const FaultPlan *Plan = Config.Faults;
+
+  // Merge every staged cross-shard channel: append the staged pushes (they
+  // mature next epoch), and replay the interleaved push/pop trajectory
+  // from the epoch-start snapshot to recover the serial engine's exact
+  // peak-occupancy samples. Pushes sort before pops at equal cycles
+  // because the producing unit is topologically earlier than the
+  // consuming one; peaks are sampled at pushes, as the serial push does.
+  for (const Shard &S : Shards)
+    for (size_t ChannelIndex : S.OutRemote) {
+      ChannelStage &St = Stages[ChannelIndex];
+      Channel &C = *Channels[ChannelIndex];
+      size_t Pushes = St.PushCycles.size();
+      int Rel = ReliableOf[ChannelIndex];
+      if (Rel < 0) {
+        size_t PI = 0, QI = 0;
+        int64_t Occ = St.OccSnapshot;
+        while (PI != Pushes || QI != St.PopCycles.size()) {
+          if (PI != Pushes &&
+              (QI == St.PopCycles.size() ||
+               St.PushCycles[PI] <= St.PopCycles[QI])) {
+            C.pushStaged(&St.Payloads[PI * static_cast<size_t>(Lanes)],
+                         St.PushCycles[PI]);
+            C.notePeakOccupancy(++Occ);
+            ++PI;
+          } else {
+            --Occ;
+            ++QI;
+          }
+        }
+      } else {
+        ReliableStream &RS = Reliable[static_cast<size_t>(Rel)];
+        int64_t StartSeq = RS.NextSeq - static_cast<int64_t>(Pushes);
+        size_t PI = 0, QI = 0;
+        int64_t Occ = St.OccSnapshot;
+        while (PI != Pushes || QI != St.PopCycles.size()) {
+          if (PI != Pushes &&
+              (QI == St.PopCycles.size() ||
+               St.PushCycles[PI] <= St.PopCycles[QI])) {
+            const double *Payload =
+                &St.Payloads[PI * static_cast<size_t>(Lanes)];
+            RS.SendBuffer.emplace_back(Payload, Payload + Lanes);
+            RS.Wire.push_back({StartSeq + static_cast<int64_t>(PI),
+                               St.PushCycles[PI] + RS.WireLatency,
+                               St.Corrupt[PI] != 0});
+            RS.PeakOutstanding = std::max(RS.PeakOutstanding, ++Occ);
+            ++PI;
+          } else {
+            --Occ;
+            ++QI;
+          }
+        }
+      }
+      St.Active = false;
+      St.PushCycles.clear();
+      St.Payloads.clear();
+      St.Corrupt.clear();
+      St.PopCycles.clear();
+    }
+
+  // Global per-cycle scan over the combined shard facts, in the serial
+  // order: completion first, then the deadlock check, then (at the
+  // aligned epoch end) the watchdog.
+  int64_t DoneCycle = -1;
+  for (const Shard &S : Shards)
+    DoneCycle = std::max(DoneCycle, S.AllWritersDoneCycle);
+
+  auto Rollback = [&](int64_t AbortCycle) {
+    // The serial engine would have stopped at AbortCycle; every stall the
+    // shards accrued past it must be withdrawn. A global no-progress,
+    // no-pending cycle freezes every shard for the rest of the epoch
+    // (nothing can mature, nobody is owed bandwidth), so each unfinished
+    // non-dead component accrued exactly one stall of its frozen LastCause
+    // per overrun cycle — dead devices stopped accruing at failure time.
+    auto OverrunFor = [&](int Device) {
+      int64_t Stop = T1;
+      if (Plan)
+        Stop = std::min(Stop, DeviceFailCycle[static_cast<size_t>(Device)] - 1);
+      return std::max<int64_t>(0, Stop - AbortCycle);
+    };
+    for (Reader &R : Readers)
+      if (R.VectorsPushed != R.TotalVectors)
+        R.Stalls.Counts[static_cast<int>(R.LastCause)] -= OverrunFor(R.Device);
+    for (Unit &U : Units)
+      if (U.Emitted != U.StreamVectors) {
+        int64_t K = OverrunFor(U.Device);
+        U.StallCycles -= K;
+        U.Stalls.Counts[static_cast<int>(U.LastCause)] -= K;
+      }
+    for (Writer &W : Writers)
+      if (W.VectorsWritten != W.TotalVectors)
+        W.Stalls.Counts[static_cast<int>(W.LastCause)] -= OverrunFor(W.Device);
+  };
+
+  for (int64_t Cycle = T0; Cycle <= T1; ++Cycle) {
+    if (DoneCycle >= 0 && Cycle >= DoneCycle) {
+      FinalCycles = DoneCycle + 1;
+      return StepOutcome::Finished;
+    }
+    size_t Bit = static_cast<size_t>(Cycle - T0);
+    bool Progress = false, Pending = false;
+    for (const Shard &S : Shards) {
+      Progress |= S.ProgressBits[Bit] != 0;
+      Pending |= S.PendingBits[Bit] != 0;
+    }
+    if (!Progress && !Pending) {
+      Rollback(Cycle);
+      ErrorCode Code = Plan && Plan->firstFailedDevice(Cycle) >= 0
+                           ? ErrorCode::DeviceLost
+                           : ErrorCode::Deadlock;
+      Failure = abortRun(Code, Cycle);
+      return StepOutcome::Failed;
+    }
+  }
+
+  // Watchdog: epoch sizing aligned multiples of 256 to epoch ends, where
+  // the merged LastProgress values equal the serial engine's.
+  if (Config.StallTimeoutCycles > 0 && T1 != 0 && T1 % 256 == 0) {
+    bool Starved = false;
+    for (const Reader &R : Readers)
+      Starved |= R.VectorsPushed != R.TotalVectors &&
+                 T1 - R.LastProgress > Config.StallTimeoutCycles;
+    for (const Unit &U : Units)
+      Starved |= U.Emitted != U.StreamVectors &&
+                 T1 - U.LastProgress > Config.StallTimeoutCycles;
+    for (const Writer &W : Writers)
+      Starved |= W.VectorsWritten != W.TotalVectors &&
+                 T1 - W.LastProgress > Config.StallTimeoutCycles;
+    if (Starved) {
+      ErrorCode Code = Plan && Plan->firstFailedDevice(T1) >= 0
+                           ? ErrorCode::DeviceLost
+                           : ErrorCode::Starvation;
+      Failure = abortRun(Code, T1);
+      return StepOutcome::Failed;
+    }
+  }
+  return StepOutcome::Running;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+Machine::StepOutcome Machine::runParallelLoop(int64_t &FinalCycles,
+                                              SimFailure &Failure) {
+  if (Shards.size() != static_cast<size_t>(NumDevices))
+    buildShards();
+  EngineNote = simEngineName(SimEngine::Parallel);
+
+  int Hardware = static_cast<int>(std::thread::hardware_concurrency());
+  int NumWorkers = Config.Threads > 0 ? Config.Threads
+                                      : std::max(Hardware, 1);
+  NumWorkers = std::min<int>(NumWorkers, static_cast<int>(Shards.size()));
+
+  // Persistent worker pool: one start and one end barrier per epoch. The
+  // shard-to-worker assignment is fixed, but any assignment produces the
+  // same result — shards only read and write disjoint state between
+  // barriers, so the simulation is deterministic across thread counts.
+  std::atomic<bool> PoolExit{false};
+  int64_t EpochT0 = 0, EpochT1 = 0;
+  std::vector<std::thread> Workers;
+  std::barrier<> StartBar(NumWorkers > 1 ? NumWorkers + 1 : 1);
+  std::barrier<> EndBar(NumWorkers > 1 ? NumWorkers + 1 : 1);
+  if (NumWorkers > 1)
+    for (int W = 0; W != NumWorkers; ++W)
+      Workers.emplace_back([this, W, NumWorkers, &StartBar, &EndBar,
+                            &PoolExit, &EpochT0, &EpochT1] {
+        while (true) {
+          StartBar.arrive_and_wait();
+          if (PoolExit.load(std::memory_order_relaxed))
+            return;
+          for (size_t Index = static_cast<size_t>(W); Index < Shards.size();
+               Index += static_cast<size_t>(NumWorkers))
+            runShardEpoch(Shards[Index], EpochT0, EpochT1);
+          EndBar.arrive_and_wait();
+        }
+      });
+
+  StepOutcome Outcome = StepOutcome::Running;
+  int64_t T0 = 0;
+  while (Outcome == StepOutcome::Running) {
+    if (T0 >= MaxCycles) {
+      Failure = abortRun(ErrorCode::CycleLimit, T0);
+      Outcome = StepOutcome::Failed;
+      break;
+    }
+    int64_t E = computeEpochLength(T0);
+    if (E < 1) {
+      // Reference chunk: one serial cycle restores exactness wherever the
+      // transport state is history-dependent or a channel is out of slack.
+      Outcome = stepCycleSerial(T0, Failure);
+      ++SerialFallbackCount;
+      if (Outcome == StepOutcome::Finished)
+        FinalCycles = T0 + 1;
+      ++T0;
+      continue;
+    }
+    int64_t T1 = T0 + E - 1;
+    beginEpoch(T0, T1);
+    if (NumWorkers > 1) {
+      EpochT0 = T0;
+      EpochT1 = T1;
+      StartBar.arrive_and_wait();
+      EndBar.arrive_and_wait();
+    } else {
+      for (Shard &S : Shards)
+        runShardEpoch(S, T0, T1);
+    }
+    ++EpochCount;
+    Outcome = mergeEpoch(T0, T1, FinalCycles, Failure);
+    T0 = T1 + 1;
+  }
+
+  if (NumWorkers > 1) {
+    PoolExit.store(true, std::memory_order_relaxed);
+    StartBar.arrive_and_wait();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+  return Outcome;
+}

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -148,7 +149,7 @@ inline Error makeError(ErrorCode Code, std::string Message) {
 
 /// A value-or-error type, analogous to llvm::Expected.
 ///
-/// Holds either a \c T (success) or an error message (failure). Converts to
+/// Holds either a \c T (success) or an error value (failure). Converts to
 /// \c true on success:
 /// \code
 ///   Expected<Program> P = parse(Text);
@@ -156,14 +157,33 @@ inline Error makeError(ErrorCode Code, std::string Message) {
 ///     return P.takeError();
 ///   use(*P);
 /// \endcode
-template <typename T> class Expected {
+///
+/// The error type defaults to \c Error but can be any type that converts
+/// to \c bool (true on failure) and exposes \c message() / \c code() —
+/// e.g. \c sim::SimFailure, which carries a structured \c FailureReport
+/// next to the error. When \c ErrT is constructible from \c Error, a plain
+/// \c Error still converts implicitly, so `return makeError(...)` keeps
+/// working at every call site.
+template <typename T, typename ErrT = Error> class Expected {
 public:
   /// Constructs a success value.
   Expected(T Value) : Storage(std::move(Value)) {}
 
-  /// Constructs a failure value from an \c Error (which must be a failure).
-  Expected(Error Err) : Storage(std::move(Err)) {
-    assert(std::get<Error>(Storage) &&
+  /// Constructs a failure value from an \c ErrT (which must be a failure).
+  Expected(ErrT Err) : Storage(std::move(Err)) {
+    assert(static_cast<bool>(std::get<ErrT>(Storage)) &&
+           "constructing Expected from a success error value");
+  }
+
+  /// Constructs a failure value from a plain \c Error when \c ErrT is a
+  /// richer error type. Keeps `return makeError(...)` working where two
+  /// user-defined conversions (Error -> ErrT -> Expected) would not chain.
+  template <typename E = ErrT,
+            std::enable_if_t<!std::is_same_v<E, Error> &&
+                                 std::is_constructible_v<E, Error>,
+                             int> = 0>
+  Expected(Error Err) : Storage(ErrT(std::move(Err))) {
+    assert(static_cast<bool>(std::get<ErrT>(Storage)) &&
            "constructing Expected from a success Error");
   }
 
@@ -189,25 +209,32 @@ public:
   }
 
   /// Returns the contained error. Must only be called on failure.
-  Error takeError() {
+  ErrT takeError() {
     assert(!*this && "taking error of a successful Expected");
-    return std::move(std::get<Error>(Storage));
+    return std::move(std::get<ErrT>(Storage));
+  }
+
+  /// Returns the contained error without consuming it. Must only be called
+  /// on failure.
+  const ErrT &error() const {
+    assert(!*this && "error() called on a successful Expected");
+    return std::get<ErrT>(Storage);
   }
 
   /// Returns the failure message. Must only be called on failure.
   const std::string &message() const {
     assert(!*this && "message() called on a successful Expected");
-    return std::get<Error>(Storage).message();
+    return std::get<ErrT>(Storage).message();
   }
 
   /// Returns the failure classification. Must only be called on failure.
   ErrorCode code() const {
     assert(!*this && "code() called on a successful Expected");
-    return std::get<Error>(Storage).code();
+    return std::get<ErrT>(Storage).code();
   }
 
 private:
-  std::variant<T, Error> Storage;
+  std::variant<T, ErrT> Storage;
 };
 
 } // namespace stencilflow

@@ -301,7 +301,8 @@ TEST(FailureReportTest, Fig4DiamondProducesStructuredDeadlock) {
   EXPECT_EQ(Result.code(), ErrorCode::Deadlock);
   EXPECT_EQ(exitCodeFor(Result.code()), 3);
 
-  const FailureReport &Failure = M->lastFailure();
+  // The structured report travels with the failure itself.
+  const FailureReport &Failure = Result.error().report();
   EXPECT_EQ(Failure.Code, ErrorCode::Deadlock);
   EXPECT_FALSE(Failure.Component.empty());
   EXPECT_FALSE(Failure.Components.empty());
@@ -344,7 +345,8 @@ Partition makeSplitPartition(const CompiledProgram &Compiled,
 }
 
 struct TwoDeviceRun {
-  Expected<SimResult> Result = Expected<SimResult>(SimResult{});
+  Expected<SimResult, SimFailure> Result =
+      Expected<SimResult, SimFailure>(SimResult{});
   std::map<std::string, std::vector<double>> Reference;
   FailureReport Failure;
 };
@@ -364,7 +366,8 @@ TwoDeviceRun runTwoDeviceChain(SimConfig Config) {
   EXPECT_TRUE(M) << M.message();
   auto Inputs = materializeInputs(Compiled->program());
   Run.Result = M->run(Inputs);
-  Run.Failure = M->lastFailure();
+  if (!Run.Result)
+    Run.Failure = Run.Result.error().report();
   auto Reference = runReference(*Compiled, Inputs);
   EXPECT_TRUE(Reference);
   for (const std::string &Output : Compiled->program().Outputs)
@@ -596,8 +599,36 @@ TEST(DeviceLossTest, SingleDeviceFailureReportsDeviceLost) {
   auto Result = M->run(materializeInputs(Compiled->program()));
   ASSERT_FALSE(Result);
   EXPECT_EQ(Result.code(), ErrorCode::DeviceLost);
-  EXPECT_EQ(M->lastFailure().FailedDevice, 0);
-  EXPECT_GE(M->lastFailure().Cycle, 64);
+  EXPECT_EQ(Result.error().report().FailedDevice, 0);
+  EXPECT_GE(Result.error().report().Cycle, 64);
+}
+
+TEST(DeviceLossTest, DeprecatedLastFailureShimStillWorks) {
+  // The pre-SimFailure two-call pattern (check run(), then ask the
+  // machine) keeps working for one deprecation cycle.
+  FaultPlan Plan;
+  FaultEvent Death;
+  Death.Kind = FaultKind::DeviceFailure;
+  Death.Device = 0;
+  Death.StartCycle = 64;
+  Plan.Events.push_back(Death);
+
+  StencilProgram P = laplace2d(16, 16);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.Faults = &Plan;
+  auto M = Machine::build(*Compiled, *Dataflow, nullptr, Config);
+  ASSERT_TRUE(M);
+  auto Result = M->run(materializeInputs(Compiled->program()));
+  ASSERT_FALSE(Result);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const FailureReport &Shim = M->lastFailure();
+#pragma GCC diagnostic pop
+  EXPECT_EQ(Shim.render(), Result.error().report().render());
 }
 
 TEST(DeviceLossTest, PipelineRecoversByRepartitioning) {
@@ -654,6 +685,186 @@ TEST(DeviceLossTest, RecoveryFailsWhenPoolIsExhausted) {
   // The retry's re-partition cannot fit the program on the one remaining
   // node, and the classified infeasibility propagates to the caller.
   EXPECT_EQ(Result.code(), ErrorCode::Infeasible);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel-engine parity under fault plans
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the two-device chain under both engines with otherwise-identical
+/// \p Config and asserts exact agreement — cycles, bits, termination,
+/// link counters, and channel peaks. Returns the parallel run.
+TwoDeviceRun expectFaultParity(SimConfig Config) {
+  Config.Engine = SimEngine::Serial;
+  TwoDeviceRun Serial = runTwoDeviceChain(Config);
+  Config.Engine = SimEngine::Parallel;
+  TwoDeviceRun Parallel = runTwoDeviceChain(Config);
+
+  EXPECT_EQ(static_cast<bool>(Serial.Result),
+            static_cast<bool>(Parallel.Result));
+  if (!Serial.Result || !Parallel.Result) {
+    // Both engines must fail identically: same classification, same
+    // structured report (same cycle, same culprits).
+    if (!Serial.Result && !Parallel.Result) {
+      EXPECT_EQ(Serial.Result.code(), Parallel.Result.code());
+      EXPECT_EQ(Serial.Failure.render(), Parallel.Failure.render());
+    }
+    return Parallel;
+  }
+
+  EXPECT_EQ(Serial.Result->Stats.Cycles, Parallel.Result->Stats.Cycles);
+  EXPECT_EQ(Serial.Result->Termination, Parallel.Result->Termination);
+  EXPECT_EQ(Serial.Result->Stats.NetworkBytesMoved,
+            Parallel.Result->Stats.NetworkBytesMoved);
+  EXPECT_EQ(Serial.Result->Stats.UnitStallCycles,
+            Parallel.Result->Stats.UnitStallCycles);
+  EXPECT_EQ(Serial.Result->Stats.ChannelHighWater,
+            Parallel.Result->Stats.ChannelHighWater);
+  EXPECT_EQ(Serial.Result->Stats.ChannelPeakOccupancy,
+            Parallel.Result->Stats.ChannelPeakOccupancy);
+  EXPECT_EQ(Serial.Result->Stats.Links.size(),
+            Parallel.Result->Stats.Links.size());
+  for (const auto &[Name, Link] : Serial.Result->Stats.Links) {
+    const LinkStats &Other = Parallel.Result->Stats.Links.at(Name);
+    EXPECT_EQ(Link.Transmissions, Other.Transmissions) << Name;
+    EXPECT_EQ(Link.Retransmissions, Other.Retransmissions) << Name;
+    EXPECT_EQ(Link.CorruptedVectors, Other.CorruptedVectors) << Name;
+    EXPECT_EQ(Link.Nacks, Other.Nacks) << Name;
+    EXPECT_EQ(Link.Delivered, Other.Delivered) << Name;
+  }
+  for (const auto &[Name, Values] : Serial.Result->Outputs)
+    EXPECT_EQ(Values, Parallel.Result->Outputs.at(Name))
+        << "output " << Name;
+  return Parallel;
+}
+
+} // namespace
+
+TEST(ParallelFaultParityTest, EmptyReliablePlan) {
+  // The reliable transport without faults: epochs are additionally
+  // bounded by the send window and outstanding counts.
+  FaultPlan Empty;
+  SimConfig Config;
+  Config.Faults = &Empty;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_TRUE(Run.Result);
+  EXPECT_EQ(Run.Result->Stats.Engine, "parallel");
+}
+
+TEST(ParallelFaultParityTest, TransientCorruption) {
+  // Corruption dirties the retransmission state; the parallel engine
+  // must detect it and fall back to exact serial stepping for the
+  // affected cycles, rejoining epoch execution once the streams recover.
+  FaultPlan Plan;
+  Plan.Seed = 7;
+  FaultEvent Corrupt;
+  Corrupt.Kind = FaultKind::PayloadCorruption;
+  Corrupt.Probability = 0.2;
+  Corrupt.StartCycle = 0;
+  Corrupt.EndCycle = std::numeric_limits<int64_t>::max();
+  Plan.Events.push_back(Corrupt);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_TRUE(Run.Result);
+  EXPECT_EQ(Run.Result->Termination, TerminationReason::CompletedDegraded);
+  EXPECT_GT(Run.Result->Stats.SerialFallbackCycles, 0);
+}
+
+TEST(ParallelFaultParityTest, CorruptionBurstThenCleanDrain) {
+  // A bounded burst: the engine serial-steps through the burst and must
+  // return to epoch slicing afterwards.
+  FaultPlan Plan;
+  Plan.Seed = 11;
+  FaultEvent Corrupt;
+  Corrupt.Kind = FaultKind::PayloadCorruption;
+  Corrupt.Probability = 0.5;
+  Corrupt.StartCycle = 100;
+  Corrupt.EndCycle = 220;
+  Plan.Events.push_back(Corrupt);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_TRUE(Run.Result);
+  EXPECT_GT(Run.Result->Stats.ParallelEpochs, 0);
+}
+
+TEST(ParallelFaultParityTest, MemoryBrownoutWindow) {
+  FaultPlan Plan;
+  FaultEvent Brownout;
+  Brownout.Kind = FaultKind::MemoryBrownout;
+  Brownout.Device = 0;
+  Brownout.Factor = 0.1;
+  Brownout.StartCycle = 50;
+  Brownout.EndCycle = 400;
+  Plan.Events.push_back(Brownout);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  expectFaultParity(Config);
+}
+
+TEST(ParallelFaultParityTest, LinkDegradeWindow) {
+  FaultPlan Plan;
+  FaultEvent Degrade;
+  Degrade.Kind = FaultKind::LinkDegrade;
+  Degrade.Hop = -1;
+  Degrade.Factor = 0.1;
+  Degrade.StartCycle = 0;
+  Degrade.EndCycle = std::numeric_limits<int64_t>::max();
+  Plan.Events.push_back(Degrade);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  expectFaultParity(Config);
+}
+
+TEST(ParallelFaultParityTest, DeviceFailureReportsMatch) {
+  // Both engines must abort at the same cycle with the same structured
+  // device-lost report — this exercises the parallel engine's fault
+  // boundary epoch splitting and mid-epoch abort rollback.
+  FaultPlan Plan;
+  FaultEvent Death;
+  Death.Kind = FaultKind::DeviceFailure;
+  Death.Device = 1;
+  Death.StartCycle = 300;
+  Plan.Events.push_back(Death);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_FALSE(Run.Result);
+  EXPECT_EQ(Run.Result.code(), ErrorCode::DeviceLost);
+  EXPECT_EQ(Run.Failure.FailedDevice, 1);
+}
+
+TEST(ParallelFaultParityTest, RetransmitExhaustionReportsMatch) {
+  FaultPlan Plan;
+  FaultEvent Corrupt;
+  Corrupt.Kind = FaultKind::PayloadCorruption;
+  Corrupt.Probability = 1.0;
+  Plan.Events.push_back(Corrupt);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  Config.MaxRetransmitAttempts = 4;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_FALSE(Run.Result);
+  EXPECT_EQ(Run.Result.code(), ErrorCode::LinkFailure);
+}
+
+TEST(ParallelFaultParityTest, WatchdogStarvationReportsMatch) {
+  FaultPlan Plan;
+  FaultEvent Outage;
+  Outage.Kind = FaultKind::LinkOutage;
+  Outage.Hop = -1;
+  Outage.StartCycle = 0;
+  Outage.EndCycle = std::numeric_limits<int64_t>::max();
+  Plan.Events.push_back(Outage);
+  SimConfig Config;
+  Config.Faults = &Plan;
+  Config.StallTimeoutCycles = 2048;
+  TwoDeviceRun Run = expectFaultParity(Config);
+  ASSERT_FALSE(Run.Result);
+  EXPECT_EQ(Run.Result.code(), ErrorCode::Starvation);
 }
 
 TEST(DeviceLossTest, RecoveryCanBeDisabled) {

@@ -500,6 +500,393 @@ TEST(SimTest, OversubscribedMemoryDegradesGracefully) {
   EXPECT_TRUE(Report.Passed) << Report.Summary;
 }
 
+//===----------------------------------------------------------------------===//
+// SimConfig::Builder
+//===----------------------------------------------------------------------===//
+
+TEST(SimConfigBuilderTest, DefaultsBuild) {
+  auto Config = SimConfig::Builder().build();
+  ASSERT_TRUE(Config) << Config.message();
+  EXPECT_EQ(Config->Engine, SimEngine::Serial);
+}
+
+TEST(SimConfigBuilderTest, ChainedSettersStick) {
+  auto Config = SimConfig::Builder()
+                    .unconstrainedMemory(true)
+                    .engine(SimEngine::Parallel)
+                    .threads(8)
+                    .stallTimeoutCycles(4096)
+                    .build();
+  ASSERT_TRUE(Config) << Config.message();
+  EXPECT_TRUE(Config->UnconstrainedMemory);
+  EXPECT_EQ(Config->Engine, SimEngine::Parallel);
+  EXPECT_EQ(Config->Threads, 8);
+  EXPECT_EQ(Config->StallTimeoutCycles, 4096);
+}
+
+TEST(SimConfigBuilderTest, RejectsNonPositiveRates) {
+  EXPECT_FALSE(SimConfig::Builder().peakMemoryBytesPerCycle(0.0).build());
+  EXPECT_FALSE(SimConfig::Builder().linkBytesPerCycle(-1.0).build());
+  EXPECT_FALSE(SimConfig::Builder().minChannelDepth(0).build());
+  EXPECT_FALSE(SimConfig::Builder().sendWindowVectors(0).build());
+  EXPECT_FALSE(SimConfig::Builder().threads(-1).build());
+}
+
+TEST(SimConfigBuilderTest, RejectsTraceUnderParallel) {
+  Tracer Trace;
+  auto Config = SimConfig::Builder()
+                    .engine(SimEngine::Parallel)
+                    .trace(&Trace)
+                    .build();
+  ASSERT_FALSE(Config);
+  EXPECT_EQ(Config.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(Config.message().find("serial engine"), std::string::npos);
+}
+
+TEST(SimConfigBuilderTest, RejectsDegenerateParallelLookahead) {
+  // Zero hop latency leaves the parallel engine no cross-device
+  // lookahead at all.
+  EXPECT_FALSE(SimConfig::Builder()
+                   .engine(SimEngine::Parallel)
+                   .networkLatencyCyclesPerHop(0)
+                   .build());
+  // Clamped remote channels shallower than the hop latency bound every
+  // epoch below one hop.
+  EXPECT_FALSE(SimConfig::Builder()
+                   .engine(SimEngine::Parallel)
+                   .clampChannelsToMinimum(true)
+                   .minChannelDepth(4)
+                   .networkExtraChannelDepth(0)
+                   .networkLatencyCyclesPerHop(32)
+                   .build());
+  // A send window below the hop latency bounds epochs the same way.
+  EXPECT_FALSE(SimConfig::Builder()
+                   .engine(SimEngine::Parallel)
+                   .sendWindowVectors(8)
+                   .networkLatencyCyclesPerHop(32)
+                   .build());
+  // The serial engine accepts all three.
+  EXPECT_TRUE(SimConfig::Builder().networkLatencyCyclesPerHop(0).build());
+}
+
+TEST(SimConfigBuilderTest, SeededFromExistingConfig) {
+  SimConfig Base;
+  Base.UnconstrainedMemory = true;
+  Base.MinChannelDepth = 16;
+  auto Config =
+      SimConfig::Builder(Base).engine(SimEngine::Parallel).build();
+  ASSERT_TRUE(Config) << Config.message();
+  EXPECT_TRUE(Config->UnconstrainedMemory);
+  EXPECT_EQ(Config->MinChannelDepth, 16);
+  EXPECT_EQ(Config->Engine, SimEngine::Parallel);
+}
+
+TEST(SimConfigBuilderTest, MachineBuildValidatesHandAssembledConfig) {
+  StencilProgram P = laplace2d(8, 8);
+  auto Compiled = CompiledProgram::compile(std::move(P));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  SimConfig Bad;
+  Bad.Engine = SimEngine::Parallel;
+  Bad.NetworkLatencyCyclesPerHop = 0;
+  auto M = Machine::build(*Compiled, *Dataflow, nullptr, Bad);
+  ASSERT_FALSE(M);
+  EXPECT_EQ(M.code(), ErrorCode::InvalidInput);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel-engine parity: cycle- and bit-exact against the serial engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectStallsEqual(const std::map<std::string, StallBreakdown> &S,
+                       const std::map<std::string, StallBreakdown> &P,
+                       const char *What) {
+  ASSERT_EQ(S.size(), P.size()) << What;
+  for (const auto &[Name, Serial] : S) {
+    auto It = P.find(Name);
+    ASSERT_NE(It, P.end()) << What << " " << Name;
+    for (int Cause = 0; Cause < NumStallCauses; ++Cause)
+      EXPECT_EQ(Serial.Counts[Cause], It->second.Counts[Cause])
+          << What << " " << Name << " cause "
+          << stallCauseName(static_cast<StallCause>(Cause));
+  }
+}
+
+/// Asserts that two completed runs agree exactly: cycles, outputs (bit
+/// exact), stall attributions, channel occupancies, bandwidth counters,
+/// and reliable-link statistics.
+void expectResultsEqual(const SimResult &S, const SimResult &P) {
+  EXPECT_EQ(S.Stats.Cycles, P.Stats.Cycles);
+  EXPECT_EQ(S.Termination, P.Termination);
+  EXPECT_EQ(S.Stats.MemoryBytesMoved, P.Stats.MemoryBytesMoved);
+  EXPECT_EQ(S.Stats.AchievedMemoryBytesPerCycle,
+            P.Stats.AchievedMemoryBytesPerCycle);
+  EXPECT_EQ(S.Stats.NetworkBytesMoved, P.Stats.NetworkBytesMoved);
+  EXPECT_EQ(S.Stats.UnitStallCycles, P.Stats.UnitStallCycles);
+  expectStallsEqual(S.Stats.UnitStalls, P.Stats.UnitStalls, "unit");
+  expectStallsEqual(S.Stats.ReaderStalls, P.Stats.ReaderStalls, "reader");
+  expectStallsEqual(S.Stats.WriterStalls, P.Stats.WriterStalls, "writer");
+  EXPECT_EQ(S.Stats.ChannelHighWater, P.Stats.ChannelHighWater);
+  EXPECT_EQ(S.Stats.ChannelPeakOccupancy, P.Stats.ChannelPeakOccupancy);
+  EXPECT_EQ(S.Stats.ChannelCapacity, P.Stats.ChannelCapacity);
+  ASSERT_EQ(S.Stats.Links.size(), P.Stats.Links.size());
+  for (const auto &[Name, Link] : S.Stats.Links) {
+    auto It = P.Stats.Links.find(Name);
+    ASSERT_NE(It, P.Stats.Links.end()) << Name;
+    EXPECT_EQ(Link.Transmissions, It->second.Transmissions) << Name;
+    EXPECT_EQ(Link.Retransmissions, It->second.Retransmissions) << Name;
+    EXPECT_EQ(Link.CorruptedVectors, It->second.CorruptedVectors) << Name;
+    EXPECT_EQ(Link.Nacks, It->second.Nacks) << Name;
+    EXPECT_EQ(Link.Delivered, It->second.Delivered) << Name;
+  }
+  ASSERT_EQ(S.Outputs.size(), P.Outputs.size());
+  for (const auto &[Name, Serial] : S.Outputs) {
+    auto It = P.Outputs.find(Name);
+    ASSERT_NE(It, P.Outputs.end()) << Name;
+    // operator== on vector<double> is element-exact: bit-identical
+    // results, not merely within tolerance.
+    EXPECT_EQ(Serial, It->second) << "output " << Name;
+  }
+}
+
+/// Runs \p Compiled under the serial engine and under the parallel engine
+/// (same config otherwise) and asserts exact agreement. Returns the
+/// parallel result for engine-specific assertions.
+SimResult expectEngineParity(const CompiledProgram &Compiled,
+                             const DataflowAnalysis &Dataflow,
+                             const Partition *Placement, SimConfig Config,
+                             int Threads = 0) {
+  auto Inputs = materializeInputs(Compiled.program());
+
+  Config.Engine = SimEngine::Serial;
+  auto Serial = Machine::build(Compiled, Dataflow, Placement, Config);
+  EXPECT_TRUE(Serial) << Serial.message();
+  auto SerialResult = Serial->run(Inputs);
+  EXPECT_TRUE(SerialResult) << SerialResult.message();
+
+  Config.Engine = SimEngine::Parallel;
+  Config.Threads = Threads;
+  auto Parallel = Machine::build(Compiled, Dataflow, Placement, Config);
+  EXPECT_TRUE(Parallel) << Parallel.message();
+  auto ParallelResult = Parallel->run(Inputs);
+  EXPECT_TRUE(ParallelResult) << ParallelResult.message();
+
+  expectResultsEqual(*SerialResult, *ParallelResult);
+  EXPECT_EQ(SerialResult->Stats.Engine, "serial");
+  return ParallelResult.takeValue();
+}
+
+} // namespace
+
+TEST(ParallelParityTest, SingleDevicePrograms) {
+  for (auto MakeProgram :
+       {+[] { return laplace2d(12, 12); },
+        +[] { return diamondProgram(16, 16); },
+        +[] { return jacobi3dChain(4, 6, 6, 6); }}) {
+    auto Compiled = CompiledProgram::compile(MakeProgram());
+    ASSERT_TRUE(Compiled);
+    auto Dataflow = analyzeDataflow(*Compiled);
+    SimConfig Config;
+    Config.UnconstrainedMemory = true;
+    SimResult P = expectEngineParity(*Compiled, *Dataflow, nullptr, Config);
+    EXPECT_EQ(P.Stats.Engine, "parallel");
+  }
+}
+
+TEST(ParallelParityTest, TwoDeviceChain) {
+  StencilProgram Program = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 3);
+  ASSERT_EQ(Placement.numDevices(), 2u);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  SimResult P =
+      expectEngineParity(*Compiled, *Dataflow, &Placement, Config);
+  EXPECT_EQ(P.Stats.Engine, "parallel");
+  EXPECT_GT(P.Stats.ParallelEpochs, 0);
+}
+
+TEST(ParallelParityTest, FourDeviceChain) {
+  StencilProgram Program = jacobi3dChain(8, 4, 4, 8);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 2);
+  ASSERT_EQ(Placement.numDevices(), 4u);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  expectEngineParity(*Compiled, *Dataflow, &Placement, Config);
+}
+
+TEST(ParallelParityTest, ThrottledNetwork) {
+  // Congested remote streams exercise the channel-slack epoch bound and
+  // the hop-budget accounting in the bulk fast-forward.
+  StencilProgram Program = jacobi3dChain(4, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 2);
+  ASSERT_EQ(Placement.numDevices(), 2u);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.LinkBytesPerCycle = 1.0;
+  expectEngineParity(*Compiled, *Dataflow, &Placement, Config);
+}
+
+TEST(ParallelParityTest, ConstrainedMemory) {
+  StencilProgram Program = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 3);
+  ASSERT_EQ(Placement.numDevices(), 2u);
+  SimConfig Config;
+  Config.UnconstrainedMemory = false;
+  Config.PeakMemoryBytesPerCycle = 6.0;
+  expectEngineParity(*Compiled, *Dataflow, &Placement, Config);
+}
+
+TEST(ParallelParityTest, WatchdogEnabled) {
+  // The watchdog forces epoch boundaries onto every 256-cycle mark; a
+  // healthy run must still complete identically with it armed.
+  StencilProgram Program = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 3);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.StallTimeoutCycles = 512;
+  expectEngineParity(*Compiled, *Dataflow, &Placement, Config);
+}
+
+TEST(ParallelParityTest, DeadlockReportsMatch) {
+  // Both engines must classify the Fig. 4 deadlock identically — same
+  // error code, same rendered failure report (same cycle, same culprit
+  // components and channels) — which exercises the parallel engine's
+  // mid-epoch abort rollback.
+  StencilProgram Program = diamondProgram(32, 32);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.ClampChannelsToMinimum = true;
+  Config.MinChannelDepth = 4;
+  auto Inputs = materializeInputs(Compiled->program());
+
+  auto Serial = Machine::build(*Compiled, *Dataflow, nullptr, Config);
+  ASSERT_TRUE(Serial);
+  auto SerialResult = Serial->run(Inputs);
+  ASSERT_FALSE(SerialResult);
+
+  Config.Engine = SimEngine::Parallel;
+  auto Parallel = Machine::build(*Compiled, *Dataflow, nullptr, Config);
+  ASSERT_TRUE(Parallel);
+  auto ParallelResult = Parallel->run(Inputs);
+  ASSERT_FALSE(ParallelResult);
+
+  EXPECT_EQ(SerialResult.code(), ParallelResult.code());
+  SimFailure SerialFail = SerialResult.takeError();
+  SimFailure ParallelFail = ParallelResult.takeError();
+  EXPECT_EQ(SerialFail.report().render(), ParallelFail.report().render());
+}
+
+TEST(ParallelParityTest, RepeatableAcrossThreadCounts) {
+  // The epoch protocol makes the result independent of the worker count:
+  // shards touch disjoint state between barriers and merge in a fixed
+  // order on the main thread.
+  StencilProgram Program = jacobi3dChain(8, 4, 4, 8);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 2);
+  ASSERT_EQ(Placement.numDevices(), 4u);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.Engine = SimEngine::Parallel;
+  auto Inputs = materializeInputs(Compiled->program());
+
+  SimResult Baseline;
+  for (int Threads : {1, 2, 4}) {
+    SCOPED_TRACE(::testing::Message() << "threads " << Threads);
+    Config.Threads = Threads;
+    auto M = Machine::build(*Compiled, *Dataflow, &Placement, Config);
+    ASSERT_TRUE(M);
+    auto Result = M->run(Inputs);
+    ASSERT_TRUE(Result) << Result.message();
+    if (Threads == 1)
+      Baseline = Result.takeValue();
+    else
+      expectResultsEqual(Baseline, *Result);
+  }
+}
+
+TEST(ParallelParityTest, QuiescenceFastForwardEngages) {
+  // An unconstrained multi-device chain has long stretches where the
+  // downstream device only waits on in-flight network vectors; the
+  // quiescence skip must fast-forward through them, not step them.
+  StencilProgram Program = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 3);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.Engine = SimEngine::Parallel;
+  auto M = Machine::build(*Compiled, *Dataflow, &Placement, Config);
+  ASSERT_TRUE(M);
+  auto Result = M->run(materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result) << Result.message();
+  EXPECT_GT(Result->Stats.SkippedCycles, 0);
+  EXPECT_EQ(Result->Stats.SerialFallbackCycles, 0);
+}
+
+TEST(ParallelParityTest, SerialTraceDoesNotPerturbResults) {
+  // Tracing is serial-only; a traced serial run must agree exactly with
+  // an untraced parallel run, proving the tracer is purely observational.
+  StencilProgram Program = jacobi3dChain(6, 4, 6, 6);
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled);
+  auto Dataflow = analyzeDataflow(*Compiled);
+  Partition Placement = makeSplitPartition(*Compiled, *Dataflow, 3);
+  auto Inputs = materializeInputs(Compiled->program());
+
+  Tracer Trace(4);
+  SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.Trace = &Trace;
+  auto Serial = Machine::build(*Compiled, *Dataflow, &Placement, Config);
+  ASSERT_TRUE(Serial);
+  auto SerialResult = Serial->run(Inputs);
+  ASSERT_TRUE(SerialResult) << SerialResult.message();
+
+  Config.Trace = nullptr;
+  Config.Engine = SimEngine::Parallel;
+  auto Parallel = Machine::build(*Compiled, *Dataflow, &Placement, Config);
+  ASSERT_TRUE(Parallel);
+  auto ParallelResult = Parallel->run(Inputs);
+  ASSERT_TRUE(ParallelResult) << ParallelResult.message();
+
+  expectResultsEqual(*SerialResult, *ParallelResult);
+}
+
+TEST(ParallelParityTest, RandomProgramsMatchSerial) {
+  for (uint64_t Seed = 200; Seed <= 212; ++Seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+    auto Compiled = CompiledProgram::compile(randomProgram(Seed));
+    ASSERT_TRUE(Compiled);
+    auto Dataflow = analyzeDataflow(*Compiled);
+    SimConfig Config;
+    Config.UnconstrainedMemory = true;
+    expectEngineParity(*Compiled, *Dataflow, nullptr, Config);
+  }
+}
+
 TEST(SimTest, HdiffJsonRoundTripRunsIdentically) {
   // The full case-study program survives serialization to the JSON
   // description format and back, producing bit-identical results.

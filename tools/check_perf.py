@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf smoke check: compare a google-benchmark JSON run against the
+checked-in baseline and fail on regressions.
+
+Because CI runners and developer machines differ in absolute speed, the
+default comparison is *relative*: each benchmark's cpu_time is normalized
+by the geometric mean of all benchmarks common to both runs, and the
+normalized value must not exceed the baseline's by more than the
+threshold (default 20%). A uniform machine-speed difference cancels out;
+a single benchmark regressing against its peers does not. Use
+--absolute when both runs come from the same machine.
+
+Usage:
+  check_perf.py [--threshold 0.20] [--absolute] BASELINE CURRENT
+  check_perf.py --update BASELINE CURRENT     # rewrite the baseline
+
+Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: cpu_time} from either a raw
+    google-benchmark JSON dump or a baseline file written by --update."""
+    try:
+        with open(path) as fp:
+            data = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if isinstance(data.get("benchmarks"), dict):  # Baseline format.
+        return {name: entry["cpu_time"]
+                for name, entry in data["benchmarks"].items()}
+    benches = data.get("benchmarks", [])
+    # With --benchmark_repetitions the median aggregate is the robust
+    # statistic; fall back to plain iterations otherwise.
+    medians = {b.get("run_name", b["name"]): b["cpu_time"]
+               for b in benches
+               if b.get("run_type") == "aggregate"
+               and b.get("aggregate_name") == "median"}
+    if medians:
+        return medians
+    return {b["name"]: b["cpu_time"]
+            for b in benches
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed slowdown fraction (default 0.20)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw cpu_time instead of "
+                             "geomean-normalized values")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BASELINE from CURRENT and exit")
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    if not current:
+        sys.exit("error: no benchmarks in " + args.current)
+
+    if args.update:
+        out = {
+            "note": "Checked-in perf baseline for tools/check_perf.py. "
+                    "Regenerate with: ./build/bench/micro_pipeline "
+                    "--benchmark_format=json --benchmark_min_time=0.2 "
+                    "--benchmark_repetitions=3 "
+                    "--benchmark_report_aggregates_only=true > out.json && "
+                    "python3 tools/check_perf.py --update "
+                    "bench/baselines/micro_pipeline_baseline.json out.json",
+            "benchmarks": {name: {"cpu_time": t, "time_unit": "ns"}
+                           for name, t in sorted(current.items())},
+        }
+        with open(args.baseline, "w") as fp:
+            json.dump(out, fp, indent=2)
+            fp.write("\n")
+        print(f"updated {args.baseline} with {len(current)} benchmarks")
+        return 0
+
+    baseline = load_times(args.baseline)
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        sys.exit("error: no common benchmarks between baseline and current")
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print("warning: not in current run: " + ", ".join(missing))
+
+    if args.absolute:
+        base_norm, cur_norm = 1.0, 1.0
+    else:
+        base_norm = geomean([baseline[n] for n in common])
+        cur_norm = geomean([current[n] for n in common])
+
+    failed = []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name in common:
+        base = baseline[name] / base_norm
+        cur = current[name] / cur_norm
+        ratio = cur / base
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            failed.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"{name:<40} {baseline[name]:>12.1f} {current[name]:>12.1f} "
+              f"{ratio:>7.2f}x{marker}")
+
+    mode = "absolute" if args.absolute else "geomean-normalized"
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} ({mode}): " + ", ".join(failed))
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({mode}, {len(common)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
