@@ -48,7 +48,7 @@ int main(int argc, char **argv) {
       argc, argv,
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
        "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
-       "parallel", "threads"});
+       "parallel", "threads", "kernel-engine"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -59,7 +59,8 @@ int main(int argc, char **argv) {
                          "[--constrained-memory] [--report] "
                          "[--trace FILE] [--metrics FILE] "
                          "[--trace-stride N] [--fault-plan FILE] "
-                         "[--stall-timeout N] [--parallel] [--threads N]\n");
+                         "[--stall-timeout N] [--parallel] [--threads N] "
+                         "[--kernel-engine scalar|batched|specialized]\n");
     return 1;
   }
 
@@ -97,6 +98,16 @@ int main(int argc, char **argv) {
 
   if (Args->has("trace"))
     S->trace(Args->getInt("trace-stride", 16));
+
+  if (Args->has("kernel-engine")) {
+    Expected<compute::KernelEngine> Engine =
+        compute::parseKernelEngine(Args->getString("kernel-engine"));
+    if (!Engine) {
+      std::fprintf(stderr, "error: %s\n", Engine.message().c_str());
+      return 1;
+    }
+    S->kernelEngine(*Engine);
+  }
 
   if (Args->has("parallel")) {
     if (Args->has("trace"))
@@ -159,6 +170,9 @@ int main(int argc, char **argv) {
               static_cast<long long>(Stats.ParallelEpochs),
               static_cast<long long>(Stats.SerialFallbackCycles),
               static_cast<long long>(Stats.SkippedCycles));
+  std::printf("kernel engine: %s (%lld unit(s) specialized)\n",
+              Stats.KernelExec.c_str(),
+              static_cast<long long>(Stats.SpecializedUnits));
   sim::StallBreakdown TotalStalls;
   for (const auto &[Name, Stalls] : Stats.UnitStalls)
     TotalStalls += Stalls;

@@ -18,6 +18,7 @@
 #ifndef STENCILFLOW_COMPUTE_BYTECODE_H
 #define STENCILFLOW_COMPUTE_BYTECODE_H
 
+#include "ir/DataType.h"
 #include "ir/Expr.h"
 
 #include <cstdint>
@@ -65,6 +66,19 @@ std::string_view opCodeName(OpCode Op);
 
 /// Returns the number of register operands of \p Op (0 for Const/Input).
 unsigned opCodeArity(OpCode Op);
+
+/// Rounds \p Value to \p Type's precision. Float32 kernels round every
+/// intermediate to float, matching the per-operation rounding of hardware
+/// fp32 units (and of the fp32 OpenCL kernels the real system generates).
+/// Shared by the scalar interpreter, the lane-batched engine
+/// (compute/Engine.h), and compile-time constant folding, so all three
+/// produce bit-identical values.
+double roundToType(double Value, DataType Type);
+
+/// Evaluates one computing operation on already-rounded operands, without
+/// rounding the result (the caller applies \c roundToType). Must not be
+/// called with OpCode::Const or OpCode::Input.
+double evalOpUnrounded(OpCode Op, double A, double B, double C);
 
 /// One bytecode instruction. Operand fields A/B/C index earlier registers.
 struct Instruction {

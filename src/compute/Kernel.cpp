@@ -18,89 +18,6 @@ using namespace stencilflow::compute;
 
 namespace {
 
-/// Applies the element type's rounding after each operation. Float32
-/// kernels round every intermediate to float, matching the per-operation
-/// rounding of hardware fp32 units (and of the fp32 OpenCL kernels the
-/// real system generates).
-double applyRounding(double Value, DataType Type) {
-  switch (Type) {
-  case DataType::Float32:
-    return static_cast<double>(static_cast<float>(Value));
-  case DataType::Float64:
-    return Value;
-  case DataType::Int32:
-    return static_cast<double>(static_cast<int32_t>(Value));
-  case DataType::Int64:
-    return static_cast<double>(static_cast<int64_t>(Value));
-  }
-  return Value;
-}
-
-/// Evaluates one operation on already-rounded operands (no rounding).
-double evalOp(OpCode Op, double A, double B, double C) {
-  switch (Op) {
-  case OpCode::Neg:
-    return -A;
-  case OpCode::Not:
-    return A == 0.0 ? 1.0 : 0.0;
-  case OpCode::Add:
-    return A + B;
-  case OpCode::Sub:
-    return A - B;
-  case OpCode::Mul:
-    return A * B;
-  case OpCode::Div:
-    return A / B;
-  case OpCode::Lt:
-    return A < B ? 1.0 : 0.0;
-  case OpCode::Le:
-    return A <= B ? 1.0 : 0.0;
-  case OpCode::Gt:
-    return A > B ? 1.0 : 0.0;
-  case OpCode::Ge:
-    return A >= B ? 1.0 : 0.0;
-  case OpCode::Eq:
-    return A == B ? 1.0 : 0.0;
-  case OpCode::Ne:
-    return A != B ? 1.0 : 0.0;
-  case OpCode::And:
-    return (A != 0.0 && B != 0.0) ? 1.0 : 0.0;
-  case OpCode::Or:
-    return (A != 0.0 || B != 0.0) ? 1.0 : 0.0;
-  case OpCode::Sqrt:
-    return std::sqrt(A);
-  case OpCode::Abs:
-    return std::fabs(A);
-  case OpCode::Exp:
-    return std::exp(A);
-  case OpCode::Log:
-    return std::log(A);
-  case OpCode::Sin:
-    return std::sin(A);
-  case OpCode::Cos:
-    return std::cos(A);
-  case OpCode::Tanh:
-    return std::tanh(A);
-  case OpCode::Floor:
-    return std::floor(A);
-  case OpCode::Ceil:
-    return std::ceil(A);
-  case OpCode::Min:
-    return std::fmin(A, B);
-  case OpCode::Max:
-    return std::fmax(A, B);
-  case OpCode::Pow:
-    return std::pow(A, B);
-  case OpCode::Select:
-    return A != 0.0 ? B : C;
-  case OpCode::Const:
-  case OpCode::Input:
-    break;
-  }
-  assert(false && "evalOp on a non-computing opcode");
-  return 0.0;
-}
-
 OpCode binaryOpCode(BinaryOp Op) {
   switch (Op) {
   case BinaryOp::Add:
@@ -213,7 +130,7 @@ private:
   int emitConst(double Value) {
     Instruction Inst;
     Inst.Op = OpCode::Const;
-    Inst.Constant = applyRounding(Value, Node.Type);
+    Inst.Constant = roundToType(Value, Node.Type);
     return intern(Inst);
   }
 
@@ -236,8 +153,8 @@ private:
     if (Options.EnableConstantFolding && isConstReg(A) &&
         (B < 0 || isConstReg(B)) && (C < 0 || isConstReg(C))) {
       double Folded =
-          evalOp(Op, constValue(A), B < 0 ? 0.0 : constValue(B),
-                 C < 0 ? 0.0 : constValue(C));
+          evalOpUnrounded(Op, constValue(A), B < 0 ? 0.0 : constValue(B),
+                          C < 0 ? 0.0 : constValue(C));
       return emitConst(Folded);
     }
     Instruction Inst;
@@ -354,15 +271,15 @@ double Kernel::evaluate(const double *InputValues, double *Scratch) const {
       Scratch[I] = Result;
       continue;
     case OpCode::Input:
-      Result = applyRounding(
+      Result = roundToType(
           InputValues[static_cast<size_t>(Inst.InputIndex)], Type);
       Scratch[I] = Result;
       continue;
     default:
-      Result = evalOp(Inst.Op, Scratch[Inst.A],
-                      Inst.B >= 0 ? Scratch[Inst.B] : 0.0,
-                      Inst.C >= 0 ? Scratch[Inst.C] : 0.0);
-      Scratch[I] = applyRounding(Result, Type);
+      Result = evalOpUnrounded(Inst.Op, Scratch[Inst.A],
+                               Inst.B >= 0 ? Scratch[Inst.B] : 0.0,
+                               Inst.C >= 0 ? Scratch[Inst.C] : 0.0);
+      Scratch[I] = roundToType(Result, Type);
     }
   }
   return Scratch[static_cast<size_t>(OutputRegister)];

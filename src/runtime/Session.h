@@ -130,6 +130,13 @@ public:
     Opts.Simulator.StallTimeoutCycles = Cycles;
     return *this;
   }
+  /// Selects the kernel execution tier (compute/Engine.h). All tiers are
+  /// bit-exact; Scalar is the reference interpreter, Specialized (the
+  /// default) the fastest.
+  Session &kernelEngine(compute::KernelEngine Engine) {
+    Opts.Simulator.KernelExec = Engine;
+    return *this;
+  }
 
   /// Attaches an owned copy of \p Plan (an attached plan — even an empty
   /// one — switches remote streams to the reliable transport). The copy

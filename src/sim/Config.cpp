@@ -184,6 +184,11 @@ SimConfig::Builder &SimConfig::Builder::threads(int Value) {
   C.Threads = Value;
   return *this;
 }
+SimConfig::Builder &
+SimConfig::Builder::kernelEngine(compute::KernelEngine Value) {
+  C.KernelExec = Value;
+  return *this;
+}
 
 Expected<SimConfig> SimConfig::Builder::build() const {
   if (Error Err = C.validate())

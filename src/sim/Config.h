@@ -19,6 +19,7 @@
 #ifndef STENCILFLOW_SIM_CONFIG_H
 #define STENCILFLOW_SIM_CONFIG_H
 
+#include "compute/Engine.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -179,6 +180,14 @@ struct SimConfig {
   /// every thread count (asserted by the repeatability test).
   int Threads = 0;
 
+  /// Which kernel execution tier evaluates the stencil compute tapes (see
+  /// compute/Engine.h). Orthogonal to \c Engine: both the serial stepper
+  /// and every parallel shard use the selected tier. All tiers are
+  /// bit-exact with each other (asserted by the engine parity suite), so
+  /// the default is the fastest one; Scalar remains available as the
+  /// reference implementation.
+  compute::KernelEngine KernelExec = compute::KernelEngine::Specialized;
+
   /// Checks the configuration for inconsistent settings — the same rules
   /// \c Builder::build enforces; \c Machine::build calls this too, so a
   /// hand-assembled config fails fast at construction instead of mid-run.
@@ -225,6 +234,7 @@ public:
   Builder &maxCycleSlack(int64_t Value);
   Builder &engine(SimEngine Value);
   Builder &threads(int Value);
+  Builder &kernelEngine(compute::KernelEngine Value);
 
   /// Validates and returns the config, or an InvalidInput error.
   Expected<SimConfig> build() const;

@@ -205,6 +205,11 @@ Expected<Machine> Machine::build(const CompiledProgram &Compiled,
       }
       U.Slots.push_back(std::move(Slot));
     }
+
+    // Compile the kernel for the configured execution tier (the whole
+    // tape-pass pipeline runs once here, not per cycle).
+    U.Eval = compute::KernelEvaluator::compile(*U.Kernel, Config.KernelExec,
+                                               M.Lanes);
   }
 
   // Producer wiring: for every channel, find who pushes into it.
@@ -554,6 +559,45 @@ double Machine::readSlot(const Unit &U, const SlotRef &Slot,
   return R.Data[static_cast<size_t>(Linear)];
 }
 
+void Machine::gatherSlot(const Unit &U, const SlotRef &Slot,
+                         double *Dst) const {
+  if (Slot.IsStream) {
+    // Interior fast path: when every lane of this tap is in bounds, the
+    // per-lane ring positions are consecutive (Pos0 + Lane), so the
+    // vector is one modulo plus at most one wrap (RingElements >= W).
+    size_t E = SpaceExtents.size();
+    bool Interior = true;
+    for (size_t Dim = 0; Dim + 1 < E; ++Dim) {
+      int64_t Component = U.CenterIndex[Dim] + Slot.DimOffsets[Dim];
+      if (Component < 0 || Component >= SpaceExtents[Dim]) {
+        Interior = false;
+        break;
+      }
+    }
+    if (Interior) {
+      // The innermost dimension sweeps Lane = 0 .. Lanes-1.
+      int64_t Last = U.CenterIndex[E - 1] + Slot.DimOffsets[E - 1];
+      Interior = Last >= 0 && Last + Lanes <= SpaceExtents[E - 1];
+    }
+    if (Interior) {
+      const FieldStream &Stream =
+          U.Streams[static_cast<size_t>(Slot.SourceIndex)];
+      int64_t Pos0 = Stream.WrittenElements - 1 - Slot.OffsetFromNewest;
+      assert(Pos0 >= 0 && Pos0 + Lanes <= Stream.WrittenElements &&
+             "tap ahead of the stream");
+      int64_t Base = Pos0 % Stream.RingElements;
+      int64_t First = std::min<int64_t>(Lanes, Stream.RingElements - Base);
+      const double *Ring = Stream.Ring.data();
+      std::copy(Ring + Base, Ring + Base + First, Dst);
+      std::copy(Ring, Ring + (Lanes - First), Dst + First);
+      return;
+    }
+  }
+  // Boundary vectors and ROM slots: the per-lane reference read.
+  for (int Lane = 0; Lane != Lanes; ++Lane)
+    Dst[Lane] = readSlot(U, Slot, Lane);
+}
+
 bool Machine::stepUnit(Unit &U, int64_t Cycle, ExecCtx &Ctx) {
   bool MadeProgress = false;
   int64_t TotalSteps = U.StreamVectors + U.InitSteps;
@@ -589,32 +633,44 @@ bool Machine::stepUnit(Unit &U, int64_t Cycle, ExecCtx &Ctx) {
           continue; // Not yet scheduled.
         // Write W elements into the ring (popped data or drain padding).
         // The ring size is not necessarily a multiple of W, so the vector
-        // may wrap.
+        // may wrap — but at most once (RingElements >= W), so one modulo
+        // and two straight-line spans cover every case.
         int64_t Base = Stream.WrittenElements % Stream.RingElements;
+        int64_t First = std::min<int64_t>(Lanes, Stream.RingElements - Base);
+        double *Ring = Stream.Ring.data();
         if (Pops) {
           Channels[Stream.ChannelIndex]->pop(U.PopStaging.data(), Cycle);
           // During a parallel epoch, cross-shard pops are logged so the
           // barrier can replay the exact occupancy trajectory.
           if (!Stages.empty() && Stages[Stream.ChannelIndex].Active)
             Stages[Stream.ChannelIndex].PopCycles.push_back(Cycle);
-          for (int L = 0; L != Lanes; ++L)
-            Stream.Ring[static_cast<size_t>((Base + L) %
-                                            Stream.RingElements)] =
-                U.PopStaging[static_cast<size_t>(L)];
+          const double *Src = U.PopStaging.data();
+          std::copy(Src, Src + First, Ring + Base);
+          std::copy(Src + First, Src + Lanes, Ring);
         } else {
-          for (int L = 0; L != Lanes; ++L)
-            Stream.Ring[static_cast<size_t>((Base + L) %
-                                            Stream.RingElements)] = 0.0;
+          std::fill(Ring + Base, Ring + Base + First, 0.0);
+          std::fill(Ring, Ring + (Lanes - First), 0.0);
         }
         Stream.WrittenElements += Lanes;
       }
       // Issue an output once the initialization phase has passed.
       if (U.Step >= U.InitSteps) {
-        for (int Lane = 0; Lane != Lanes; ++Lane) {
+        if (U.Eval.tier() == compute::KernelEngine::Scalar) {
+          // Reference path: per-lane gather and scalar interpretation.
+          for (int Lane = 0; Lane != Lanes; ++Lane) {
+            for (size_t Slot = 0, E = U.Slots.size(); Slot != E; ++Slot)
+              U.SlotValues[Slot] = readSlot(U, U.Slots[Slot], Lane);
+            U.OutVector[static_cast<size_t>(Lane)] =
+                U.Kernel->evaluate(U.SlotValues.data(), U.Scratch.data());
+          }
+        } else {
+          // Batched path: gather each slot's whole vector, then run the
+          // compiled tape once for all lanes.
           for (size_t Slot = 0, E = U.Slots.size(); Slot != E; ++Slot)
-            U.SlotValues[Slot] = readSlot(U, U.Slots[Slot], Lane);
-          U.OutVector[static_cast<size_t>(Lane)] =
-              U.Kernel->evaluate(U.SlotValues.data(), U.Scratch.data());
+            gatherSlot(U, U.Slots[Slot],
+                       U.SlotSoA.data() + Slot * static_cast<size_t>(Lanes));
+          U.Eval.evaluate(U.SlotSoA.data(), U.OutVector.data(),
+                          U.EvalScratch.data());
         }
         for (int Lane = 0; Lane != Lanes; ++Lane)
           U.PipeValues.push_back(U.OutVector[static_cast<size_t>(Lane)]);
@@ -894,6 +950,8 @@ Error Machine::prepareRun(
     U.SlotValues.assign(U.Slots.size(), 0.0);
     U.OutVector.assign(static_cast<size_t>(Lanes), 0.0);
     U.PopStaging.assign(static_cast<size_t>(Lanes), 0.0);
+    U.SlotSoA.assign(U.Slots.size() * static_cast<size_t>(Lanes), 0.0);
+    U.EvalScratch.assign(U.Eval.scratchDoubles(), 0.0);
   }
   for (Writer &W : Writers) {
     W.Data.assign(static_cast<size_t>(Program.IterationSpace.numCells()),
@@ -1209,6 +1267,10 @@ SimResult Machine::collectResult(int64_t FinalCycles) {
   Result.Stats.Engine = EngineNote;
   Result.Stats.ParallelEpochs = EpochCount;
   Result.Stats.SerialFallbackCycles = SerialFallbackCount;
+  Result.Stats.KernelExec = compute::kernelEngineName(Config.KernelExec);
+  for (const Unit &U : Units)
+    if (U.Eval.tier() == compute::KernelEngine::Specialized)
+      ++Result.Stats.SpecializedUnits;
   for (const Shard &S : Shards) {
     Result.Stats.NetworkBytesMoved += S.Ctx.NetworkBytesMoved;
     Result.Stats.SkippedCycles += S.SkippedCycles;

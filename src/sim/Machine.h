@@ -137,6 +137,13 @@ struct SimStats {
   int64_t ParallelEpochs = 0;
   int64_t SerialFallbackCycles = 0;
   int64_t SkippedCycles = 0;
+
+  /// The configured kernel execution tier ("scalar", "batched",
+  /// "specialized") and how many stencil units actually ran a matched
+  /// specialization (the Specialized tier falls back to the batched tape
+  /// per kernel when no pattern matches).
+  std::string KernelExec = "scalar";
+  int64_t SpecializedUnits = 0;
 };
 
 /// How a returned simulation terminated. Failed runs return a typed
@@ -265,6 +272,13 @@ private:
     std::vector<double> SlotValues; ///< Kernel input staging.
     std::vector<double> OutVector;  ///< Output staging.
     std::vector<double> PopStaging; ///< Channel pop staging.
+    /// Lane-batched kernel evaluator (compute/Engine.h), compiled at
+    /// build() for the configured tier. Immutable after build, so shards
+    /// can share it; the staging/scratch buffers below are per-unit and
+    /// each unit belongs to exactly one shard.
+    compute::KernelEvaluator Eval;
+    std::vector<double> SlotSoA;     ///< Gathered inputs [slot*W + lane].
+    std::vector<double> EvalScratch; ///< Batched register file scratch.
   };
 
   /// A memory reader endpoint: streams one input field on one device.
@@ -408,6 +422,12 @@ private:
 
   /// Computes the value of slot \p Slot of \p U for lane \p Lane.
   double readSlot(const Unit &U, const SlotRef &Slot, int Lane) const;
+
+  /// Gathers all lanes of one slot into \p Dst (Lanes doubles) for the
+  /// batched kernel engine. Interior stream taps take a precomputed
+  /// two-span ring copy (one modulo per vector instead of one per lane);
+  /// boundary vectors and ROM slots fall back to readSlot per lane.
+  void gatherSlot(const Unit &U, const SlotRef &Slot, double *Dst) const;
 
   /// Producer-side view of channel \p ChannelIndex: plain Channel::full,
   /// or the reliable stream's capacity/window/rewind backpressure. During

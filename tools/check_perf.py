@@ -20,6 +20,7 @@ Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 import argparse
 import json
 import math
+import os
 import sys
 
 
@@ -70,14 +71,17 @@ def main():
         sys.exit("error: no benchmarks in " + args.current)
 
     if args.update:
+        bench = os.path.basename(args.baseline)
+        if bench.endswith("_baseline.json"):
+            bench = bench[:-len("_baseline.json")]
         out = {
             "note": "Checked-in perf baseline for tools/check_perf.py. "
-                    "Regenerate with: ./build/bench/micro_pipeline "
+                    f"Regenerate with: ./build/bench/{bench} "
                     "--benchmark_format=json --benchmark_min_time=0.2 "
                     "--benchmark_repetitions=3 "
                     "--benchmark_report_aggregates_only=true > out.json && "
                     "python3 tools/check_perf.py --update "
-                    "bench/baselines/micro_pipeline_baseline.json out.json",
+                    f"{args.baseline} out.json",
             "benchmarks": {name: {"cpu_time": t, "time_unit": "ns"}
                            for name, t in sorted(current.items())},
         }
