@@ -25,7 +25,12 @@
 // --stall-timeout enables the progress watchdog. --parallel selects the
 // epoch-synchronized parallel engine (--threads pins its worker count);
 // tracing requires the serial engine, so --trace wins when both are given.
-// Sample descriptions live in examples/programs/.
+// --auto-tune runs the mapping autotuner (tuner/Tuner.h) instead of a
+// single configuration: the best found mapping (vector width, fusion,
+// devices, utilization) is applied, simulated, and validated;
+// --tune-budget caps the candidates searched and --tune-json dumps the
+// machine-readable TuningReport. Sample descriptions live in
+// examples/programs/.
 //
 // The exit code classifies the outcome so CI scripts can branch on it:
 // 0 success, 1 unclassified error, 2 validation mismatch, 3 deadlock,
@@ -48,7 +53,8 @@ int main(int argc, char **argv) {
       argc, argv,
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
        "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
-       "parallel", "threads", "kernel-engine"});
+       "parallel", "threads", "kernel-engine", "auto-tune", "tune-budget",
+       "tune-json"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -60,7 +66,9 @@ int main(int argc, char **argv) {
                          "[--trace FILE] [--metrics FILE] "
                          "[--trace-stride N] [--fault-plan FILE] "
                          "[--stall-timeout N] [--parallel] [--threads N] "
-                         "[--kernel-engine scalar|batched|specialized]\n");
+                         "[--kernel-engine scalar|batched|specialized] "
+                         "[--auto-tune] [--tune-budget N] "
+                         "[--tune-json FILE]\n");
     return 1;
   }
 
@@ -116,6 +124,40 @@ int main(int argc, char **argv) {
     else
       S->engine(sim::SimEngine::Parallel,
                 static_cast<int>(Args->getInt("threads", 0)));
+  }
+
+  if (Args->has("auto-tune")) {
+    // Tune instead of running one configuration: search the mapping
+    // space, then report the winning plan's simulated, validated run.
+    tuner::TuneOptions TuneOpts;
+    TuneOpts.Search.CandidateBudget =
+        static_cast<int>(Args->getInt("tune-budget", 64));
+    Expected<tuner::TuningOutcome> Tuned = S->tune(TuneOpts);
+    if (!Tuned) {
+      std::fprintf(stderr, "error: %s\n", Tuned.message().c_str());
+      return exitCodeFor(Tuned.code());
+    }
+    std::printf("%s", Tuned->Report.summary().c_str());
+    if (Args->has("tune-json")) {
+      std::string Path = Args->getString("tune-json");
+      if (Error Err = sim::writeTextFile(Path, Tuned->Report.toJson()))
+        std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      else
+        std::printf("report: wrote %s\n", Path.c_str());
+    }
+    const PipelineResult &Best = Tuned->BestRun;
+    std::printf("devices: %zu, frequency %.0f MHz, resources %s\n",
+                Best.Placement.numDevices(), Best.FrequencyMHz,
+                Best.Resources.report(DeviceResources::stratix10GX2800())
+                    .c_str());
+    std::printf("cycles: %lld simulated vs %lld modeled (Eq. 1)\n",
+                static_cast<long long>(Best.Simulation.Stats.Cycles),
+                static_cast<long long>(Best.Runtime.TotalCycles));
+    for (const ValidationReport &Report : Best.Validations)
+      std::printf("validation: %s\n", Report.Summary.c_str());
+    return Best.ValidationPassed
+               ? 0
+               : exitCodeFor(ErrorCode::ValidationMismatch);
   }
 
   Expected<PipelineResult> Result = S->run();

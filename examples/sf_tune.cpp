@@ -1,0 +1,175 @@
+//===- examples/sf_tune.cpp - Mapping autotuner CLI ----------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Design-space exploration over the paper's mapping knobs — vectorization
+// width (Sec. IV-C), stencil fusion (Sec. V-B), device count and
+// partitioner target utilization (Sec. III-B) — ranked by the analytic
+// runtime/resource models and validated on the cycle-level simulator.
+//
+// Usage:  ./sf_tune (<program.json> | --workload NAME) [--length N]
+//             [--budget N] [--beam N] [--seed N] [--top-k N]
+//             [--workers N] [--no-simulate] [--constrained-memory]
+//             [--max-devices N] [--json FILE] [--candidates]
+//
+// --workload picks a built-in benchmark (jacobi3d, diffusion2d,
+// diffusion3d, hdiff); --length overrides the chain length of the first
+// three. --json writes the machine-readable TuningReport (per-candidate
+// predicted vs simulated cycles, prune reasons, search trajectory, Pareto
+// front); --candidates prints the per-candidate table to stdout.
+// --no-simulate ranks by the analytic model alone. Exit codes follow
+// support/Error.h exitCodeFor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "StencilFlow.h"
+#include "support/CommandLine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace stencilflow;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sf_tune (<program.json> | --workload NAME) [--length N]\n"
+      "               [--budget N] [--beam N] [--seed N] [--top-k N]\n"
+      "               [--workers N] [--no-simulate] [--constrained-memory]\n"
+      "               [--max-devices N] [--json FILE] [--candidates]\n"
+      "workloads: jacobi3d diffusion2d diffusion3d hdiff\n");
+}
+
+Expected<StencilProgram> builtinWorkload(const std::string &Name,
+                                         int Length) {
+  if (Name == "jacobi3d")
+    return workloads::jacobi3dChain(Length, 16, 32, 64);
+  if (Name == "diffusion2d")
+    return workloads::diffusion2dChain(Length, 64, 64);
+  if (Name == "diffusion3d")
+    return workloads::diffusion3dChain(Length, 16, 32, 64);
+  if (Name == "hdiff")
+    return workloads::horizontalDiffusion();
+  return makeError(ErrorCode::InvalidInput,
+                   "unknown workload '" + Name +
+                       "' (expected jacobi3d, diffusion2d, diffusion3d, "
+                       "or hdiff)");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto Args = CommandLine::parse(
+      argc, argv,
+      {"workload", "length", "budget", "beam", "seed", "top-k", "workers",
+       "no-simulate", "constrained-memory", "max-devices", "json",
+       "candidates"});
+  if (!Args) {
+    std::fprintf(stderr, "error: %s\n", Args.message().c_str());
+    return 1;
+  }
+  bool HaveWorkload = Args->has("workload");
+  if (Args->positional().size() != (HaveWorkload ? 0u : 1u)) {
+    usage();
+    return 1;
+  }
+
+  Expected<Session> S = [&]() -> Expected<Session> {
+    if (!HaveWorkload)
+      return Session::fromFile(Args->positional()[0]);
+    Expected<StencilProgram> P = builtinWorkload(
+        Args->getString("workload"),
+        static_cast<int>(Args->getInt("length", 8)));
+    if (!P)
+      return P.takeError();
+    return Session::fromProgram(P.takeValue());
+  }();
+  if (!S) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return exitCodeFor(S.code());
+  }
+  std::printf("%s\n", S->program().summary().c_str());
+
+  S->unconstrainedMemory(!Args->has("constrained-memory"));
+  if (Args->has("max-devices"))
+    S->pipelineOptions().Partitioning.MaxDevices =
+        static_cast<int>(Args->getInt("max-devices", 8));
+
+  tuner::TuneOptions Opts;
+  Opts.Search.CandidateBudget =
+      static_cast<int>(Args->getInt("budget", 64));
+  Opts.Search.BeamWidth = static_cast<int>(Args->getInt("beam", 6));
+  Opts.Search.Seed = static_cast<uint64_t>(
+      Args->getInt("seed", 0x5F3759DF));
+  Opts.TopK = static_cast<int>(Args->getInt("top-k", 3));
+  Opts.Workers = static_cast<int>(Args->getInt("workers", 0));
+  Opts.Simulate = !Args->has("no-simulate");
+
+  Expected<tuner::TuningOutcome> Out = S->tune(Opts);
+  if (!Out) {
+    std::fprintf(stderr, "error: %s\n", Out.message().c_str());
+    return exitCodeFor(Out.code());
+  }
+  const tuner::TuningReport &Report = Out->Report;
+  std::printf("%s", Report.summary().c_str());
+
+  if (Args->has("candidates")) {
+    std::printf("%-18s %5s %10s %10s %8s %5s %6s  %s\n", "candidate",
+                "round", "predicted", "simulated", "err%", "dev", "util%",
+                "status");
+    for (const tuner::CandidateRecord &R : Report.Candidates) {
+      if (!R.Cost.Feasible) {
+        std::printf("%-18s %5d %10s %10s %8s %5s %6s  pruned: %s\n",
+                    R.Mapping.id().c_str(), R.Round, "-", "-", "-", "-",
+                    "-", R.Cost.PruneReason.c_str());
+        continue;
+      }
+      std::printf(
+          "%-18s %5d %10lld %10s %8s %5d %6.1f  %s\n",
+          R.Mapping.id().c_str(), R.Round,
+          static_cast<long long>(R.Cost.PredictedCycles),
+          R.Simulated && R.SimulationError.empty()
+              ? std::to_string(R.SimulatedCycles).c_str()
+              : "-",
+          R.Simulated && R.SimulationError.empty()
+              ? (std::to_string(R.ModelErrorPct).substr(0, 5)).c_str()
+              : "-",
+          R.Cost.Devices, R.Cost.PeakUtilization * 100.0,
+          !R.Simulated            ? "costed"
+          : !R.SimulationError.empty() ? R.SimulationError.c_str()
+          : R.ValidationPassed    ? "validated"
+                                  : "VALIDATION FAILED");
+    }
+  }
+
+  if (Args->has("json")) {
+    std::string Path = Args->getString("json");
+    if (Error Err = sim::writeTextFile(Path, Report.toJson())) {
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      return 1;
+    }
+    std::printf("report: wrote %s\n", Path.c_str());
+  }
+
+  if (Opts.Simulate) {
+    const tuner::CandidateRecord *Best = Report.best();
+    std::printf("plan %s: %zu device(s), %.0f MHz, %s\n",
+                Best->Mapping.id().c_str(),
+                Out->BestRun.Placement.numDevices(),
+                Best->Cost.FrequencyMHz,
+                Out->BestRun.Resources
+                    .report(DeviceResources::stratix10GX2800())
+                    .c_str());
+    for (const ValidationReport &V : Out->BestRun.Validations)
+      std::printf("validation: %s\n", V.Summary.c_str());
+    return Out->BestRun.ValidationPassed
+               ? 0
+               : exitCodeFor(ErrorCode::ValidationMismatch);
+  }
+  return 0;
+}

@@ -24,5 +24,6 @@
 #include "sim/Machine.h"
 #include "sim/Trace.h"
 #include "support/Error.h"
+#include "tuner/Tuner.h"
 
 #endif // STENCILFLOW_STENCILFLOW_H

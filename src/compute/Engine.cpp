@@ -508,10 +508,23 @@ bool matchChain(const std::vector<TapeOp> &Ops, int32_t OutReg,
                                       : ChainTerm::Kind::Mul;
       } else if (AccInB && O.Op == Kind::Sub) {
         // leaf - acc keeps operand order under RSub; leaf + acc and
-        // leaf * acc would commute (NaN payloads), so those fail.
+        // leaf * acc commute in general (NaN payload selection), so those
+        // only match under the Const carve-out below.
         if (!leaf(O.A, Term.XInput, Term.XConst))
           return false;
         Term.Op = ChainTerm::Kind::RSub;
+      } else if (AccInB && (O.Op == Kind::Add || O.Op == Kind::Mul)) {
+        // const + acc / const * acc: IEEE add/mul only depend on operand
+        // order when both operands can be NaN (which NaN's payload wins).
+        // A non-NaN constant rules that out, so evaluating as acc + const
+        // / acc * const is bit-exact — this is what lets jacobi3d's final
+        // `const * sum` specialize. Input leaves stay rejected: they can
+        // carry NaNs at runtime.
+        if (!leaf(O.A, Term.XInput, Term.XConst) || Term.XInput >= 0 ||
+            std::isnan(Term.XConst))
+          return false;
+        Term.Op =
+            O.Op == Kind::Add ? ChainTerm::Kind::Add : ChainTerm::Kind::Mul;
       } else if (Terms.empty()) {
         // Chain start: both operands are leaves.
         if (!leaf(O.A, First.XInput, First.XConst) ||

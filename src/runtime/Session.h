@@ -42,6 +42,11 @@
 
 namespace stencilflow {
 
+namespace tuner {
+struct TuneOptions;
+struct TuningOutcome;
+} // namespace tuner
+
 /// A loaded stencil program plus the pipeline configuration to run it
 /// under. Movable, not copyable (it may own a tracer recording).
 class Session {
@@ -174,6 +179,16 @@ public:
   /// inside the pipeline. Repeatable: each call runs a fresh copy of the
   /// program.
   Expected<PipelineResult> run();
+
+  /// Runs the mapping autotuner (tuner/Tuner.h) over this session's
+  /// program and base configuration: searches vectorization width x
+  /// fusion x device count x target utilization, validates the top
+  /// candidates on the simulator, and returns the chosen plan plus the
+  /// full report. Defined in sf_tuner (link it to use this); the no-arg
+  /// overload stands in for a default argument, which the forward-declared
+  /// option type cannot express here.
+  Expected<tuner::TuningOutcome> tune(const tuner::TuneOptions &Options);
+  Expected<tuner::TuningOutcome> tune();
 
 private:
   explicit Session(StencilProgram Program) : Program(std::move(Program)) {}

@@ -189,9 +189,15 @@ Error stencilflow::fusePair(StencilProgram &Program,
 
 Expected<FusionReport>
 stencilflow::fuseAllStencils(StencilProgram &Program) {
+  return fuseStencilsUpTo(Program,
+                          static_cast<int>(Program.Nodes.size()) + 1);
+}
+
+Expected<FusionReport>
+stencilflow::fuseStencilsUpTo(StencilProgram &Program, int MaxPairs) {
   FusionReport Report;
   bool Changed = true;
-  while (Changed) {
+  while (Changed && Report.FusedPairs < MaxPairs) {
     Changed = false;
     for (const StencilNode &Node : Program.Nodes) {
       Expected<std::string> Consumer = canFuseInto(Program, Node.Name);

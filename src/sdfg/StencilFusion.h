@@ -70,6 +70,15 @@ struct FusionReport {
 /// programs").
 Expected<FusionReport> fuseAllStencils(StencilProgram &Program);
 
+/// Fuses at most \p MaxPairs legal pairs, in the same deterministic order
+/// \c fuseAllStencils uses, then stops. \c MaxPairs = 0 is a no-op; a
+/// large value degenerates to aggressive fusion. This is the fusion
+/// "grouping" knob of the mapping autotuner (tuner/DesignSpace.h): level k
+/// reproduces the first k steps of the aggressive pass, so every level is
+/// a prefix of the same trajectory and levels are comparable.
+Expected<FusionReport> fuseStencilsUpTo(StencilProgram &Program,
+                                        int MaxPairs);
+
 } // namespace stencilflow
 
 #endif // STENCILFLOW_SDFG_STENCILFUSION_H

@@ -575,22 +575,35 @@ void Machine::gatherSlot(const Unit &U, const SlotRef &Slot,
       }
     }
     if (Interior) {
-      // The innermost dimension sweeps Lane = 0 .. Lanes-1.
-      int64_t Last = U.CenterIndex[E - 1] + Slot.DimOffsets[E - 1];
-      Interior = Last >= 0 && Last + Lanes <= SpaceExtents[E - 1];
-    }
-    if (Interior) {
-      const FieldStream &Stream =
-          U.Streams[static_cast<size_t>(Slot.SourceIndex)];
-      int64_t Pos0 = Stream.WrittenElements - 1 - Slot.OffsetFromNewest;
-      assert(Pos0 >= 0 && Pos0 + Lanes <= Stream.WrittenElements &&
-             "tap ahead of the stream");
-      int64_t Base = Pos0 % Stream.RingElements;
-      int64_t First = std::min<int64_t>(Lanes, Stream.RingElements - Base);
-      const double *Ring = Stream.Ring.data();
-      std::copy(Ring + Base, Ring + Base + First, Dst);
-      std::copy(Ring, Ring + (Lanes - First), Dst + First);
-      return;
+      // The innermost dimension sweeps Lane = 0 .. Lanes-1; clip that
+      // range against the innermost extent. Fully interior vectors copy
+      // every lane in two ring spans; boundary columns keep the span copy
+      // for their in-bounds lanes [LaneLo, LaneHi) — whose ring positions
+      // are still consecutive (Pos0 + Lane) — and take the predicated
+      // per-lane read only where the tap actually leaves the domain.
+      int64_t Innermost = U.CenterIndex[E - 1] + Slot.DimOffsets[E - 1];
+      int64_t LaneLo = std::max<int64_t>(0, -Innermost);
+      int64_t LaneHi =
+          std::min<int64_t>(Lanes, SpaceExtents[E - 1] - Innermost);
+      if (LaneLo < LaneHi) {
+        const FieldStream &Stream =
+            U.Streams[static_cast<size_t>(Slot.SourceIndex)];
+        int64_t Pos0 = Stream.WrittenElements - 1 - Slot.OffsetFromNewest;
+        assert(Pos0 + LaneLo >= 0 &&
+               Pos0 + LaneHi <= Stream.WrittenElements &&
+               "tap ahead of the stream");
+        for (int64_t Lane = 0; Lane != LaneLo; ++Lane)
+          Dst[Lane] = readSlot(U, Slot, static_cast<int>(Lane));
+        int64_t Count = LaneHi - LaneLo;
+        int64_t Base = (Pos0 + LaneLo) % Stream.RingElements;
+        int64_t Span = std::min<int64_t>(Count, Stream.RingElements - Base);
+        const double *Ring = Stream.Ring.data();
+        std::copy(Ring + Base, Ring + Base + Span, Dst + LaneLo);
+        std::copy(Ring, Ring + (Count - Span), Dst + LaneLo + Span);
+        for (int64_t Lane = LaneHi; Lane != Lanes; ++Lane)
+          Dst[Lane] = readSlot(U, Slot, static_cast<int>(Lane));
+        return;
+      }
     }
   }
   // Boundary vectors and ROM slots: the per-lane reference read.

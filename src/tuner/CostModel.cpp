@@ -1,0 +1,157 @@
+//===- tuner/CostModel.cpp - Analytic candidate ranking -----------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/CostModel.h"
+
+#include "compute/Simplify.h"
+#include "frontend/SemanticAnalysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace stencilflow;
+using namespace stencilflow::tuner;
+
+namespace {
+
+/// Marks \p Cost pruned at some pipeline stage.
+CandidateCost pruned(CandidateCost Cost, std::string Reason) {
+  Cost.Feasible = false;
+  Cost.PruneReason = std::move(Reason);
+  return Cost;
+}
+
+/// Steady-state off-chip demand of one device in bytes per cycle: every
+/// full-rank replicated input is read and every output written W elements
+/// per cycle, each stream paying the per-transaction bus overhead, plus
+/// crossbar arbitration pressure per active endpoint (the same DRAM model
+/// the simulator charges, sim/Config.h).
+double deviceMemoryDemand(const StencilProgram &Program,
+                          const DevicePlacement &Device, int VectorWidth,
+                          const sim::SimConfig &Sim) {
+  double Bytes = 0.0;
+  int Endpoints = 0;
+  for (const std::string &Input : Device.ReplicatedInputs) {
+    const Field *F = Program.findInput(Input);
+    if (!F || !F->isFullRank())
+      continue; // Sub-dimensional inputs are preloaded ROMs, not streams.
+    Bytes += static_cast<double>(VectorWidth) *
+                 static_cast<double>(dataTypeSize(F->Type)) +
+             Sim.TransactionOverheadBytes;
+    ++Endpoints;
+  }
+  for (const std::string &Output : Device.OutputsWritten) {
+    Bytes += static_cast<double>(VectorWidth) *
+                 static_cast<double>(dataTypeSize(
+                     Program.fieldType(Output))) +
+             Sim.TransactionOverheadBytes;
+    ++Endpoints;
+  }
+  return Bytes + Endpoints * Sim.ArbitrationPenaltyBytesPerEndpoint;
+}
+
+} // namespace
+
+CandidateCost CostModel::cost(const CandidateMapping &Mapping) const {
+  CandidateCost Cost;
+  Cost.FusedPairs = Mapping.FusionPairs;
+
+  // Stage 1: apply the program-transforming knobs (fusion, width).
+  Expected<StencilProgram> Applied = applyMapping(Program, Mapping);
+  if (!Applied)
+    return pruned(std::move(Cost), "mapping: " + Applied.message());
+
+  // Mirror the pipeline's optional simplification so predictions price the
+  // same circuit the simulator will run.
+  if (Base.SimplifyCode) {
+    for (StencilNode &Node : Applied->Nodes)
+      compute::simplifyNodeCode(Node);
+    if (Error Err = analyzeProgram(*Applied))
+      return pruned(std::move(Cost), "simplification: " + Err.message());
+  }
+
+  // Stage 2: compile and size the buffers; failures here are the
+  // buffer-sizing / deadlock-freedom prune (Sec. IV-B).
+  Expected<CompiledProgram> Compiled =
+      CompiledProgram::compile(Applied.takeValue(), Base.Kernel);
+  if (!Compiled)
+    return pruned(std::move(Cost), "compilation: " + Compiled.message());
+  Expected<DataflowAnalysis> Dataflow =
+      analyzeDataflow(*Compiled, Base.Latencies);
+  if (!Dataflow)
+    return pruned(std::move(Cost), "dataflow: " + Dataflow.message());
+
+  RuntimeEstimate Runtime = computeRuntimeEstimate(*Compiled, *Dataflow);
+  Cost.ModelCycles = Runtime.TotalCycles;
+
+  // Stage 3: partition under the mapping's device budget and target
+  // utilization; the partitioner enforces the ResourceModel capacity
+  // checks, so an over-capacity candidate is pruned here.
+  PartitionOptions PartOptions = Base.Partitioning;
+  PartOptions.MaxDevices = Mapping.MaxDevices;
+  PartOptions.TargetUtilization = Mapping.TargetUtilization;
+  Expected<Partition> Placement =
+      partitionProgram(*Compiled, *Dataflow, PartOptions);
+  if (!Placement)
+    return pruned(std::move(Cost), "partitioning: " + Placement.message());
+  Cost.Devices = static_cast<int>(Placement->numDevices());
+
+  // Frequency and utilization come from the worst (most utilized) device:
+  // all devices in the chain run off one design clock.
+  const DevicePlacement *Worst = nullptr;
+  for (const DevicePlacement &Device : Placement->Devices) {
+    double Peak = Device.Resources.peakUtilization(PartOptions.Device);
+    if (Peak > Cost.PeakUtilization || !Worst) {
+      Cost.PeakUtilization = Peak;
+      Worst = &Device;
+    }
+  }
+  Cost.FrequencyMHz =
+      estimateFrequencyMHz(Worst->Resources, PartOptions.Device,
+                           PartOptions.ResourceConfig);
+
+  // Bandwidth ceilings on the streaming phase.
+  const sim::SimConfig &Sim = Base.Simulator;
+  const StencilProgram &Prog = Compiled->program();
+  if (!Sim.UnconstrainedMemory) {
+    for (const DevicePlacement &Device : Placement->Devices) {
+      double Demand = deviceMemoryDemand(Prog, Device, Prog.VectorWidth, Sim);
+      Cost.MemorySlowdown = std::max(Cost.MemorySlowdown,
+                                     Demand / Sim.PeakMemoryBytesPerCycle);
+    }
+  }
+  for (int Hop = 0; Hop + 1 < Cost.Devices; ++Hop) {
+    double HopBytes = 0.0;
+    for (const RemoteStream &Stream : Placement->RemoteStreams)
+      if (Stream.SourceDevice <= Hop && Hop < Stream.ConsumerDevice)
+        HopBytes += static_cast<double>(Prog.VectorWidth) *
+                    static_cast<double>(
+                        dataTypeSize(Prog.fieldType(Stream.Source)));
+    Cost.NetworkSlowdown =
+        std::max(Cost.NetworkSlowdown,
+                 HopBytes / (Sim.LinkBytesPerCycle * Sim.LinksPerHop));
+  }
+
+  // Network latency: remote streams add per-hop store-and-forward delay to
+  // the pipeline fill; the longest source-to-consumer span dominates.
+  int64_t NetworkLatency = 0;
+  for (const RemoteStream &Stream : Placement->RemoteStreams)
+    NetworkLatency =
+        std::max(NetworkLatency,
+                 static_cast<int64_t>(Stream.ConsumerDevice -
+                                      Stream.SourceDevice) *
+                     Sim.NetworkLatencyCyclesPerHop);
+
+  double Slowdown = std::max(Cost.MemorySlowdown, Cost.NetworkSlowdown);
+  Cost.PredictedCycles =
+      Runtime.LatencyCycles + NetworkLatency +
+      static_cast<int64_t>(std::ceil(
+          static_cast<double>(Runtime.StreamedCycles) * Slowdown));
+  Cost.PredictedSeconds =
+      static_cast<double>(Cost.PredictedCycles) / (Cost.FrequencyMHz * 1e6);
+  Cost.Feasible = true;
+  return Cost;
+}

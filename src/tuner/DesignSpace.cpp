@@ -1,0 +1,150 @@
+//===- tuner/DesignSpace.cpp - Mapping candidate enumeration ------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/DesignSpace.h"
+
+#include "sdfg/StencilFusion.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace stencilflow;
+using namespace stencilflow::tuner;
+
+std::string CandidateMapping::id() const {
+  return formatString("W%d-F%d-D%d-U%d", VectorWidth, FusionPairs,
+                      MaxDevices,
+                      static_cast<int>(std::lround(TargetUtilization * 100)));
+}
+
+namespace {
+
+/// Sorts ascending and removes duplicates.
+template <typename T> void sortUnique(std::vector<T> &Values) {
+  std::sort(Values.begin(), Values.end());
+  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+}
+
+/// Index of the axis value closest to \p Want (lowest index on ties).
+template <typename T>
+size_t closestIndex(const std::vector<T> &Axis, T Want) {
+  size_t Best = 0;
+  for (size_t I = 1; I < Axis.size(); ++I)
+    if (std::abs(static_cast<double>(Axis[I]) - static_cast<double>(Want)) <
+        std::abs(static_cast<double>(Axis[Best]) - static_cast<double>(Want)))
+      Best = I;
+  return Best;
+}
+
+} // namespace
+
+Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
+                                             const DesignSpaceOptions &Options,
+                                             int MaxDevicesCap) {
+  if (Program.IterationSpace.rank() == 0)
+    return makeError(ErrorCode::InvalidInput,
+                     "cannot enumerate a design space for a rank-0 program");
+  int64_t Innermost =
+      Program.IterationSpace.extent(Program.IterationSpace.rank() - 1);
+
+  DesignSpace Space;
+
+  // Vectorization widths: candidates must divide the innermost extent
+  // (Sec. IV-C); non-divisors are not merely slow, they are illegal.
+  std::vector<int> WidthSeed =
+      Options.VectorWidths.empty() ? std::vector<int>{1, 2, 4, 8}
+                                   : Options.VectorWidths;
+  for (int W : WidthSeed)
+    if (W >= 1 && Innermost % W == 0)
+      Space.Widths.push_back(W);
+  sortUnique(Space.Widths);
+  if (Space.Widths.empty())
+    return makeError(ErrorCode::InvalidInput,
+                     formatString("no candidate vector width divides the "
+                                  "innermost extent %lld",
+                                  static_cast<long long>(Innermost)));
+
+  // Fusion levels: probe how many pairs the aggressive pass fuses; every
+  // level is a prefix of that trajectory (sdfg::fuseStencilsUpTo). A
+  // failing probe means no legal fusion — the axis collapses to {0}.
+  StencilProgram Probe = Program.clone();
+  Expected<FusionReport> Aggressive = fuseAllStencils(Probe);
+  Space.MaxPairs = Aggressive ? Aggressive->FusedPairs : 0;
+  std::vector<int> LevelSeed =
+      Options.FusionLevels.empty()
+          ? std::vector<int>{0, 1, Space.MaxPairs / 2, Space.MaxPairs}
+          : Options.FusionLevels;
+  for (int F : LevelSeed)
+    if (F >= 0 && F <= Space.MaxPairs)
+      Space.Levels.push_back(F);
+  Space.Levels.push_back(0); // The unfused mapping is always a candidate.
+  sortUnique(Space.Levels);
+
+  // Device budgets, capped at the testbed size.
+  std::vector<int> DeviceSeed =
+      Options.DeviceCounts.empty() ? std::vector<int>{1, 2, 4, 8}
+                                   : Options.DeviceCounts;
+  for (int D : DeviceSeed)
+    if (D >= 1 && D <= MaxDevicesCap)
+      Space.Devices.push_back(D);
+  sortUnique(Space.Devices);
+  if (Space.Devices.empty())
+    Space.Devices.push_back(1);
+
+  // Partitioner target utilizations.
+  std::vector<double> UtilSeed =
+      Options.TargetUtilizations.empty()
+          ? std::vector<double>{0.70, 0.85, 0.95}
+          : Options.TargetUtilizations;
+  for (double U : UtilSeed)
+    if (U > 0.0 && U <= 1.0)
+      Space.Utils.push_back(U);
+  sortUnique(Space.Utils);
+  if (Space.Utils.empty())
+    return makeError(ErrorCode::InvalidInput,
+                     "no candidate target utilization lies in (0, 1]");
+
+  // Materialize the cross product in lexicographic axis order.
+  for (int W : Space.Widths)
+    for (int F : Space.Levels)
+      for (int D : Space.Devices)
+        for (double U : Space.Utils)
+          Space.All.push_back(CandidateMapping{W, F, D, U});
+  return Space;
+}
+
+CandidateMapping DesignSpace::at(size_t Wi, size_t Fi, size_t Di,
+                                 size_t Ui) const {
+  assert(Wi < Widths.size() && Fi < Levels.size() && Di < Devices.size() &&
+         Ui < Utils.size() && "axis index out of range");
+  return CandidateMapping{Widths[Wi], Levels[Fi], Devices[Di], Utils[Ui]};
+}
+
+void DesignSpace::closestIndices(const CandidateMapping &M,
+                                 size_t Index[4]) const {
+  Index[0] = closestIndex(Widths, M.VectorWidth);
+  Index[1] = closestIndex(Levels, M.FusionPairs);
+  Index[2] = closestIndex(Devices, M.MaxDevices);
+  Index[3] = closestIndex(Utils, M.TargetUtilization);
+}
+
+Expected<StencilProgram>
+stencilflow::tuner::applyMapping(const StencilProgram &Program,
+                                 const CandidateMapping &Mapping) {
+  StencilProgram Applied = Program.clone();
+  if (Mapping.FusionPairs > 0) {
+    Expected<FusionReport> Fusion =
+        fuseStencilsUpTo(Applied, Mapping.FusionPairs);
+    if (!Fusion)
+      return Fusion.takeError().addContext(
+          formatString("fusing %d pair(s)", Mapping.FusionPairs));
+  }
+  Applied.VectorWidth = Mapping.VectorWidth;
+  if (Error Err = Applied.validate())
+    return Err.addContext("mapping " + Mapping.id());
+  return Applied;
+}

@@ -1,0 +1,133 @@
+//===- tuner/DesignSpace.h - Mapping candidate enumeration --------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The design space of the mapping autotuner: the cross product of the
+/// paper's mapping knobs. A \c CandidateMapping fixes
+///
+///  - the vectorization width W (Sec. IV-C / VIII-A, Eq. 1: N = cells / W),
+///  - the stencil-fusion level (Sec. V-B; level k applies the first k steps
+///    of the aggressive fusion pass, see sdfg::fuseStencilsUpTo),
+///  - the device budget of the partitioner (Sec. III-B), and
+///  - the partitioner's target utilization (how full each device may get
+///    before spilling to the next one).
+///
+/// \c DesignSpace::enumerate derives sensible per-program axes (widths that
+/// divide the innermost extent, fusion levels up to the legal maximum,
+/// device counts up to the testbed cap) and materializes the cross product
+/// in deterministic lexicographic order, so search trajectories are
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_TUNER_DESIGNSPACE_H
+#define STENCILFLOW_TUNER_DESIGNSPACE_H
+
+#include "ir/StencilProgram.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace stencilflow {
+namespace tuner {
+
+/// One point of the design space: a complete mapping configuration.
+struct CandidateMapping {
+  /// Vectorization width W; must divide the innermost extent.
+  int VectorWidth = 1;
+
+  /// Stencil-fusion level: number of producer/consumer pairs fused, as a
+  /// prefix of the aggressive pass's trajectory (0 = unfused).
+  int FusionPairs = 0;
+
+  /// Device budget handed to the partitioner.
+  int MaxDevices = 1;
+
+  /// Partitioner target utilization (fraction of each resource class).
+  double TargetUtilization = 0.85;
+
+  /// Stable identity, e.g. "W4-F2-D2-U85" (utilization in percent).
+  std::string id() const;
+
+  friend bool operator==(const CandidateMapping &A,
+                         const CandidateMapping &B) {
+    return A.VectorWidth == B.VectorWidth &&
+           A.FusionPairs == B.FusionPairs &&
+           A.MaxDevices == B.MaxDevices &&
+           A.TargetUtilization == B.TargetUtilization;
+  }
+};
+
+/// Axis overrides; any empty vector is derived from the program.
+struct DesignSpaceOptions {
+  /// Candidate vectorization widths. Default: {1, 2, 4, 8} filtered to
+  /// divisors of the innermost extent.
+  std::vector<int> VectorWidths;
+
+  /// Candidate fusion levels. Default: {0, 1, max/2, max} (deduplicated)
+  /// where max is the number of pairs the aggressive pass fuses.
+  std::vector<int> FusionLevels;
+
+  /// Candidate device budgets. Default: {1, 2, 4, 8} capped at the
+  /// partitioner's MaxDevices.
+  std::vector<int> DeviceCounts;
+
+  /// Candidate target utilizations. Default: {0.70, 0.85, 0.95}.
+  std::vector<double> TargetUtilizations;
+};
+
+/// The enumerated candidate set plus its per-axis structure (the axes are
+/// what the beam search's neighborhood moves walk along).
+class DesignSpace {
+public:
+  /// Enumerates the space for \p Program. \p MaxDevicesCap bounds the
+  /// device-count axis (the caller's testbed size).
+  static Expected<DesignSpace> enumerate(const StencilProgram &Program,
+                                         const DesignSpaceOptions &Options,
+                                         int MaxDevicesCap);
+
+  /// All candidates, in deterministic lexicographic axis order.
+  const std::vector<CandidateMapping> &candidates() const { return All; }
+  size_t size() const { return All.size(); }
+
+  /// Number of pairs the aggressive fusion pass would fuse.
+  int maxFusionPairs() const { return MaxPairs; }
+
+  /// The axes, each sorted ascending.
+  const std::vector<int> &vectorWidths() const { return Widths; }
+  const std::vector<int> &fusionLevels() const { return Levels; }
+  const std::vector<int> &deviceCounts() const { return Devices; }
+  const std::vector<double> &targetUtilizations() const { return Utils; }
+
+  /// The candidate at axis indices (Wi, Fi, Di, Ui).
+  CandidateMapping at(size_t Wi, size_t Fi, size_t Di, size_t Ui) const;
+
+  /// Axis indices of the candidate closest to \p M (each axis snaps to the
+  /// nearest value; used to seed the beam search at the default mapping).
+  void closestIndices(const CandidateMapping &M, size_t Index[4]) const;
+
+private:
+  std::vector<CandidateMapping> All;
+  std::vector<int> Widths;
+  std::vector<int> Levels;
+  std::vector<int> Devices;
+  std::vector<double> Utils;
+  int MaxPairs = 0;
+};
+
+/// Applies the program-transforming knobs of \p Mapping to a copy of
+/// \p Program: fuses \c FusionPairs pairs and sets the vectorization
+/// width. Fails when the width does not divide the innermost extent or
+/// fusion breaks validation. Partitioning knobs (device budget, target
+/// utilization) are applied to PipelineOptions by the caller.
+Expected<StencilProgram> applyMapping(const StencilProgram &Program,
+                                      const CandidateMapping &Mapping);
+
+} // namespace tuner
+} // namespace stencilflow
+
+#endif // STENCILFLOW_TUNER_DESIGNSPACE_H

@@ -1,0 +1,228 @@
+//===- tuner/Tuner.cpp - Mapping autotuner front door -------------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include "runtime/Session.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+using namespace stencilflow;
+using namespace stencilflow::tuner;
+
+namespace {
+
+/// Runs the full pipeline (simulate + validate) for one candidate. Each
+/// job owns a private program copy and option block, so jobs are
+/// embarrassingly parallel.
+Expected<PipelineResult> runCandidate(const StencilProgram &Program,
+                                      const PipelineOptions &Base,
+                                      const CandidateMapping &Mapping) {
+  Expected<StencilProgram> Applied = applyMapping(Program, Mapping);
+  if (!Applied)
+    return Applied.takeError();
+  PipelineOptions O = Base;
+  O.FuseStencils = false; // Fusion is part of the mapping, already applied.
+  O.Simulate = true;
+  O.Validate = true;
+  O.EmitCode = false;
+  O.AllowMultiDevice = true; // The mapping's device budget governs.
+  O.Partitioning.MaxDevices = Mapping.MaxDevices;
+  O.Partitioning.TargetUtilization = Mapping.TargetUtilization;
+  O.Simulator.Trace = nullptr; // One tracer cannot record N runs at once.
+  return runPipeline(Applied.takeValue(), O);
+}
+
+/// Ranks simulated, validation-passing records: fastest simulated time,
+/// then fewest devices, lowest peak utilization, id.
+bool rankBySimulation(const CandidateRecord &A, const CandidateRecord &B) {
+  if (A.SimulatedSeconds != B.SimulatedSeconds)
+    return A.SimulatedSeconds < B.SimulatedSeconds;
+  if (A.Cost.Devices != B.Cost.Devices)
+    return A.Cost.Devices < B.Cost.Devices;
+  if (A.Cost.PeakUtilization != B.Cost.PeakUtilization)
+    return A.Cost.PeakUtilization < B.Cost.PeakUtilization;
+  return A.Mapping.id() < B.Mapping.id();
+}
+
+} // namespace
+
+Expected<TuningOutcome>
+stencilflow::tuner::tuneProgram(const StencilProgram &Program,
+                                const PipelineOptions &Base,
+                                const TuneOptions &Options) {
+  Expected<DesignSpace> Space = DesignSpace::enumerate(
+      Program, Options.Space, Base.Partitioning.MaxDevices);
+  if (!Space)
+    return Space.takeError().addContext("design space");
+
+  // The default mapping — unvectorized, unfused, base partitioning —
+  // snapped onto the enumerated axes so it is a point of the space.
+  size_t Index[4];
+  Space->closestIndices(
+      CandidateMapping{1, 0, Base.Partitioning.MaxDevices,
+                       Base.Partitioning.TargetUtilization},
+      Index);
+  CandidateMapping Default = Space->at(Index[0], Index[1], Index[2],
+                                       Index[3]);
+
+  CostModel Model(Program, Base);
+  SearchResult Search =
+      searchDesignSpace(*Space, Model, Options.Search, Default);
+
+  TuningReport Report;
+  Report.ProgramName = Program.Name;
+  Report.SearchKind = std::move(Search.Kind);
+  Report.Seed = Options.Search.Seed;
+  Report.SpaceSize = Space->size();
+  Report.Candidates = std::move(Search.Records);
+
+  // The default is part of the beam seed, so it is normally already
+  // costed; guard anyway (e.g. a budget of 1 point).
+  for (size_t I = 0; I != Report.Candidates.size(); ++I)
+    if (Report.Candidates[I].Mapping == Default)
+      Report.DefaultIndex = static_cast<int>(I);
+  if (Report.DefaultIndex < 0) {
+    CandidateRecord Record;
+    Record.Mapping = Default;
+    Record.Cost = Model.cost(Default);
+    Report.DefaultIndex = static_cast<int>(Report.Candidates.size());
+    Report.Candidates.push_back(std::move(Record));
+  }
+
+  Report.Explored = Report.Candidates.size();
+  for (const CandidateRecord &R : Report.Candidates)
+    Report.Pruned += R.Cost.Feasible ? 0 : 1;
+  Report.ParetoFront = paretoFront(Report.Candidates);
+
+  // Analytic ranking of the feasible survivors.
+  std::vector<size_t> Ranked;
+  for (size_t I = 0; I != Report.Candidates.size(); ++I)
+    if (Report.Candidates[I].Cost.Feasible)
+      Ranked.push_back(I);
+  if (Ranked.empty())
+    return makeError(
+        ErrorCode::Infeasible,
+        formatString("no feasible mapping among %zu explored candidate(s) "
+                     "of '%s'",
+                     Report.Explored, Program.Name.c_str()));
+  std::sort(Ranked.begin(), Ranked.end(), [&](size_t A, size_t B) {
+    return rankByPrediction(Report.Candidates[A], Report.Candidates[B]);
+  });
+
+  TuningOutcome Outcome;
+  if (!Options.Simulate) {
+    Report.BestIndex = static_cast<int>(Ranked[0]);
+    Outcome.Best = Report.Candidates[Ranked[0]].Mapping;
+    Outcome.Report = std::move(Report);
+    return Outcome;
+  }
+
+  // Simulation set: the analytic top-K plus the default baseline.
+  std::vector<size_t> Jobs(
+      Ranked.begin(),
+      Ranked.begin() + std::min<size_t>(std::max(1, Options.TopK),
+                                        Ranked.size()));
+  if (Report.Candidates[Report.DefaultIndex].Cost.Feasible &&
+      std::find(Jobs.begin(), Jobs.end(),
+                static_cast<size_t>(Report.DefaultIndex)) == Jobs.end())
+    Jobs.push_back(static_cast<size_t>(Report.DefaultIndex));
+
+  // Candidates simulate concurrently; results land in per-job slots so
+  // thread scheduling cannot reorder anything observable.
+  std::vector<std::optional<Expected<PipelineResult>>> Slots(Jobs.size());
+  std::atomic<size_t> NextJob{0};
+  auto Worker = [&]() {
+    for (;;) {
+      size_t Job = NextJob.fetch_add(1);
+      if (Job >= Jobs.size())
+        return;
+      Slots[Job].emplace(runCandidate(
+          Program, Base, Report.Candidates[Jobs[Job]].Mapping));
+    }
+  };
+  size_t WorkerCount = Options.Workers > 0
+                           ? static_cast<size_t>(Options.Workers)
+                           : std::max(1u, std::thread::hardware_concurrency());
+  WorkerCount = std::min(WorkerCount, Jobs.size());
+  if (WorkerCount <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Threads;
+    for (size_t I = 0; I != WorkerCount; ++I)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (size_t Job = 0; Job != Jobs.size(); ++Job) {
+    CandidateRecord &R = Report.Candidates[Jobs[Job]];
+    Expected<PipelineResult> &Run = *Slots[Job];
+    R.Simulated = true;
+    ++Report.SimulatedCount;
+    if (!Run) {
+      R.SimulationError = Run.message();
+      continue;
+    }
+    R.SimulatedCycles = Run->Simulation.Stats.Cycles;
+    // One clock for both sides of the comparison: the cost model's
+    // worst-device frequency.
+    R.SimulatedSeconds = static_cast<double>(R.SimulatedCycles) /
+                         (R.Cost.FrequencyMHz * 1e6);
+    R.ValidationPassed = Run->ValidationPassed;
+    if (R.SimulatedCycles > 0)
+      R.ModelErrorPct =
+          100.0 *
+          std::abs(static_cast<double>(R.Cost.PredictedCycles) -
+                   static_cast<double>(R.SimulatedCycles)) /
+          static_cast<double>(R.SimulatedCycles);
+  }
+
+  // The plan: fastest simulated candidate that passed bit-exact
+  // validation against the reference executor.
+  int BestJob = -1;
+  for (size_t Job = 0; Job != Jobs.size(); ++Job) {
+    const CandidateRecord &R = Report.Candidates[Jobs[Job]];
+    if (!R.SimulationError.empty() || !R.ValidationPassed)
+      continue;
+    if (BestJob < 0 ||
+        rankBySimulation(R, Report.Candidates[Jobs[BestJob]]))
+      BestJob = static_cast<int>(Job);
+  }
+  if (BestJob < 0)
+    return makeError(ErrorCode::Infeasible,
+                     formatString("all %zu simulated candidate(s) of '%s' "
+                                  "failed simulation or validation",
+                                  Jobs.size(), Program.Name.c_str()));
+
+  Report.BestIndex = static_cast<int>(Jobs[BestJob]);
+  Outcome.Best = Report.Candidates[Jobs[BestJob]].Mapping;
+  Outcome.BestRun = Slots[BestJob]->takeValue();
+  Outcome.Report = std::move(Report);
+  return Outcome;
+}
+
+//===----------------------------------------------------------------------===//
+// Session facade
+//===----------------------------------------------------------------------===//
+
+// Defined here rather than in runtime/Session.cpp so sf_runtime does not
+// depend on sf_tuner (the tuner sits above the pipeline it drives).
+Expected<tuner::TuningOutcome>
+Session::tune(const tuner::TuneOptions &Options) {
+  if (Error Err = Program.validate())
+    return Err.addContext("program validation");
+  return tuner::tuneProgram(Program, Opts, Options);
+}
+
+Expected<tuner::TuningOutcome> Session::tune() {
+  return tune(tuner::TuneOptions());
+}

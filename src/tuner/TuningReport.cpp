@@ -1,0 +1,133 @@
+//===- tuner/TuningReport.cpp - Machine-readable tuning results ---------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TuningReport.h"
+
+#include "support/JsonWriter.h"
+#include "support/StringUtils.h"
+
+using namespace stencilflow;
+using namespace stencilflow::tuner;
+
+std::vector<size_t>
+stencilflow::tuner::paretoFront(const std::vector<CandidateRecord> &Records) {
+  auto Dominates = [](const CandidateCost &A, const CandidateCost &B) {
+    bool NoWorse = A.PredictedSeconds <= B.PredictedSeconds &&
+                   A.Devices <= B.Devices &&
+                   A.PeakUtilization <= B.PeakUtilization;
+    bool Better = A.PredictedSeconds < B.PredictedSeconds ||
+                  A.Devices < B.Devices ||
+                  A.PeakUtilization < B.PeakUtilization;
+    return NoWorse && Better;
+  };
+  std::vector<size_t> Front;
+  for (size_t I = 0; I != Records.size(); ++I) {
+    if (!Records[I].Cost.Feasible)
+      continue;
+    bool Dominated = false;
+    for (size_t J = 0; J != Records.size() && !Dominated; ++J)
+      Dominated = J != I && Records[J].Cost.Feasible &&
+                  Dominates(Records[J].Cost, Records[I].Cost);
+    if (!Dominated)
+      Front.push_back(I);
+  }
+  return Front;
+}
+
+namespace {
+
+void writeCandidate(json::JsonWriter &W, const CandidateRecord &R) {
+  W.beginObject();
+  W.attribute("id", R.Mapping.id());
+  W.attribute("vector_width", R.Mapping.VectorWidth);
+  W.attribute("fusion_pairs", R.Mapping.FusionPairs);
+  W.attribute("max_devices", R.Mapping.MaxDevices);
+  W.attribute("target_utilization", R.Mapping.TargetUtilization);
+  W.attribute("round", R.Round);
+  W.attribute("feasible", R.Cost.Feasible);
+  if (!R.Cost.Feasible) {
+    W.attribute("prune_reason", R.Cost.PruneReason);
+  } else {
+    W.attribute("model_cycles", R.Cost.ModelCycles);
+    W.attribute("predicted_cycles", R.Cost.PredictedCycles);
+    W.attribute("predicted_seconds", R.Cost.PredictedSeconds);
+    W.attribute("frequency_mhz", R.Cost.FrequencyMHz);
+    W.attribute("memory_slowdown", R.Cost.MemorySlowdown);
+    W.attribute("network_slowdown", R.Cost.NetworkSlowdown);
+    W.attribute("devices", R.Cost.Devices);
+    W.attribute("peak_utilization", R.Cost.PeakUtilization);
+  }
+  W.attribute("simulated", R.Simulated);
+  if (R.Simulated) {
+    if (!R.SimulationError.empty()) {
+      W.attribute("simulation_error", R.SimulationError);
+    } else {
+      W.attribute("validation_passed", R.ValidationPassed);
+      W.attribute("simulated_cycles", R.SimulatedCycles);
+      W.attribute("simulated_seconds", R.SimulatedSeconds);
+      W.attribute("model_error_pct", R.ModelErrorPct);
+    }
+  }
+  W.endObject();
+}
+
+} // namespace
+
+std::string TuningReport::toJson() const {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.attribute("program", ProgramName);
+  W.attribute("search", SearchKind);
+  W.attribute("seed", static_cast<int64_t>(Seed));
+  W.attribute("space_size", SpaceSize);
+  W.attribute("explored", Explored);
+  W.attribute("pruned", Pruned);
+  W.attribute("simulated", SimulatedCount);
+  W.key("candidates");
+  W.beginArray();
+  for (const CandidateRecord &R : Candidates)
+    writeCandidate(W, R);
+  W.endArray();
+  W.key("pareto_front");
+  W.beginArray();
+  for (size_t Index : ParetoFront)
+    W.value(Index);
+  W.endArray();
+  W.attribute("best_index", static_cast<int64_t>(BestIndex));
+  W.attribute("default_index", static_cast<int64_t>(DefaultIndex));
+  if (const CandidateRecord *B = best())
+    W.attribute("best", B->Mapping.id());
+  if (const CandidateRecord *D = defaultCandidate())
+    W.attribute("default", D->Mapping.id());
+  W.endObject();
+  return Out;
+}
+
+std::string TuningReport::summary() const {
+  std::string Out = formatString(
+      "tuned '%s': %s search over %zu-point space, %zu explored "
+      "(%zu pruned), %zu simulated, %zu on the Pareto front\n",
+      ProgramName.c_str(), SearchKind.c_str(), SpaceSize, Explored, Pruned,
+      SimulatedCount, ParetoFront.size());
+  const CandidateRecord *B = best();
+  const CandidateRecord *D = defaultCandidate();
+  if (B)
+    Out += formatString(
+        "best: %s — %lld simulated cycles at %.0f MHz on %d device(s), "
+        "peak utilization %.0f%%, model error %.2f%%\n",
+        B->Mapping.id().c_str(),
+        static_cast<long long>(B->SimulatedCycles), B->Cost.FrequencyMHz,
+        B->Cost.Devices, B->Cost.PeakUtilization * 100.0, B->ModelErrorPct);
+  if (B && D && D->SimulatedCycles > 0 && B->SimulatedCycles > 0 && B != D)
+    Out += formatString(
+        "default %s: %lld simulated cycles — speedup %.2fx\n",
+        D->Mapping.id().c_str(),
+        static_cast<long long>(D->SimulatedCycles),
+        static_cast<double>(D->SimulatedCycles) /
+            static_cast<double>(B->SimulatedCycles));
+  return Out;
+}

@@ -312,6 +312,41 @@ TEST(EngineTest, LaplaceSpecializes) {
   }
 }
 
+TEST(EngineTest, CommutedConstChainSpecializes) {
+  // jacobi3d's final statement multiplies the accumulated sum from the
+  // *commuted* operand position: `const * sum`. A non-NaN constant cannot
+  // win a NaN-payload selection, so IEEE add/mul are bit-commutative here
+  // and the chain matcher accepts it instead of falling back to the
+  // batched tape.
+  for (DataType Type : {DataType::Float32, DataType::Float64}) {
+    Kernel Krn = compileKernel(
+        "out = 0.142857 * (a[0, -1] + a[0, 0] + a[0, 1]);", {"a"}, {},
+        Type);
+    KernelEvaluator Eval =
+        KernelEvaluator::compile(Krn, KernelEngine::Specialized, 8);
+    EXPECT_EQ(Eval.tier(), KernelEngine::Specialized);
+    EXPECT_EQ(Eval.specialization(), "weighted-sum-chain");
+
+    // Bit-exact across tiers, including NaN/Inf/signed-zero inputs.
+    Random Rng(Type == DataType::Float32 ? 505 : 606);
+    for (int Lanes : {1, 4, 8})
+      for (int Round = 0; Round != 8; ++Round)
+        expectTierParity(
+            Krn, Lanes,
+            randomSoA(Rng, Krn.inputs().size(), Lanes, Round % 2 == 1),
+            formatString("commuted-const type=%d lanes=%d round=%d",
+                         static_cast<int>(Type), Lanes, Round));
+  }
+
+  // `input * acc` must still fall back: the input operand can carry a
+  // NaN at runtime, and then operand order picks the payload.
+  Kernel Unsafe = compileKernel(
+      "out = b[0, 0] * (a[0, -1] + a[0, 0] + a[0, 1]);", {"a", "b"});
+  EXPECT_EQ(
+      KernelEvaluator::compile(Unsafe, KernelEngine::Specialized, 8).tier(),
+      KernelEngine::Batched);
+}
+
 TEST(EngineTest, DeadRegisterElimination) {
   // "u" is never used: its Mul and the Const feeding it must vanish from
   // the batched tape, leaving fewer ops than the kernel's instruction
