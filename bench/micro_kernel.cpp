@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// google-benchmark timings of the three kernel execution tiers
+// google-benchmark timings of the kernel execution tiers
 // (compute/Engine.h) over representative stencil tapes:
 //
 //   * jacobi2d  — the 5-point Laplacian weighted sum (specializes into the
@@ -13,6 +13,11 @@
 //   * hdiff     — an hdiff-class tape with select/min/max/sqrt that cannot
 //                 chain-specialize (the Specialized tier falls back to the
 //                 fused batched tape).
+//
+// The Jit tier compiles each tape to native code through the host
+// toolchain and the Auto tier picks a tier per kernel; both register only
+// when a compiler is available, so the benchmark binary still runs on
+// toolchain-less machines (check_perf.py tolerates the missing names).
 //
 // Every non-scalar benchmark first proves itself bit-exact against the
 // scalar reference interpreter on a randomized probe set (NaN payloads
@@ -25,6 +30,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "compute/Engine.h"
+#include "compute/Jit.h"
 #include "compute/Kernel.h"
 #include "frontend/Parser.h"
 #include "frontend/SemanticAnalysis.h"
@@ -177,6 +183,12 @@ void BM_Jacobi2D_Batched(benchmark::State &State) {
 void BM_Jacobi2D_Specialized(benchmark::State &State) {
   runTier(State, jacobi2d(), KernelEngine::Specialized, 8);
 }
+void BM_Jacobi2D_Jit(benchmark::State &State) {
+  runTier(State, jacobi2d(), KernelEngine::Jit, 8);
+}
+void BM_Jacobi2D_Auto(benchmark::State &State) {
+  runTier(State, jacobi2d(), KernelEngine::Auto, 8);
+}
 BENCHMARK(BM_Jacobi2D_Scalar);
 BENCHMARK(BM_Jacobi2D_Batched);
 BENCHMARK(BM_Jacobi2D_Specialized);
@@ -189,6 +201,12 @@ void BM_Jacobi3D_Batched(benchmark::State &State) {
 }
 void BM_Jacobi3D_Specialized(benchmark::State &State) {
   runTier(State, jacobi3d(), KernelEngine::Specialized, 8);
+}
+void BM_Jacobi3D_Jit(benchmark::State &State) {
+  runTier(State, jacobi3d(), KernelEngine::Jit, 8);
+}
+void BM_Jacobi3D_Auto(benchmark::State &State) {
+  runTier(State, jacobi3d(), KernelEngine::Auto, 8);
 }
 BENCHMARK(BM_Jacobi3D_Scalar);
 BENCHMARK(BM_Jacobi3D_Batched);
@@ -203,6 +221,12 @@ void BM_Hdiff_Batched(benchmark::State &State) {
 void BM_Hdiff_Specialized(benchmark::State &State) {
   runTier(State, hdiff(), KernelEngine::Specialized, 8);
 }
+void BM_Hdiff_Jit(benchmark::State &State) {
+  runTier(State, hdiff(), KernelEngine::Jit, 8);
+}
+void BM_Hdiff_Auto(benchmark::State &State) {
+  runTier(State, hdiff(), KernelEngine::Auto, 8);
+}
 BENCHMARK(BM_Hdiff_Scalar);
 BENCHMARK(BM_Hdiff_Batched);
 BENCHMARK(BM_Hdiff_Specialized);
@@ -216,6 +240,23 @@ void BM_Jacobi2D_SpecializedW1(benchmark::State &State) {
 }
 BENCHMARK(BM_Jacobi2D_ScalarW1);
 BENCHMARK(BM_Jacobi2D_SpecializedW1);
+
+/// The Jit/Auto benchmarks only make sense when a host compiler exists;
+/// registering them conditionally keeps the binary runnable (and the perf
+/// check meaningful) on toolchain-less machines — check_perf.py warns
+/// about baseline names missing from the current run instead of failing.
+int registerJitBenchmarks() {
+  if (!jit::compilerAvailable())
+    return 0;
+  BENCHMARK(BM_Jacobi2D_Jit);
+  BENCHMARK(BM_Jacobi2D_Auto);
+  BENCHMARK(BM_Jacobi3D_Jit);
+  BENCHMARK(BM_Jacobi3D_Auto);
+  BENCHMARK(BM_Hdiff_Jit);
+  BENCHMARK(BM_Hdiff_Auto);
+  return 1;
+}
+const int JitBenchmarksRegistered = registerJitBenchmarks();
 
 } // namespace
 

@@ -28,9 +28,10 @@
 // --auto-tune runs the mapping autotuner (tuner/Tuner.h) instead of a
 // single configuration: the best found mapping (vector width, fusion,
 // devices, utilization) is applied, simulated, and validated;
-// --tune-budget caps the candidates searched and --tune-json dumps the
-// machine-readable TuningReport. Sample descriptions live in
-// examples/programs/.
+// --tune-budget caps the candidates searched, --tune-seed fixes the beam
+// search's PRNG seed (identical seed + space => identical trajectory), and
+// --tune-json dumps the machine-readable TuningReport. Sample descriptions
+// live in examples/programs/.
 //
 // The exit code classifies the outcome so CI scripts can branch on it:
 // 0 success, 1 unclassified error, 2 validation mismatch, 3 deadlock,
@@ -54,7 +55,7 @@ int main(int argc, char **argv) {
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
        "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
        "parallel", "threads", "kernel-engine", "auto-tune", "tune-budget",
-       "tune-json"});
+       "tune-seed", "tune-json"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -66,9 +67,10 @@ int main(int argc, char **argv) {
                          "[--trace FILE] [--metrics FILE] "
                          "[--trace-stride N] [--fault-plan FILE] "
                          "[--stall-timeout N] [--parallel] [--threads N] "
-                         "[--kernel-engine scalar|batched|specialized] "
+                         "[--kernel-engine "
+                         "scalar|batched|specialized|jit|auto] "
                          "[--auto-tune] [--tune-budget N] "
-                         "[--tune-json FILE]\n");
+                         "[--tune-seed N] [--tune-json FILE]\n");
     return 1;
   }
 
@@ -132,6 +134,9 @@ int main(int argc, char **argv) {
     tuner::TuneOptions TuneOpts;
     TuneOpts.Search.CandidateBudget =
         static_cast<int>(Args->getInt("tune-budget", 64));
+    if (Args->has("tune-seed"))
+      TuneOpts.Search.Seed =
+          static_cast<uint64_t>(Args->getInt("tune-seed", 0));
     Expected<tuner::TuningOutcome> Tuned = S->tune(TuneOpts);
     if (!Tuned) {
       std::fprintf(stderr, "error: %s\n", Tuned.message().c_str());
@@ -153,6 +158,10 @@ int main(int argc, char **argv) {
     std::printf("cycles: %lld simulated vs %lld modeled (Eq. 1)\n",
                 static_cast<long long>(Best.Simulation.Stats.Cycles),
                 static_cast<long long>(Best.Runtime.TotalCycles));
+    std::string BestTiers = Best.Simulation.Stats.kernelTierSummary();
+    std::printf("kernel engine: %s requested, effective: %s\n",
+                Best.Simulation.Stats.KernelExec.c_str(),
+                BestTiers.empty() ? "<none>" : BestTiers.c_str());
     for (const ValidationReport &Report : Best.Validations)
       std::printf("validation: %s\n", Report.Summary.c_str());
     return Best.ValidationPassed
@@ -212,9 +221,13 @@ int main(int argc, char **argv) {
               static_cast<long long>(Stats.ParallelEpochs),
               static_cast<long long>(Stats.SerialFallbackCycles),
               static_cast<long long>(Stats.SkippedCycles));
-  std::printf("kernel engine: %s (%lld unit(s) specialized)\n",
+  std::string Tiers = Stats.kernelTierSummary();
+  std::printf("kernel engine: %s requested, effective: %s "
+              "(%lld specialized, %lld jitted)\n",
               Stats.KernelExec.c_str(),
-              static_cast<long long>(Stats.SpecializedUnits));
+              Tiers.empty() ? "<none>" : Tiers.c_str(),
+              static_cast<long long>(Stats.SpecializedUnits),
+              static_cast<long long>(Stats.JittedUnits));
   sim::StallBreakdown TotalStalls;
   for (const auto &[Name, Stalls] : Stats.UnitStalls)
     TotalStalls += Stalls;

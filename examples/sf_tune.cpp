@@ -12,20 +12,24 @@
 // Usage:  ./sf_tune (<program.json> | --workload NAME) [--length N]
 //             [--budget N] [--beam N] [--seed N] [--top-k N]
 //             [--workers N] [--no-simulate] [--constrained-memory]
-//             [--max-devices N] [--json FILE] [--candidates]
+//             [--max-devices N] [--kernel-engines LIST] [--json FILE]
+//             [--candidates]
 //
 // --workload picks a built-in benchmark (jacobi3d, diffusion2d,
 // diffusion3d, hdiff); --length overrides the chain length of the first
 // three. --json writes the machine-readable TuningReport (per-candidate
 // predicted vs simulated cycles, prune reasons, search trajectory, Pareto
 // front); --candidates prints the per-candidate table to stdout.
-// --no-simulate ranks by the analytic model alone. Exit codes follow
-// support/Error.h exitCodeFor.
+// --no-simulate ranks by the analytic model alone. --kernel-engines adds a
+// comma-separated kernel-execution axis to the space (e.g.
+// "specialized,jit,auto"); the default keeps the base configuration's
+// single tier. Exit codes follow support/Error.h exitCodeFor.
 //
 //===----------------------------------------------------------------------===//
 
 #include "StencilFlow.h"
 #include "support/CommandLine.h"
+#include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -41,8 +45,10 @@ void usage() {
       "usage: sf_tune (<program.json> | --workload NAME) [--length N]\n"
       "               [--budget N] [--beam N] [--seed N] [--top-k N]\n"
       "               [--workers N] [--no-simulate] [--constrained-memory]\n"
-      "               [--max-devices N] [--json FILE] [--candidates]\n"
-      "workloads: jacobi3d diffusion2d diffusion3d hdiff\n");
+      "               [--max-devices N] [--kernel-engines LIST]\n"
+      "               [--json FILE] [--candidates]\n"
+      "workloads: jacobi3d diffusion2d diffusion3d hdiff\n"
+      "kernel engines: comma-separated scalar|batched|specialized|jit|auto\n");
 }
 
 Expected<StencilProgram> builtinWorkload(const std::string &Name,
@@ -67,8 +73,8 @@ int main(int argc, char **argv) {
   auto Args = CommandLine::parse(
       argc, argv,
       {"workload", "length", "budget", "beam", "seed", "top-k", "workers",
-       "no-simulate", "constrained-memory", "max-devices", "json",
-       "candidates"});
+       "no-simulate", "constrained-memory", "max-devices", "kernel-engines",
+       "json", "candidates"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -109,6 +115,17 @@ int main(int argc, char **argv) {
   Opts.TopK = static_cast<int>(Args->getInt("top-k", 3));
   Opts.Workers = static_cast<int>(Args->getInt("workers", 0));
   Opts.Simulate = !Args->has("no-simulate");
+  if (Args->has("kernel-engines")) {
+    for (const std::string &Name :
+         splitString(Args->getString("kernel-engines"), ',')) {
+      Expected<compute::KernelEngine> Engine = compute::parseKernelEngine(Name);
+      if (!Engine) {
+        std::fprintf(stderr, "error: %s\n", Engine.message().c_str());
+        return 1;
+      }
+      Opts.Space.KernelEngines.push_back(*Engine);
+    }
+  }
 
   Expected<tuner::TuningOutcome> Out = S->tune(Opts);
   if (!Out) {
@@ -165,6 +182,11 @@ int main(int argc, char **argv) {
                 Out->BestRun.Resources
                     .report(DeviceResources::stratix10GX2800())
                     .c_str());
+    const sim::SimStats &BestStats = Out->BestRun.Simulation.Stats;
+    std::string Tiers = BestStats.kernelTierSummary();
+    std::printf("kernel engine: %s requested, effective: %s\n",
+                BestStats.KernelExec.c_str(),
+                Tiers.empty() ? "<none>" : Tiers.c_str());
     for (const ValidationReport &V : Out->BestRun.Validations)
       std::printf("validation: %s\n", V.Summary.c_str());
     return Out->BestRun.ValidationPassed

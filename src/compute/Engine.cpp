@@ -11,6 +11,8 @@
 
 #include "compute/Engine.h"
 
+#include "compute/Jit.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -41,6 +43,10 @@ const char *compute::kernelEngineName(KernelEngine Engine) {
     return "batched";
   case KernelEngine::Specialized:
     return "specialized";
+  case KernelEngine::Jit:
+    return "jit";
+  case KernelEngine::Auto:
+    return "auto";
   }
   return "<invalid>";
 }
@@ -52,8 +58,12 @@ Expected<KernelEngine> compute::parseKernelEngine(std::string_view Name) {
     return KernelEngine::Batched;
   if (Name == "specialized")
     return KernelEngine::Specialized;
+  if (Name == "jit")
+    return KernelEngine::Jit;
+  if (Name == "auto")
+    return KernelEngine::Auto;
   return makeError("unknown kernel engine '" + std::string(Name) +
-                   "' (expected scalar, batched, or specialized)");
+                   "' (expected scalar, batched, specialized, jit, or auto)");
 }
 
 namespace {
@@ -609,7 +619,10 @@ KernelEvaluator KernelEvaluator::compile(const Kernel &Krn,
   // DRE before fusion: dead ops (unreferenced locals, folded operands)
   // would otherwise inflate use counts and block profitable fusions.
   OutReg = eliminateDead(Ops, OutReg);
-  if (Engine == KernelEngine::Specialized) {
+  // Every tier above Batched runs on the fused tape; Batched stays unfused
+  // so it keeps measuring the plain one-dispatch-per-OpCode interpreter.
+  bool WantFusion = Engine != KernelEngine::Batched;
+  if (WantFusion) {
     fuseMulOps(Ops, OutReg);
     OutReg = eliminateDead(Ops, OutReg); // Drop the consumed Mul ops.
   }
@@ -620,16 +633,34 @@ KernelEvaluator KernelEvaluator::compile(const Kernel &Krn,
   E.TapeLen = Ops.size();
   E.ScratchDoubles = Ops.size() * static_cast<size_t>(Lanes);
 
-  if (Engine == KernelEngine::Specialized) {
-    std::vector<ChainTerm> Terms;
-    if (matchChain(Ops, OutReg, Terms)) {
-      E.Tier = KernelEngine::Specialized;
-      E.Chain = std::move(Terms);
-      E.Specialization = "weighted-sum-chain";
-      E.ScratchDoubles = 0; // The accumulator lives in Out[].
-      E.TapeLen = E.Chain.size();
+  std::vector<ChainTerm> Terms;
+  bool ChainMatched = WantFusion && matchChain(Ops, OutReg, Terms);
+
+  // Resolve Auto to a concrete tier for this kernel's tape shape; tier()
+  // reports the resolved choice, never Auto itself.
+  KernelEngine Want = Engine;
+  if (Engine == KernelEngine::Auto)
+    Want = jit::chooseTierForAuto(Ops.size(), ChainMatched, Lanes);
+
+  if (Want == KernelEngine::Jit) {
+    if (jit::JitKernel Code = jit::compileTape(Ops, OutReg, E.Type, Lanes)) {
+      E.Tier = KernelEngine::Jit;
+      E.JitFn = Code.Fn;
+      E.JitHandle = std::move(Code.Handle);
+      E.Specialization = "jit";
+      E.ScratchDoubles = 0; // Straight-line code: locals live in registers.
       return E;
     }
+    Want = KernelEngine::Specialized; // No compiler (or build failed).
+  }
+
+  if (Want == KernelEngine::Specialized && ChainMatched) {
+    E.Tier = KernelEngine::Specialized;
+    E.Chain = std::move(Terms);
+    E.Specialization = "weighted-sum-chain";
+    E.ScratchDoubles = 0; // The accumulator lives in Out[].
+    E.TapeLen = E.Chain.size();
+    return E;
   }
   E.Ops = std::move(Ops);
   return E;
@@ -686,5 +717,11 @@ void KernelEvaluator::evaluate(const double *SoAInputs, double *Out,
       return;
     }
     return;
+  case KernelEngine::Jit:
+    JitFn(SoAInputs, Out);
+    return;
+  case KernelEngine::Auto:
+    break; // compile() always resolves Auto to a concrete tier.
   }
+  assert(false && "unreachable kernel tier");
 }

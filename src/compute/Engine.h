@@ -12,7 +12,7 @@
 /// dispatch over the whole vector and keeping the register file in
 /// structure-of-arrays layout so the per-lane inner loops autovectorize.
 ///
-/// Three tiers, selected by \c KernelEngine:
+/// Four tiers plus a per-unit selection mode, selected by \c KernelEngine:
 ///
 ///  - \b Scalar: delegates to Kernel::evaluate per lane. The reference
 ///    implementation every other tier must match bit-for-bit.
@@ -23,6 +23,15 @@
 ///    pattern-matches pure weighted-sum / Laplacian accumulator chains
 ///    (the dominant stencil shape) into a pre-templated native evaluator;
 ///    kernels that do not match fall back to the fused batched tape.
+///  - \b Jit: emits one straight-line C++ function for the fused tape at
+///    runtime, builds it into a shared object with the host toolchain
+///    (same -ffp-contract=off discipline as this library), and dlopens it
+///    (compute/Jit.h). No per-instruction dispatch at all; falls back to
+///    Specialized when no host compiler is available.
+///  - \b Auto: not a tier but a per-unit policy — picks the best tier for
+///    each kernel from its tape shape and the vector width (see
+///    compute/Jit.h for the selection rules). \c tier() always reports
+///    what actually runs.
 ///
 /// Bit-exactness contract: every tier performs the same operations in the
 /// same order with the same per-operation rounding (\c roundToType) as the
@@ -40,6 +49,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -48,12 +58,15 @@ namespace compute {
 
 /// Which kernel execution tier the simulator uses.
 enum class KernelEngine : uint8_t {
-  Scalar,     ///< Per-lane reference interpreter (Kernel::evaluate).
-  Batched,    ///< Lane-batched tape interpreter.
-  Specialized ///< Batched + fusion + weighted-sum chain specialization.
+  Scalar,      ///< Per-lane reference interpreter (Kernel::evaluate).
+  Batched,     ///< Lane-batched tape interpreter.
+  Specialized, ///< Batched + fusion + weighted-sum chain specialization.
+  Jit,         ///< Runtime C++ codegen of the fused tape (compute/Jit.h).
+  Auto         ///< Per-kernel tier selection from tape shape and width.
 };
 
-/// Returns a printable name ("scalar", "batched", "specialized").
+/// Returns a printable name ("scalar", "batched", "specialized", "jit",
+/// "auto").
 const char *kernelEngineName(KernelEngine Engine);
 
 /// Parses a --kernel-engine value.
@@ -141,16 +154,22 @@ public:
   KernelEvaluator() = default;
 
   /// Compiles \p Krn for \p Engine at vector width \p Lanes. Never fails:
-  /// the Specialized tier silently degrades to the fused batched tape when
-  /// no specialization pattern matches.
+  /// the Specialized tier degrades to the fused batched tape when no
+  /// specialization pattern matches, the Jit tier degrades to Specialized
+  /// when no host compiler is available (or the runtime compile fails),
+  /// and Auto picks a tier per kernel. The *effective* tier is always
+  /// observable through \c tier().
   static KernelEvaluator compile(const Kernel &Krn, KernelEngine Engine,
                                  int Lanes);
 
   /// The tier that actually executes: compile(Specialized) reports Batched
-  /// when no specialization matched.
+  /// when no specialization matched, compile(Jit) reports Specialized or
+  /// Batched when the runtime compile fell back, and compile(Auto) reports
+  /// whatever the per-kernel policy chose. Never reports Auto.
   KernelEngine tier() const { return Tier; }
 
-  /// Name of the matched specialization ("weighted-sum-chain"), or empty.
+  /// Name of the matched specialization ("weighted-sum-chain", "jit"), or
+  /// empty.
   std::string_view specialization() const { return Specialization; }
 
   /// Scratch doubles evaluate() needs (may be zero for specialized tiers).
@@ -182,6 +201,12 @@ private:
   std::vector<TapeOp> Ops;        ///< Batched tape.
   std::vector<ChainTerm> Chain;   ///< Specialized chain (if matched).
   std::string_view Specialization; ///< Static string; never dangles.
+
+  /// Jit tier: the dlsym'd entry point plus a shared handle that keeps
+  /// the dlopened object mapped for as long as any evaluator (or the
+  /// process-wide cache) references it.
+  void (*JitFn)(const double *SoAInputs, double *Out) = nullptr;
+  std::shared_ptr<void> JitHandle;
 };
 
 } // namespace compute

@@ -44,6 +44,24 @@ const char *sim::terminationReasonName(TerminationReason Reason) {
   return "completed";
 }
 
+std::string SimStats::kernelTierSummary() const {
+  // Count tiers in a fixed display order so the summary is stable.
+  std::map<std::string, int64_t> Counts;
+  for (const auto &[Name, Tier] : UnitKernelTiers)
+    ++Counts[Tier];
+  std::string Out;
+  for (const char *Tier : {"jit", "specialized", "batched", "scalar"}) {
+    auto It = Counts.find(Tier);
+    if (It == Counts.end())
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += formatString("%s x%lld", Tier,
+                        static_cast<long long>(It->second));
+  }
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Build
 //===----------------------------------------------------------------------===//
@@ -1281,9 +1299,17 @@ SimResult Machine::collectResult(int64_t FinalCycles) {
   Result.Stats.ParallelEpochs = EpochCount;
   Result.Stats.SerialFallbackCycles = SerialFallbackCount;
   Result.Stats.KernelExec = compute::kernelEngineName(Config.KernelExec);
-  for (const Unit &U : Units)
-    if (U.Eval.tier() == compute::KernelEngine::Specialized)
+  for (const Unit &U : Units) {
+    // Record what actually runs, not what was requested: Specialized can
+    // degrade to Batched, Jit to Specialized, and Auto chooses per unit.
+    compute::KernelEngine Effective = U.Eval.tier();
+    if (Effective == compute::KernelEngine::Specialized)
       ++Result.Stats.SpecializedUnits;
+    else if (Effective == compute::KernelEngine::Jit)
+      ++Result.Stats.JittedUnits;
+    Result.Stats.UnitKernelTiers[U.Name] =
+        compute::kernelEngineName(Effective);
+  }
   for (const Shard &S : Shards) {
     Result.Stats.NetworkBytesMoved += S.Ctx.NetworkBytesMoved;
     Result.Stats.SkippedCycles += S.SkippedCycles;

@@ -138,12 +138,25 @@ struct SimStats {
   int64_t SerialFallbackCycles = 0;
   int64_t SkippedCycles = 0;
 
-  /// The configured kernel execution tier ("scalar", "batched",
-  /// "specialized") and how many stencil units actually ran a matched
-  /// specialization (the Specialized tier falls back to the batched tape
-  /// per kernel when no pattern matches).
+  /// The *requested* kernel execution tier ("scalar", "batched",
+  /// "specialized", "jit", "auto") and how many stencil units actually ran
+  /// a matched weighted-sum specialization or a jitted tape. Requested and
+  /// effective tiers can differ per unit: the Specialized tier falls back
+  /// to the batched tape when no pattern matches, the Jit tier falls back
+  /// to Specialized when no host compiler is available, and Auto picks a
+  /// tier per unit by design.
   std::string KernelExec = "scalar";
   int64_t SpecializedUnits = 0;
+  int64_t JittedUnits = 0;
+
+  /// Effective tier per stencil unit (unit name -> tier name) — what
+  /// KernelEvaluator::tier() actually reports after any fallback, so
+  /// tuner decisions and bench numbers are attributable.
+  std::map<std::string, std::string> UnitKernelTiers;
+
+  /// Compact "tier xN" histogram of UnitKernelTiers, e.g.
+  /// "jit x3, specialized x1" (empty when there are no units).
+  std::string kernelTierSummary() const;
 };
 
 /// How a returned simulation terminated. Failed runs return a typed

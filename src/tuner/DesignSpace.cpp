@@ -16,9 +16,14 @@ using namespace stencilflow;
 using namespace stencilflow::tuner;
 
 std::string CandidateMapping::id() const {
-  return formatString("W%d-F%d-D%d-U%d", VectorWidth, FusionPairs,
-                      MaxDevices,
-                      static_cast<int>(std::lround(TargetUtilization * 100)));
+  std::string Id =
+      formatString("W%d-F%d-D%d-U%d", VectorWidth, FusionPairs, MaxDevices,
+                   static_cast<int>(std::lround(TargetUtilization * 100)));
+  // The suffix only appears for non-default engines, keeping ids from the
+  // original four-axis space (golden trajectories, saved reports) stable.
+  if (KernelExec != compute::KernelEngine::Specialized)
+    Id += formatString("-K%s", compute::kernelEngineName(KernelExec));
+  return Id;
 }
 
 namespace {
@@ -108,28 +113,46 @@ Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
     return makeError(ErrorCode::InvalidInput,
                      "no candidate target utilization lies in (0, 1]");
 
+  // Kernel execution tiers. The axis defaults to the single Specialized
+  // tier (the tuner substitutes its base configuration's tier), so the
+  // space only grows when the caller opts in.
+  Space.Engines = Options.KernelEngines.empty()
+                      ? std::vector<compute::KernelEngine>{
+                            compute::KernelEngine::Specialized}
+                      : Options.KernelEngines;
+  sortUnique(Space.Engines);
+
   // Materialize the cross product in lexicographic axis order.
   for (int W : Space.Widths)
     for (int F : Space.Levels)
       for (int D : Space.Devices)
         for (double U : Space.Utils)
-          Space.All.push_back(CandidateMapping{W, F, D, U});
+          for (compute::KernelEngine K : Space.Engines)
+            Space.All.push_back(CandidateMapping{W, F, D, U, K});
   return Space;
 }
 
-CandidateMapping DesignSpace::at(size_t Wi, size_t Fi, size_t Di,
-                                 size_t Ui) const {
+CandidateMapping DesignSpace::at(size_t Wi, size_t Fi, size_t Di, size_t Ui,
+                                 size_t Ki) const {
   assert(Wi < Widths.size() && Fi < Levels.size() && Di < Devices.size() &&
-         Ui < Utils.size() && "axis index out of range");
-  return CandidateMapping{Widths[Wi], Levels[Fi], Devices[Di], Utils[Ui]};
+         Ui < Utils.size() && Ki < Engines.size() &&
+         "axis index out of range");
+  return CandidateMapping{Widths[Wi], Levels[Fi], Devices[Di], Utils[Ui],
+                          Engines[Ki]};
 }
 
 void DesignSpace::closestIndices(const CandidateMapping &M,
-                                 size_t Index[4]) const {
+                                 size_t Index[5]) const {
   Index[0] = closestIndex(Widths, M.VectorWidth);
   Index[1] = closestIndex(Levels, M.FusionPairs);
   Index[2] = closestIndex(Devices, M.MaxDevices);
   Index[3] = closestIndex(Utils, M.TargetUtilization);
+  // The engine axis is categorical: snap to the exact engine when present,
+  // else to the first axis value.
+  Index[4] = 0;
+  for (size_t I = 0; I != Engines.size(); ++I)
+    if (Engines[I] == M.KernelExec)
+      Index[4] = I;
 }
 
 Expected<StencilProgram>

@@ -26,6 +26,7 @@
 #ifndef STENCILFLOW_TUNER_DESIGNSPACE_H
 #define STENCILFLOW_TUNER_DESIGNSPACE_H
 
+#include "compute/Engine.h"
 #include "ir/StencilProgram.h"
 #include "support/Error.h"
 
@@ -50,7 +51,15 @@ struct CandidateMapping {
   /// Partitioner target utilization (fraction of each resource class).
   double TargetUtilization = 0.85;
 
-  /// Stable identity, e.g. "W4-F2-D2-U85" (utilization in percent).
+  /// Kernel execution tier the simulator uses for this candidate. Not a
+  /// hardware knob like the other axes, but it decides how fast the
+  /// testbed evaluates a candidate — and with Auto/Jit in the axis the
+  /// tuner can trade runtime-compile latency against steady-state speed.
+  compute::KernelEngine KernelExec = compute::KernelEngine::Specialized;
+
+  /// Stable identity, e.g. "W4-F2-D2-U85" (utilization in percent). A
+  /// "-K<engine>" suffix appears only for non-default engines so ids from
+  /// the four-axis space are unchanged.
   std::string id() const;
 
   friend bool operator==(const CandidateMapping &A,
@@ -58,7 +67,8 @@ struct CandidateMapping {
     return A.VectorWidth == B.VectorWidth &&
            A.FusionPairs == B.FusionPairs &&
            A.MaxDevices == B.MaxDevices &&
-           A.TargetUtilization == B.TargetUtilization;
+           A.TargetUtilization == B.TargetUtilization &&
+           A.KernelExec == B.KernelExec;
   }
 };
 
@@ -78,6 +88,11 @@ struct DesignSpaceOptions {
 
   /// Candidate target utilizations. Default: {0.70, 0.85, 0.95}.
   std::vector<double> TargetUtilizations;
+
+  /// Candidate kernel execution tiers. Default: the single tier of the
+  /// base configuration (so the space does not grow unless the caller
+  /// opts in, e.g. sf_tune --kernel-engines=specialized,jit,auto).
+  std::vector<compute::KernelEngine> KernelEngines;
 };
 
 /// The enumerated candidate set plus its per-axis structure (the axes are
@@ -97,18 +112,23 @@ public:
   /// Number of pairs the aggressive fusion pass would fuse.
   int maxFusionPairs() const { return MaxPairs; }
 
-  /// The axes, each sorted ascending.
+  /// The axes, each sorted ascending (engines by enum order).
   const std::vector<int> &vectorWidths() const { return Widths; }
   const std::vector<int> &fusionLevels() const { return Levels; }
   const std::vector<int> &deviceCounts() const { return Devices; }
   const std::vector<double> &targetUtilizations() const { return Utils; }
+  const std::vector<compute::KernelEngine> &kernelEngines() const {
+    return Engines;
+  }
 
-  /// The candidate at axis indices (Wi, Fi, Di, Ui).
-  CandidateMapping at(size_t Wi, size_t Fi, size_t Di, size_t Ui) const;
+  /// The candidate at axis indices (Wi, Fi, Di, Ui, Ki).
+  CandidateMapping at(size_t Wi, size_t Fi, size_t Di, size_t Ui,
+                      size_t Ki) const;
 
   /// Axis indices of the candidate closest to \p M (each axis snaps to the
-  /// nearest value; used to seed the beam search at the default mapping).
-  void closestIndices(const CandidateMapping &M, size_t Index[4]) const;
+  /// nearest value — the engine axis to an exact match, else index 0; used
+  /// to seed the beam search at the default mapping).
+  void closestIndices(const CandidateMapping &M, size_t Index[5]) const;
 
 private:
   std::vector<CandidateMapping> All;
@@ -116,6 +136,7 @@ private:
   std::vector<int> Levels;
   std::vector<int> Devices;
   std::vector<double> Utils;
+  std::vector<compute::KernelEngine> Engines;
   int MaxPairs = 0;
 };
 

@@ -12,7 +12,7 @@
 ///    is costed, in enumeration order;
 ///  - \b seeded \b beam \b search: otherwise, a beam of the currently best
 ///    mappings expands along axis neighborhoods (one step along each of
-///    the four axes), costing new points until the budget is spent or the
+///    the five axes), costing new points until the budget is spent or the
 ///    frontier stops producing unseen candidates. The initial beam is the
 ///    default mapping plus deterministically seeded random points
 ///    (support/Random, splitmix64), so identical (seed, space) inputs

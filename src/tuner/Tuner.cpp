@@ -37,6 +37,7 @@ Expected<PipelineResult> runCandidate(const StencilProgram &Program,
   O.AllowMultiDevice = true; // The mapping's device budget governs.
   O.Partitioning.MaxDevices = Mapping.MaxDevices;
   O.Partitioning.TargetUtilization = Mapping.TargetUtilization;
+  O.Simulator.KernelExec = Mapping.KernelExec;
   O.Simulator.Trace = nullptr; // One tracer cannot record N runs at once.
   return runPipeline(Applied.takeValue(), O);
 }
@@ -59,20 +60,28 @@ Expected<TuningOutcome>
 stencilflow::tuner::tuneProgram(const StencilProgram &Program,
                                 const PipelineOptions &Base,
                                 const TuneOptions &Options) {
+  // The kernel-engine axis defaults to the base configuration's tier so
+  // the space (and every existing trajectory) is unchanged unless the
+  // caller opts into exploring engines.
+  DesignSpaceOptions SpaceOpts = Options.Space;
+  if (SpaceOpts.KernelEngines.empty())
+    SpaceOpts.KernelEngines = {Base.Simulator.KernelExec};
   Expected<DesignSpace> Space = DesignSpace::enumerate(
-      Program, Options.Space, Base.Partitioning.MaxDevices);
+      Program, SpaceOpts, Base.Partitioning.MaxDevices);
   if (!Space)
     return Space.takeError().addContext("design space");
 
-  // The default mapping — unvectorized, unfused, base partitioning —
-  // snapped onto the enumerated axes so it is a point of the space.
-  size_t Index[4];
+  // The default mapping — unvectorized, unfused, base partitioning and
+  // kernel tier — snapped onto the enumerated axes so it is a point of
+  // the space.
+  size_t Index[5];
   Space->closestIndices(
       CandidateMapping{1, 0, Base.Partitioning.MaxDevices,
-                       Base.Partitioning.TargetUtilization},
+                       Base.Partitioning.TargetUtilization,
+                       Base.Simulator.KernelExec},
       Index);
-  CandidateMapping Default = Space->at(Index[0], Index[1], Index[2],
-                                       Index[3]);
+  CandidateMapping Default =
+      Space->at(Index[0], Index[1], Index[2], Index[3], Index[4]);
 
   CostModel Model(Program, Base);
   SearchResult Search =

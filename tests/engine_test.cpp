@@ -5,15 +5,20 @@
 //===----------------------------------------------------------------------===//
 //
 // Parity and tape-compilation tests for compute/Engine.h. The contract
-// under test: every tier (scalar, batched, specialized) produces the SAME
-// BITS as the reference Kernel::evaluate interpreter, for every opcode,
-// for NaN/Inf inputs, for drain-padding zero lanes, and end-to-end through
-// both simulation engines.
+// under test: every tier (scalar, batched, specialized, jit — and the
+// per-unit auto mode) produces the SAME BITS as the reference
+// Kernel::evaluate interpreter, for every opcode, for NaN/Inf inputs, for
+// drain-padding zero lanes, and end-to-end through both simulation
+// engines. The jit tier is covered through the same helpers: when no host
+// compiler is available it degrades to specialized, so the parity
+// assertions still hold (the directed jit tests guard on
+// jit::compilerAvailable() where the Jit tier itself is asserted).
 //
 //===----------------------------------------------------------------------===//
 
 #include "common/TestPrograms.h"
 #include "compute/Engine.h"
+#include "compute/Jit.h"
 #include "compute/Kernel.h"
 #include "core/CompiledProgram.h"
 #include "core/DataflowAnalysis.h"
@@ -24,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -88,8 +94,9 @@ void expectTierParity(const Kernel &Krn, int Lanes,
                              static_cast<size_t>(Lane)];
     Reference[static_cast<size_t>(Lane)] = Krn.evaluate(Column);
   }
-  for (KernelEngine Tier : {KernelEngine::Scalar, KernelEngine::Batched,
-                            KernelEngine::Specialized}) {
+  for (KernelEngine Tier :
+       {KernelEngine::Scalar, KernelEngine::Batched, KernelEngine::Specialized,
+        KernelEngine::Jit, KernelEngine::Auto}) {
     std::vector<double> Out = evalTier(Krn, Tier, Lanes, SoAInputs);
     for (int Lane = 0; Lane != Lanes; ++Lane) {
       double Got = Out[static_cast<size_t>(Lane)];
@@ -236,7 +243,8 @@ template <class BuilderFn>
 void expectMachineParity(BuilderFn Build, const std::string &Context) {
   auto Reference =
       runMachine(Build(), KernelEngine::Scalar, sim::SimEngine::Serial);
-  for (KernelEngine Exec : {KernelEngine::Batched, KernelEngine::Specialized})
+  for (KernelEngine Exec : {KernelEngine::Batched, KernelEngine::Specialized,
+                            KernelEngine::Jit, KernelEngine::Auto})
     for (sim::SimEngine Engine :
          {sim::SimEngine::Serial, sim::SimEngine::Parallel}) {
       auto Outputs = runMachine(Build(), Exec, Engine);
@@ -260,8 +268,9 @@ void expectMachineParity(BuilderFn Build, const std::string &Context) {
 //===----------------------------------------------------------------------===//
 
 TEST(EngineTest, NameRoundTrip) {
-  for (KernelEngine Engine : {KernelEngine::Scalar, KernelEngine::Batched,
-                              KernelEngine::Specialized}) {
+  for (KernelEngine Engine :
+       {KernelEngine::Scalar, KernelEngine::Batched, KernelEngine::Specialized,
+        KernelEngine::Jit, KernelEngine::Auto}) {
     auto Parsed = parseKernelEngine(kernelEngineName(Engine));
     ASSERT_TRUE(Parsed) << Parsed.message();
     EXPECT_EQ(*Parsed, Engine);
@@ -511,6 +520,168 @@ TEST(EngineTest, MachineParityRandomPrograms) {
                       "randomProgram seed=9 W=1");
 }
 
+TEST(EngineTest, JitTierReporting) {
+  if (!jit::compilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler on PATH";
+  Kernel Krn = compileKernel(
+      "out = a[-1, 0] + a[1, 0] + a[0, -1] + a[0, 1] - 4.0 * a[0, 0];");
+  jit::CacheStats Before = jit::cacheStats();
+  KernelEvaluator Eval = KernelEvaluator::compile(Krn, KernelEngine::Jit, 8);
+  EXPECT_EQ(Eval.tier(), KernelEngine::Jit);
+  EXPECT_EQ(Eval.specialization(), "jit");
+  EXPECT_EQ(Eval.scratchDoubles(), 0u);
+  // The fused Laplacian tape: 5 inputs + the 4.0 constant + 3 adds + a
+  // mul-sub (the jit reports tape ops, not chain terms).
+  EXPECT_EQ(Eval.tapeLength(), 10u);
+
+  // A second compile of the same (tape, width) must hit the cache, and
+  // the cached object stays mapped while any evaluator references it.
+  KernelEvaluator Again = KernelEvaluator::compile(Krn, KernelEngine::Jit, 8);
+  EXPECT_EQ(Again.tier(), KernelEngine::Jit);
+  jit::CacheStats After = jit::cacheStats();
+  EXPECT_GT(After.Entries, 0u);
+  EXPECT_GT(After.Hits, Before.Hits);
+
+  Random Rng(909);
+  for (int Round = 0; Round != 4; ++Round)
+    expectTierParity(Krn, 8,
+                     randomSoA(Rng, Krn.inputs().size(), 8, Round % 2 == 1),
+                     formatString("jit laplace round=%d", Round));
+}
+
+TEST(EngineTest, JitSourceEmitsRoundingDiscipline) {
+  // The emitted translation unit must round after every op and embed
+  // constants as bit patterns — never decimal literals that could
+  // round-trip differently.
+  Kernel Krn = compileKernel("out = a[0, 0] * 0.1 + a[0, 1];");
+  KernelEvaluator Probe =
+      KernelEvaluator::compile(Krn, KernelEngine::Batched, 4);
+  ASSERT_GT(Probe.tapeLength(), 0u);
+  // Rebuild the fused tape the way compile() does is private; instead
+  // golden-check emitTapeSource on a hand-made tape.
+  std::vector<TapeOp> Ops(3);
+  Ops[0].Op = TapeOp::Kind::Input;
+  Ops[0].Dst = 0;
+  Ops[0].InputIndex = 0;
+  Ops[1].Op = TapeOp::Kind::Const;
+  Ops[1].Dst = 1;
+  Ops[1].Constant = 0.1;
+  Ops[2].Op = TapeOp::Kind::MulAdd;
+  Ops[2].Dst = 2;
+  Ops[2].A = 0;
+  Ops[2].B = 0;
+  Ops[2].C = 1;
+  std::string Source =
+      jit::emitTapeSource(Ops, 2, DataType::Float32, 4);
+  EXPECT_NE(Source.find("(double)(float)"), std::string::npos)
+      << Source;
+  EXPECT_NE(Source.find("sf_c(0x3fb999999999999aULL)"), std::string::npos)
+      << Source;
+  EXPECT_NE(Source.find("sf_jit_eval"), std::string::npos);
+  EXPECT_EQ(Source.find("0.1"), std::string::npos)
+      << "constants must be bit patterns, not decimal literals\n" << Source;
+  // The F64 variant must not narrow through float.
+  std::string F64 = jit::emitTapeSource(Ops, 2, DataType::Float64, 4);
+  EXPECT_EQ(F64.find("(double)(float)"), std::string::npos) << F64;
+}
+
+TEST(EngineTest, JitIrregularTapeParity) {
+  // The tapes the specialized chain matcher REJECTS — hdiff-style selects
+  // and flux limiting, jacobi3d-shaped non-chain groupings — are exactly
+  // where the jit tier must carry its weight. Assert it actually jits
+  // (no silent fallback) and stays bit-exact under NaN/Inf inputs.
+  if (!jit::compilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler on PATH";
+  const struct {
+    const char *Name;
+    const char *Source;
+  } Cases[] = {
+      {"hdiff-flux",
+       "lap = a[0, 1] + a[0, -1] + a[1, 0] + a[-1, 0] - 4.0 * a[0, 0];"
+       "flx = lap * (a[0, 1] - a[0, 0]);"
+       "out = flx * (a[0, 1] - a[0, 0]) > 0.0 ? 0.0 : flx;"},
+      {"jacobi3d-grouped",
+       "out = ((a[0, -1] + a[0, 1]) + (a[-1, 0] + a[1, 0])) * 0.25 "
+       "      / (1.0 + b[0, 0] * b[0, 0]);"},
+  };
+  for (const auto &C : Cases) {
+    for (DataType Type : {DataType::Float32, DataType::Float64}) {
+      Kernel Krn = compileKernel(C.Source, {"a", "b"}, {}, Type);
+      KernelEvaluator Eval =
+          KernelEvaluator::compile(Krn, KernelEngine::Jit, 8);
+      ASSERT_EQ(Eval.tier(), KernelEngine::Jit) << C.Name;
+      // These shapes must NOT chain-match — that is the point.
+      ASSERT_EQ(
+          KernelEvaluator::compile(Krn, KernelEngine::Specialized, 8).tier(),
+          KernelEngine::Batched)
+          << C.Name << " unexpectedly specialized";
+      Random Rng(Type == DataType::Float32 ? 707 : 808);
+      for (int Lanes : {1, 4, 8})
+        for (int Round = 0; Round != 6; ++Round)
+          expectTierParity(
+              Krn, Lanes,
+              randomSoA(Rng, Krn.inputs().size(), Lanes, Round % 2 == 1),
+              formatString("%s type=%d lanes=%d round=%d", C.Name,
+                           static_cast<int>(Type), Lanes, Round));
+    }
+  }
+}
+
+TEST(EngineTest, JitFallsBackWithoutCompiler) {
+  // Pointing the compiler override at a nonexistent binary forces the
+  // no-toolchain path: compile(Jit) must degrade gracefully — to the
+  // chain specialization when one matches, else the batched tape — and
+  // still evaluate correctly. Distinct sources/widths from every other
+  // test so the process-wide cache cannot mask the failure path.
+  ASSERT_EQ(setenv("STENCILFLOW_JIT_CXX", "/nonexistent/sf-jit-cxx", 1), 0);
+  struct Restore {
+    ~Restore() { unsetenv("STENCILFLOW_JIT_CXX"); }
+  } RestoreEnv;
+  EXPECT_FALSE(jit::compilerAvailable());
+
+  Kernel Chain = compileKernel(
+      "out = a[0, 0] * 1.2345 + a[0, 1] * 9.876 + a[0, -1];");
+  KernelEvaluator Spec = KernelEvaluator::compile(Chain, KernelEngine::Jit, 2);
+  EXPECT_EQ(Spec.tier(), KernelEngine::Specialized);
+  EXPECT_EQ(Spec.specialization(), "weighted-sum-chain");
+
+  Kernel Irregular = compileKernel(
+      "out = a[0, 0] > 1.5 ? a[0, 1] * 3.25 : a[0, -1] / 1.75;");
+  KernelEvaluator Tape =
+      KernelEvaluator::compile(Irregular, KernelEngine::Jit, 2);
+  EXPECT_EQ(Tape.tier(), KernelEngine::Batched);
+
+  // Auto must also degrade without a compiler.
+  KernelEvaluator Auto =
+      KernelEvaluator::compile(Irregular, KernelEngine::Auto, 2);
+  EXPECT_NE(Auto.tier(), KernelEngine::Jit);
+
+  Random Rng(1234);
+  for (const Kernel *K : {&Chain, &Irregular})
+    expectTierParity(*K, 2, randomSoA(Rng, K->inputs().size(), 2, false),
+                     "no-compiler fallback");
+}
+
+TEST(EngineTest, AutoSelectsPerKernel) {
+  // The per-kernel policy: trivial copies stay on the specialized chain
+  // (no compile spawned), substantial tapes prefer the jit when a
+  // compiler exists.
+  Kernel Copy = compileKernel("out = a[0, 0];");
+  KernelEvaluator Triv = KernelEvaluator::compile(Copy, KernelEngine::Auto, 8);
+  EXPECT_EQ(Triv.tier(), KernelEngine::Specialized);
+
+  Kernel Big = compileKernel(
+      "out = a[-1, 0] + a[1, 0] + a[0, -1] + a[0, 1] - 4.0 * a[0, 0];");
+  KernelEvaluator Chosen = KernelEvaluator::compile(Big, KernelEngine::Auto, 8);
+  if (jit::compilerAvailable()) {
+    EXPECT_EQ(Chosen.tier(), KernelEngine::Jit);
+  } else {
+    EXPECT_EQ(Chosen.tier(), KernelEngine::Specialized);
+  }
+  // tier() never reports the Auto mode itself.
+  EXPECT_NE(Chosen.tier(), KernelEngine::Auto);
+}
+
 TEST(EngineTest, MachineReportsKernelEngine) {
   StencilProgram Program = laplace2d(12, 12);
   sim::SimConfig Config;
@@ -527,4 +698,37 @@ TEST(EngineTest, MachineReportsKernelEngine) {
   EXPECT_EQ(Result->Stats.KernelExec, "specialized");
   // The Laplacian is a weighted sum: its unit must have specialized.
   EXPECT_GE(Result->Stats.SpecializedUnits, 1);
+  // The effective tier is visible per unit, not just as a count.
+  ASSERT_FALSE(Result->Stats.UnitKernelTiers.empty());
+  for (const auto &[Unit, Tier] : Result->Stats.UnitKernelTiers)
+    EXPECT_EQ(Tier, "specialized") << Unit;
+  EXPECT_EQ(Result->Stats.kernelTierSummary(), "specialized x1");
+}
+
+TEST(EngineTest, MachineReportsEffectiveJitTiers) {
+  // Requesting jit must surface the per-unit effective tier — jitted
+  // units counted and named — so silent degradation is visible.
+  if (!jit::compilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler on PATH";
+  StencilProgram Program = diamondProgram(10, 10);
+  sim::SimConfig Config;
+  Config.UnconstrainedMemory = true;
+  Config.KernelExec = KernelEngine::Jit;
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  ASSERT_TRUE(Compiled) << Compiled.message();
+  auto Dataflow = analyzeDataflow(*Compiled);
+  ASSERT_TRUE(Dataflow) << Dataflow.message();
+  auto M = sim::Machine::build(*Compiled, *Dataflow, nullptr, Config);
+  ASSERT_TRUE(M) << M.message();
+  auto Result = M->run(materializeInputs(Compiled->program()));
+  ASSERT_TRUE(Result) << Result.message();
+  EXPECT_EQ(Result->Stats.KernelExec, "jit");
+  EXPECT_GE(Result->Stats.JittedUnits, 1);
+  ASSERT_FALSE(Result->Stats.UnitKernelTiers.empty());
+  int64_t Jitted = 0;
+  for (const auto &[Unit, Tier] : Result->Stats.UnitKernelTiers)
+    Jitted += Tier == "jit" ? 1 : 0;
+  EXPECT_EQ(Jitted, Result->Stats.JittedUnits);
+  EXPECT_NE(Result->Stats.kernelTierSummary().find("jit x"),
+            std::string::npos);
 }

@@ -19,6 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <unistd.h>
+
 using namespace stencilflow;
 using namespace stencilflow::sim;
 using namespace stencilflow::testing;
@@ -378,4 +381,54 @@ TEST(MetricsCsvTest, StallRowsMatchStats) {
       formatString("writer,b,stall.input-starved,%lld",
                    static_cast<long long>(W[StallCause::InputStarved]));
   EXPECT_NE(Csv.find(Expected), std::string::npos) << Csv;
+}
+
+//===----------------------------------------------------------------------===//
+// writeTextFile
+//===----------------------------------------------------------------------===//
+
+TEST(WriteTextFileTest, RoundTripsContent) {
+  std::string Path = ::testing::TempDir() + "/sf_trace_roundtrip.txt";
+  std::string Text = "line one\nline two\n";
+  Error Err = writeTextFile(Path, Text);
+  EXPECT_FALSE(Err) << Err.message();
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  std::string Read(Text.size() + 16, '\0');
+  Read.resize(std::fread(Read.data(), 1, Read.size(), File));
+  std::fclose(File);
+  std::remove(Path.c_str());
+  EXPECT_EQ(Read, Text);
+}
+
+TEST(WriteTextFileTest, OpenFailureNamesThePathAndCause) {
+  Error Err = writeTextFile("/nonexistent-sf-dir/out.txt", "x");
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.message().find("/nonexistent-sf-dir/out.txt"),
+            std::string::npos)
+      << Err.message();
+  // The errno context (ENOENT) must be part of the diagnostic.
+  EXPECT_NE(Err.message().find("No such file or directory"),
+            std::string::npos)
+      << Err.message();
+}
+
+TEST(WriteTextFileTest, ShortWriteReportsErrorAndClosesStream) {
+  // /dev/full accepts the open but fails the flush with ENOSPC, which is
+  // exactly the short-write path that used to leak the FILE* (the old
+  // code short-circuited `fwrite(...) == size && fclose(...)`, skipping
+  // fclose whenever the write came up short). The payload is larger than
+  // any stdio buffer so the failure cannot hide in buffering. Running
+  // this test under ASan's leak checker (the sanitize CI job) verifies
+  // the stream is closed on the error path.
+  if (access("/dev/full", W_OK) != 0)
+    GTEST_SKIP() << "/dev/full not writable on this system";
+  std::string Payload(1 << 20, 'x');
+  Error Err = writeTextFile("/dev/full", Payload);
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_NE(Err.message().find("/dev/full"), std::string::npos)
+      << Err.message();
+  EXPECT_NE(Err.message().find("No space left on device"),
+            std::string::npos)
+      << Err.message();
 }

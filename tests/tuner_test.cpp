@@ -114,15 +114,84 @@ TEST(TunerTest, DesignSpaceRespectsDivisibilityAndCaps) {
   EXPECT_EQ(Space->vectorWidths(), (std::vector<int>{1, 2, 4}));
   for (int D : Space->deviceCounts())
     EXPECT_LE(D, 4);
+  // Without an explicit engine axis the space keeps a single tier, so
+  // its size (and every candidate id) is unchanged from the 4-axis days.
+  EXPECT_EQ(Space->kernelEngines(),
+            (std::vector<compute::KernelEngine>{
+                compute::KernelEngine::Specialized}));
   EXPECT_EQ(Space->size(), Space->vectorWidths().size() *
                                Space->fusionLevels().size() *
                                Space->deviceCounts().size() *
-                               Space->targetUtilizations().size());
+                               Space->targetUtilizations().size() *
+                               Space->kernelEngines().size());
   // Enumeration order is deterministic lexicographic.
   std::vector<std::string> Ids;
   for (const CandidateMapping &M : Space->candidates())
     Ids.push_back(M.id());
   EXPECT_TRUE(std::adjacent_find(Ids.begin(), Ids.end()) == Ids.end());
+}
+
+TEST(TunerTest, KernelEngineAxisExpandsTheSpace) {
+  StencilProgram P = workloads::diffusion2dChain(2, 16, 12);
+  DesignSpaceOptions Options;
+  Options.KernelEngines = {compute::KernelEngine::Specialized,
+                           compute::KernelEngine::Jit,
+                           compute::KernelEngine::Auto};
+  Expected<DesignSpace> Space =
+      DesignSpace::enumerate(P, Options, /*MaxDevicesCap=*/4);
+  ASSERT_TRUE(Space) << Space.message();
+  EXPECT_EQ(Space->kernelEngines().size(), 3u);
+  EXPECT_EQ(Space->size(), Space->vectorWidths().size() *
+                               Space->fusionLevels().size() *
+                               Space->deviceCounts().size() *
+                               Space->targetUtilizations().size() * 3u);
+  // Ids stay unique, and only non-default engines carry the -K suffix —
+  // the specialized candidates keep their golden 4-axis ids.
+  std::vector<std::string> Ids;
+  size_t Suffixed = 0;
+  for (const CandidateMapping &M : Space->candidates()) {
+    Ids.push_back(M.id());
+    bool HasSuffix = M.id().find("-K") != std::string::npos;
+    EXPECT_EQ(HasSuffix,
+              M.KernelExec != compute::KernelEngine::Specialized)
+        << M.id();
+    Suffixed += HasSuffix ? 1 : 0;
+  }
+  EXPECT_EQ(Suffixed, Space->size() / 3 * 2);
+  std::sort(Ids.begin(), Ids.end());
+  EXPECT_TRUE(std::adjacent_find(Ids.begin(), Ids.end()) == Ids.end());
+
+  // closestIndices snaps the engine axis to an exact match.
+  size_t Index[5];
+  Space->closestIndices(
+      CandidateMapping{1, 0, 1, 0.85, compute::KernelEngine::Auto}, Index);
+  EXPECT_EQ(Space->at(Index[0], Index[1], Index[2], Index[3],
+                      Index[4]).KernelExec,
+            compute::KernelEngine::Auto);
+}
+
+TEST(TunerTest, TunesAcrossKernelEngineAxis) {
+  // End-to-end with the engine axis opted in: the tuned plan must carry a
+  // concrete engine, the report serializes it per candidate, and the run
+  // validates. The axis multiplies the space, so keep the budget small.
+  TuneOptions Opts;
+  Opts.Search.CandidateBudget = 12;
+  Opts.TopK = 2;
+  Opts.Space.KernelEngines = {compute::KernelEngine::Specialized,
+                              compute::KernelEngine::Auto};
+  TuningOutcome Out = tuneOrDie(smallDiffusion(), Opts);
+  EXPECT_TRUE(Out.BestRun.ValidationPassed);
+  bool SawEngine = false;
+  for (const CandidateRecord &R : Out.Report.Candidates)
+    SawEngine |= R.Mapping.KernelExec != compute::KernelEngine::Specialized;
+  // The beam explores both engine values of at least one neighborhood.
+  EXPECT_TRUE(SawEngine);
+
+  Expected<json::Value> Doc = json::parse(Out.Report.toJson());
+  ASSERT_TRUE(Doc) << Doc.message();
+  for (const json::Value &V :
+       Doc->getObject().get("candidates")->getArray())
+    EXPECT_TRUE(V.getObject().contains("kernel_engine"));
 }
 
 TEST(TunerTest, ApplyMappingRejectsIllegalWidth) {
@@ -150,6 +219,18 @@ TEST(TunerTest, SameSeedSameSpaceSamePlanAndReport) {
   EXPECT_EQ(A.Best.id(), B.Best.id());
   EXPECT_EQ(trajectoryOf(A.Report), trajectoryOf(B.Report));
   EXPECT_EQ(A.Report.toJson(), B.Report.toJson());
+
+  // The seed reaches the report (the CLI plumbs --seed/--tune-seed into
+  // Search.Seed; a hardcoded seed would make those flags silent no-ops).
+  EXPECT_EQ(A.Report.Seed, 1234u);
+  Opts.Workers = 0;
+  Opts.Search.Seed = 4321;
+  TuningOutcome C = tuneOrDie(smallDiffusion(), Opts);
+  EXPECT_EQ(C.Report.Seed, 4321u);
+  // And identical (seed, space) stays deterministic for the new seed too.
+  TuningOutcome D = tuneOrDie(smallDiffusion(), Opts);
+  EXPECT_EQ(trajectoryOf(C.Report), trajectoryOf(D.Report));
+  EXPECT_EQ(C.Report.toJson(), D.Report.toJson());
 }
 
 TEST(TunerTest, ExhaustiveSweepCoversTheWholeSpace) {

@@ -53,6 +53,17 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def check_positive(times, path):
+    """A zero or negative cpu_time (a fresh/empty/hand-edited BENCH file)
+    would crash the geomean or the per-benchmark ratio below; fail with a
+    clear message instead of a traceback."""
+    bad = sorted(name for name, t in times.items() if t <= 0)
+    if bad:
+        sys.exit(f"error: non-positive cpu_time in {path} for: "
+                 + ", ".join(bad)
+                 + " (regenerate the file; every median must be > 0)")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -92,9 +103,13 @@ def main():
         return 0
 
     baseline = load_times(args.baseline)
+    if not baseline:
+        sys.exit("error: no benchmarks in " + args.baseline)
     common = sorted(set(baseline) & set(current))
     if not common:
         sys.exit("error: no common benchmarks between baseline and current")
+    check_positive({n: baseline[n] for n in common}, args.baseline)
+    check_positive({n: current[n] for n in common}, args.current)
     missing = sorted(set(baseline) - set(current))
     if missing:
         print("warning: not in current run: " + ", ".join(missing))
