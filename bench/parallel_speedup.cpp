@@ -189,7 +189,7 @@ int main(int argc, char **argv) {
 
   if (Args->has("csv")) {
     std::string Path = Args->getString("csv");
-    if (Error Err = sim::writeTextFile(Path, Csv))
+    if (Error Err = sim::writeTextFileAtomic(Path, Csv))
       std::fprintf(stderr, "error: %s\n", Err.message().c_str());
     else
       std::printf("\ncsv: wrote %s\n", Path.c_str());

@@ -33,10 +33,19 @@
 // --tune-json dumps the machine-readable TuningReport. Sample descriptions
 // live in examples/programs/.
 //
+// --checkpoint-dir enables crash-safe snapshots (sim/Checkpoint.h):
+// --checkpoint-every sets the cycle cadence, --checkpoint-every-seconds the
+// wall-clock cadence, --checkpoint-keep the retention bound, and --resume
+// restarts from a snapshot file or from the latest snapshot in a directory
+// (cycle- and bit-exact with the uninterrupted run).
+// --crash-after-checkpoints N is the crash-consistency test hook: the
+// process SIGKILLs itself right after the N-th snapshot is persisted.
+//
 // The exit code classifies the outcome so CI scripts can branch on it:
 // 0 success, 1 unclassified error, 2 validation mismatch, 3 deadlock,
 // 4 cycle limit, 5 device lost, 6 link failure, 7 data corruption,
-// 8 starvation (see support/Error.h exitCodeFor).
+// 8 starvation, 9 invalid snapshot, 10 incompatible snapshot (see
+// support/Error.h exitCodeFor).
 //
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +64,9 @@ int main(int argc, char **argv) {
       {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
        "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
        "parallel", "threads", "kernel-engine", "auto-tune", "tune-budget",
-       "tune-seed", "tune-json"});
+       "tune-seed", "tune-json", "checkpoint-dir", "checkpoint-every",
+       "checkpoint-every-seconds", "checkpoint-keep", "resume",
+       "crash-after-checkpoints"});
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
@@ -70,7 +81,11 @@ int main(int argc, char **argv) {
                          "[--kernel-engine "
                          "scalar|batched|specialized|jit|auto] "
                          "[--auto-tune] [--tune-budget N] "
-                         "[--tune-seed N] [--tune-json FILE]\n");
+                         "[--tune-seed N] [--tune-json FILE] "
+                         "[--checkpoint-dir DIR] [--checkpoint-every N] "
+                         "[--checkpoint-every-seconds S] "
+                         "[--checkpoint-keep K] [--resume PATH|DIR] "
+                         "[--crash-after-checkpoints N]\n");
     return 1;
   }
 
@@ -119,6 +134,20 @@ int main(int argc, char **argv) {
     S->kernelEngine(*Engine);
   }
 
+  if (Args->has("checkpoint-dir")) {
+    sim::SimConfig &Sim = S->pipelineOptions().Simulator;
+    Sim.CheckpointDir = Args->getString("checkpoint-dir");
+    Sim.CheckpointEveryCycles = Args->getInt("checkpoint-every", 0);
+    Sim.CheckpointEverySeconds =
+        static_cast<double>(Args->getInt("checkpoint-every-seconds", 0));
+    Sim.CheckpointKeep =
+        static_cast<int>(Args->getInt("checkpoint-keep", 3));
+    Sim.CheckpointCrashAfter =
+        static_cast<int>(Args->getInt("crash-after-checkpoints", 0));
+  }
+  if (Args->has("resume"))
+    S->resumeFrom(Args->getString("resume"));
+
   if (Args->has("parallel")) {
     if (Args->has("trace"))
       std::fprintf(stderr, "warning: tracing requires the serial engine; "
@@ -145,7 +174,7 @@ int main(int argc, char **argv) {
     std::printf("%s", Tuned->Report.summary().c_str());
     if (Args->has("tune-json")) {
       std::string Path = Args->getString("tune-json");
-      if (Error Err = sim::writeTextFile(Path, Tuned->Report.toJson()))
+      if (Error Err = sim::writeTextFileAtomic(Path, Tuned->Report.toJson()))
         std::fprintf(stderr, "error: %s\n", Err.message().c_str());
       else
         std::printf("report: wrote %s\n", Path.c_str());
@@ -188,7 +217,7 @@ int main(int argc, char **argv) {
 
   if (Args->has("metrics")) {
     std::string Path = Args->getString("metrics");
-    if (Error Err = sim::writeTextFile(
+    if (Error Err = sim::writeTextFileAtomic(
             Path, sim::formatMetricsCsv(Result->Simulation.Stats)))
       std::fprintf(stderr, "error: %s\n", Err.message().c_str());
     else

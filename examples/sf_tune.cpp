@@ -166,7 +166,7 @@ int main(int argc, char **argv) {
 
   if (Args->has("json")) {
     std::string Path = Args->getString("json");
-    if (Error Err = sim::writeTextFile(Path, Report.toJson())) {
+    if (Error Err = sim::writeTextFileAtomic(Path, Report.toJson())) {
       std::fprintf(stderr, "error: %s\n", Err.message().c_str());
       return 1;
     }

@@ -14,6 +14,7 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,10 @@
 #include <utility>
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 using namespace stencilflow;
@@ -103,11 +108,75 @@ bool writeFile(const std::string &Path, const std::string &Text) {
   return Written == Text.size() && Closed;
 }
 
+/// Wall-clock bound on one compiler invocation, from the
+/// STENCILFLOW_JIT_TIMEOUT_S environment variable (seconds; 0 or a
+/// non-numeric value disables the bound). A hung or thrashing host
+/// compiler must degrade the run to the Specialized tier, not wedge it.
+double jitTimeoutSeconds() {
+  const char *Env = std::getenv("STENCILFLOW_JIT_TIMEOUT_S");
+  if (!Env || !*Env)
+    return 60.0;
+  char *End = nullptr;
+  double Seconds = std::strtod(Env, &End);
+  if (End == Env || Seconds < 0.0)
+    return 0.0;
+  return Seconds;
+}
+
+/// Runs `Compiler -O2 -fPIC -shared -ffp-contract=off -o So Cpp` directly
+/// (no shell) in its own process group, killing the whole group if it
+/// outlives the wall-clock budget. Returns true on a zero exit; sets
+/// \p TimedOut when the bound fired.
+bool runCompiler(const std::string &Compiler, const std::string &So,
+                 const std::string &Cpp, bool &TimedOut) {
+  TimedOut = false;
+  double TimeoutS = jitTimeoutSeconds();
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return false;
+  if (Pid == 0) {
+    // Child: own process group, so a timeout kill reaps cc1plus/ld too.
+    ::setpgid(0, 0);
+    int Null = ::open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      ::dup2(Null, STDOUT_FILENO);
+      ::dup2(Null, STDERR_FILENO);
+      ::close(Null);
+    }
+    ::execl(Compiler.c_str(), Compiler.c_str(), "-O2", "-fPIC", "-shared",
+            "-ffp-contract=off", "-o", So.c_str(), Cpp.c_str(),
+            static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+  ::setpgid(Pid, Pid); // Also from the parent: close the fork/exec race.
+
+  const long PollNs = 10 * 1000 * 1000; // 10 ms.
+  double WaitedS = 0.0;
+  for (;;) {
+    int Status = 0;
+    pid_t Done = ::waitpid(Pid, &Status, WNOHANG);
+    if (Done == Pid)
+      return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+    if (Done < 0 && errno != EINTR)
+      return false;
+    if (TimeoutS > 0.0 && WaitedS >= TimeoutS) {
+      TimedOut = true;
+      ::kill(-Pid, SIGKILL);
+      ::waitpid(Pid, &Status, 0);
+      return false;
+    }
+    struct timespec Ts = {0, PollNs};
+    ::nanosleep(&Ts, nullptr);
+    WaitedS += static_cast<double>(PollNs) * 1e-9;
+  }
+}
+
 /// Builds \p Source into a shared object and returns the dlopened,
 /// dlsym'd entry point; empty on any failure. All temporary files are
 /// removed before returning (the mapping survives the unlink).
 JitKernel buildSharedObject(const std::string &Compiler,
-                            const std::string &Source) {
+                            const std::string &Source, bool &TimedOut) {
+  TimedOut = false;
   const char *TmpEnv = std::getenv("TMPDIR");
   std::string Template =
       std::string(TmpEnv && *TmpEnv ? TmpEnv : "/tmp") + "/sf-jit-XXXXXX";
@@ -131,11 +200,7 @@ JitKernel buildSharedObject(const std::string &Compiler,
   }
   // Same contraction discipline as sf_compute: two explicit roundings in
   // the fused ops must stay two roundings.
-  std::string Command = formatString(
-      "'%s' -O2 -fPIC -shared -ffp-contract=off -o '%s' '%s' "
-      ">/dev/null 2>&1",
-      Compiler.c_str(), So.c_str(), Cpp.c_str());
-  if (std::system(Command.c_str()) != 0) {
+  if (!runCompiler(Compiler, So, Cpp, TimedOut)) {
     Cleanup();
     return Result;
   }
@@ -356,13 +421,16 @@ JitKernel jit::compileTape(const std::vector<TapeOp> &Ops, int32_t OutReg,
     ++C.Stats.Failures;
     return {};
   }
-  JitKernel Built =
-      buildSharedObject(Compiler, emitTapeSource(Ops, OutReg, Type, Lanes));
+  bool TimedOut = false;
+  JitKernel Built = buildSharedObject(
+      Compiler, emitTapeSource(Ops, OutReg, Type, Lanes), TimedOut);
   if (!Built) {
     // Not cached: a transient failure (full /tmp, OOM compiler) should not
     // poison later attempts, and the common miss (no compiler) never gets
     // this far.
     ++C.Stats.Failures;
+    if (TimedOut)
+      ++C.Stats.Timeouts;
     return Built;
   }
   ++C.Stats.Misses;

@@ -92,12 +92,16 @@ JitKernel compileTape(const std::vector<TapeOp> &Ops, int32_t OutReg,
                       DataType Type, int Lanes);
 
 /// Observability for tests and stats: cache hits/misses/failures since
-/// process start, and the number of live cached objects.
+/// process start, and the number of live cached objects. Timeouts counts
+/// compiler invocations killed by the wall-clock bound (the
+/// STENCILFLOW_JIT_TIMEOUT_S environment variable, default 60 seconds;
+/// 0 disables); each timeout is also a failure.
 struct CacheStats {
   size_t Entries = 0;
   size_t Hits = 0;
   size_t Misses = 0;
   size_t Failures = 0;
+  size_t Timeouts = 0;
 };
 CacheStats cacheStats();
 

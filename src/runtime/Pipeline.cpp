@@ -8,6 +8,7 @@
 
 #include "core/ValidRegion.h"
 #include "runtime/InputData.h"
+#include "sim/Checkpoint.h"
 #include "compute/Simplify.h"
 #include "frontend/SemanticAnalysis.h"
 #include "sdfg/StencilFusion.h"
@@ -85,6 +86,29 @@ stencilflow::runPipeline(StencilProgram Program,
     auto Inputs = materializeInputs(Result.Compiled.program());
     sim::SimConfig SimConfig = Options.Simulator;
     sim::FaultPlan SurvivorPlan; // Retry plan: device failures stripped.
+
+    // Explicit resume: the user pointed at a snapshot (or a directory of
+    // them); failing to load it is a hard error, unlike the best-effort
+    // automatic reload on device loss below.
+    sim::MachineSnapshot ResumeSnap;
+    bool HaveResume = false;
+    if (!Options.ResumeFrom.empty()) {
+      Expected<std::string> Latest =
+          sim::findLatestSnapshot(Options.ResumeFrom);
+      if (!Latest)
+        return Latest.takeError().addContext("resolving --resume");
+      Expected<sim::MachineSnapshot> Snap =
+          sim::readSnapshotFile((*Latest));
+      if (!Snap)
+        return Snap.takeError().addContext("loading resume snapshot");
+      ResumeSnap = Snap.takeValue();
+      HaveResume = true;
+      Result.Recovery.Log.push_back(formatString(
+          "resuming from snapshot '%s' at cycle %lld",
+          (*Latest).c_str(),
+          static_cast<long long>(ResumeSnap.Cycle)));
+    }
+
     for (int Attempt = 1;; ++Attempt) {
       Result.Recovery.Attempts = Attempt;
       Expected<sim::Machine> M = sim::Machine::build(
@@ -93,9 +117,13 @@ stencilflow::runPipeline(StencilProgram Program,
           SimConfig);
       if (!M)
         return M.takeError().addContext("simulator construction");
-      Expected<sim::SimResult, sim::SimFailure> Sim = M->run(Inputs);
+      Expected<sim::SimResult, sim::SimFailure> Sim =
+          M->run(Inputs, HaveResume ? &ResumeSnap : nullptr);
       if (Sim) {
         Result.Simulation = Sim.takeValue();
+        if (Result.Simulation.Stats.ResumedFromCycle >= 0)
+          Result.Recovery.CyclesSavedByCheckpoint =
+              Result.Simulation.Stats.ResumedFromCycle;
         for (const auto &[Name, Link] : Result.Simulation.Stats.Links) {
           Result.Recovery.Retransmissions += Link.Retransmissions;
           Result.Recovery.CorruptedVectors += Link.CorruptedVectors;
@@ -133,6 +161,35 @@ stencilflow::runPipeline(StencilProgram Program,
           "across a pool of %d surviving device(s)",
           Attempt, Failure.FailedDevice,
           static_cast<long long>(Failure.Cycle), Survivors));
+
+      // Incremental recovery: when the run was checkpointing, reload the
+      // latest snapshot and rehydrate it onto the survivor placement so
+      // the retry replays only the tail since that snapshot instead of
+      // the whole run. Best-effort — a missing or unreadable snapshot
+      // falls back to the pre-checkpoint behavior (restart from zero).
+      HaveResume = false;
+      if (!SimConfig.CheckpointDir.empty()) {
+        Expected<std::string> Latest =
+            sim::findLatestSnapshot(SimConfig.CheckpointDir);
+        Expected<sim::MachineSnapshot> Snap =
+            Latest ? sim::readSnapshotFile((*Latest))
+                   : Expected<sim::MachineSnapshot>(Latest.takeError());
+        if (Snap) {
+          ResumeSnap = Snap.takeValue();
+          HaveResume = true;
+          Result.Recovery.Log.push_back(formatString(
+              "attempt %d: rehydrating survivors from checkpoint at "
+              "cycle %lld (skipping %lld completed cycle(s))",
+              Attempt + 1, static_cast<long long>(ResumeSnap.Cycle),
+              static_cast<long long>(ResumeSnap.Cycle)));
+        } else {
+          Error Why = Snap.takeError();
+          Result.Recovery.Log.push_back(formatString(
+              "attempt %d: no usable checkpoint (%s); restarting from "
+              "cycle zero",
+              Attempt + 1, Why.message().c_str()));
+        }
+      }
 
       PartitionOptions Degraded = PartOptions;
       Degraded.MaxDevices = Survivors;

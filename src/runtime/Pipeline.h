@@ -74,6 +74,13 @@ struct PipelineOptions {
   /// Total simulation attempts (first run plus device-loss re-runs).
   int MaxSimAttempts = 3;
 
+  /// Resume the first simulation attempt from this snapshot file, or from
+  /// the most recent snapshot in this directory (sim/Checkpoint.h). Empty
+  /// — the default — starts from cycle zero. Unlike the automatic
+  /// checkpoint reload on device loss, an unreadable or incompatible
+  /// snapshot here is a hard failure: the user explicitly asked for it.
+  std::string ResumeFrom;
+
   /// Validation tolerance: fused programs compute through the halo, so
   /// boundary cells may differ; interior cells must match exactly.
   double Tolerance = 0.0;
@@ -91,6 +98,11 @@ struct RecoveryReport {
   /// successful attempt (summed over all remote streams).
   int64_t Retransmissions = 0;
   int64_t CorruptedVectors = 0;
+
+  /// Cycles the successful attempt did NOT replay because it resumed from
+  /// a snapshot instead of cycle zero — the work a checkpoint saved. Zero
+  /// when every attempt started fresh.
+  int64_t CyclesSavedByCheckpoint = 0;
 
   /// Human-readable narrative, one line per recovery action.
   std::vector<std::string> Log;

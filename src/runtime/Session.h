@@ -146,6 +146,35 @@ public:
     return *this;
   }
 
+  /// Enables crash-safe checkpointing (sim/Checkpoint.h): snapshots land
+  /// in \p Dir every \p EveryCycles completed cycles, keeping the most
+  /// recent \p Keep files. Cycle- and bit-exact resume is guaranteed for
+  /// any kill point.
+  Session &checkpointEvery(int64_t EveryCycles, std::string Dir,
+                           int Keep = 3) {
+    Opts.Simulator.CheckpointDir = std::move(Dir);
+    Opts.Simulator.CheckpointEveryCycles = EveryCycles;
+    Opts.Simulator.CheckpointKeep = Keep;
+    return *this;
+  }
+  /// Wall-clock checkpoint cadence (seconds between snapshots); may be
+  /// combined with \c checkpointEvery — whichever fires first wins.
+  Session &checkpointEverySeconds(double Seconds, std::string Dir,
+                                  int Keep = 3) {
+    Opts.Simulator.CheckpointDir = std::move(Dir);
+    Opts.Simulator.CheckpointEverySeconds = Seconds;
+    Opts.Simulator.CheckpointKeep = Keep;
+    return *this;
+  }
+  /// Resumes the first simulation attempt from \p PathOrDir: a snapshot
+  /// file, or a checkpoint directory (the latest snapshot wins). An
+  /// unreadable or incompatible snapshot fails the run with
+  /// SnapshotInvalid / SnapshotIncompatible.
+  Session &resumeFrom(std::string PathOrDir) {
+    Opts.ResumeFrom = std::move(PathOrDir);
+    return *this;
+  }
+
   /// Attaches an owned copy of \p Plan (an attached plan — even an empty
   /// one — switches remote streams to the reliable transport). The copy
   /// removes the SimConfig::Faults raw-pointer lifetime hazard.

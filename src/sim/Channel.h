@@ -44,6 +44,7 @@ public:
   const std::string &name() const { return Name; }
   int64_t capacity() const { return Capacity; }
   int lanes() const { return Lanes; }
+  int64_t arrivalLatency() const { return ArrivalLatency; }
 
   bool full() const { return Count == Capacity; }
   bool empty() const { return Count == 0; }
@@ -146,6 +147,66 @@ public:
       ++InFlight;
     }
     return Count - InFlight;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoint support (sim/Checkpoint.h)
+  //===--------------------------------------------------------------------===//
+
+  /// The I-th enqueued vector counting from the oldest (0 <= I < size()).
+  const double *vectorAt(int64_t I) const {
+    assert(I >= 0 && I < Count && "vectorAt out of range");
+    int64_t Slot = (Head + I) % Capacity;
+    return &Storage[static_cast<size_t>(Slot * Lanes)];
+  }
+  /// The ready cycle of the I-th enqueued vector (oldest first).
+  int64_t readyCycleAt(int64_t I) const {
+    assert(I >= 0 && I < Count && "readyCycleAt out of range");
+    return ReadyCycles[static_cast<size_t>((Head + I) % Capacity)];
+  }
+
+  /// Resets contents and occupancy statistics ahead of a snapshot restore.
+  void clearForRestore() {
+    Head = Count = 0;
+    PeakOccupancy = VisibleHighWater = 0;
+  }
+  /// Raw re-enqueue of a snapshotted vector: exact ready cycle, no
+  /// statistics sampling (the peaks are restored separately).
+  void restorePush(const double *Vector, int64_t ReadyCycle) {
+    assert(!full() && "restorePush into a full channel");
+    int64_t Slot = (Head + Count) % Capacity;
+    double *Dest = &Storage[static_cast<size_t>(Slot * Lanes)];
+    for (int L = 0; L != Lanes; ++L)
+      Dest[L] = Vector[L];
+    ReadyCycles[static_cast<size_t>(Slot)] = ReadyCycle;
+    ++Count;
+  }
+  /// Restores the snapshotted occupancy statistics verbatim.
+  void restoreStats(int64_t Peak, int64_t HighWater) {
+    PeakOccupancy = Peak;
+    VisibleHighWater = HighWater;
+  }
+  /// Grows the capacity to at least \p MinCapacity (rehydrating onto a
+  /// re-partitioned machine: a formerly-remote channel carries a deeper
+  /// occupancy than the now-local capacity). Preserves contents; no-op
+  /// when already large enough.
+  void ensureCapacity(int64_t MinCapacity) {
+    if (MinCapacity <= Capacity)
+      return;
+    std::vector<double> NewStorage(static_cast<size_t>(MinCapacity) *
+                                   static_cast<size_t>(Lanes));
+    std::vector<int64_t> NewReady(static_cast<size_t>(MinCapacity));
+    for (int64_t I = 0; I != Count; ++I) {
+      const double *Src = vectorAt(I);
+      double *Dest = &NewStorage[static_cast<size_t>(I * Lanes)];
+      for (int L = 0; L != Lanes; ++L)
+        Dest[L] = Src[L];
+      NewReady[static_cast<size_t>(I)] = readyCycleAt(I);
+    }
+    Storage = std::move(NewStorage);
+    ReadyCycles = std::move(NewReady);
+    Capacity = MinCapacity;
+    Head = 0;
   }
 
 private:

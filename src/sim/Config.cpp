@@ -53,6 +53,20 @@ Error SimConfig::validate() const {
     return Invalid("RetransmitBackoffCycles must be non-negative");
   if (SendWindowVectors < 1)
     return Invalid("SendWindowVectors must be at least 1");
+  if (CheckpointEveryCycles < 0)
+    return Invalid("CheckpointEveryCycles must be non-negative (0 disables "
+                   "the cycle cadence)");
+  if (CheckpointEverySeconds < 0.0)
+    return Invalid("CheckpointEverySeconds must be non-negative (0 disables "
+                   "the wall-clock cadence)");
+  if ((CheckpointEveryCycles > 0 || CheckpointEverySeconds > 0.0) &&
+      CheckpointDir.empty())
+    return Invalid("a checkpoint cadence requires CheckpointDir");
+  if (CheckpointKeep < 1)
+    return Invalid("CheckpointKeep must be at least 1");
+  if (CheckpointCrashAfter < 0)
+    return Invalid("CheckpointCrashAfter must be non-negative (0 disables "
+                   "the crash hook)");
   if (MaxCycleFactor < 1)
     return Invalid("MaxCycleFactor must be at least 1");
   if (MaxCycleSlack < 0)
@@ -166,6 +180,27 @@ SimConfig::Builder &SimConfig::Builder::retransmitBackoffCycles(int64_t Value) {
 }
 SimConfig::Builder &SimConfig::Builder::sendWindowVectors(int64_t Value) {
   C.SendWindowVectors = Value;
+  return *this;
+}
+SimConfig::Builder &SimConfig::Builder::checkpointDir(std::string Value) {
+  C.CheckpointDir = std::move(Value);
+  return *this;
+}
+SimConfig::Builder &SimConfig::Builder::checkpointEveryCycles(int64_t Value) {
+  C.CheckpointEveryCycles = Value;
+  return *this;
+}
+SimConfig::Builder &
+SimConfig::Builder::checkpointEverySeconds(double Value) {
+  C.CheckpointEverySeconds = Value;
+  return *this;
+}
+SimConfig::Builder &SimConfig::Builder::checkpointKeep(int Value) {
+  C.CheckpointKeep = Value;
+  return *this;
+}
+SimConfig::Builder &SimConfig::Builder::checkpointCrashAfter(int Value) {
+  C.CheckpointCrashAfter = Value;
   return *this;
 }
 SimConfig::Builder &SimConfig::Builder::maxCycleFactor(int64_t Value) {

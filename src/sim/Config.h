@@ -23,6 +23,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <string>
 
 namespace stencilflow {
 namespace sim {
@@ -155,6 +156,34 @@ struct SimConfig {
   int64_t SendWindowVectors = 512;
 
   //===--------------------------------------------------------------------===//
+  // Checkpoint/restart (see sim/Checkpoint.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Directory snapshot files are written to (created on first write) and
+  /// pruned in. Empty — the default — disables checkpointing entirely and
+  /// the run loops pay nothing beyond one branch per cycle.
+  std::string CheckpointDir;
+
+  /// Write a snapshot every N completed cycles (0 disables the cycle
+  /// cadence). Under the parallel engine snapshots land on the first epoch
+  /// boundary at or after each multiple, where the machine state is
+  /// globally consistent.
+  int64_t CheckpointEveryCycles = 0;
+
+  /// Write a snapshot once this much wall-clock time has passed since the
+  /// previous one (0 disables the wall-clock cadence). Both cadences may
+  /// be active at once; whichever fires first wins.
+  double CheckpointEverySeconds = 0.0;
+
+  /// Bounded retention: after each write, only the most recent K snapshot
+  /// files are kept in CheckpointDir.
+  int CheckpointKeep = 3;
+
+  /// Test hook for the crash-consistency suite: raise SIGKILL immediately
+  /// after the N-th snapshot of the run has been persisted (0 = never).
+  int CheckpointCrashAfter = 0;
+
+  //===--------------------------------------------------------------------===//
   // Safety
   //===--------------------------------------------------------------------===//
 
@@ -233,6 +262,11 @@ public:
   Builder &maxRetransmitAttempts(int Value);
   Builder &retransmitBackoffCycles(int64_t Value);
   Builder &sendWindowVectors(int64_t Value);
+  Builder &checkpointDir(std::string Value);
+  Builder &checkpointEveryCycles(int64_t Value);
+  Builder &checkpointEverySeconds(double Value);
+  Builder &checkpointKeep(int Value);
+  Builder &checkpointCrashAfter(int Value);
   Builder &maxCycleFactor(int64_t Value);
   Builder &maxCycleSlack(int64_t Value);
   Builder &engine(SimEngine Value);

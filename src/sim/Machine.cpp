@@ -6,6 +6,7 @@
 
 #include "sim/Machine.h"
 
+#include "sim/Checkpoint.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -504,8 +505,13 @@ bool Machine::stepReader(Reader &R, int64_t Cycle, ExecCtx &Ctx) {
       ActiveTrace->setState(R.TraceTrack, Cycle, "done");
     return false;
   }
-  for (size_t ChannelIndex : R.OutChannels)
-    if (channelFull(ChannelIndex))
+  // After a rehydrating resume, channels that already received vector
+  // number VectorsPushed from the pre-recovery placement are skipped
+  // (ChannelBase is their delivery cursor) until the cursors even out;
+  // on fresh runs and exact resumes every ChannelBase is zero.
+  for (size_t I = 0; I != R.OutChannels.size(); ++I)
+    if (R.VectorsPushed >= R.ChannelBase[I] &&
+        channelFull(R.OutChannels[I]))
       return Stalled(StallCause::OutputBlocked);
   // Charge the arbitration penalty once per requesting endpoint per cycle.
   double DataBytes = static_cast<double>(Lanes) *
@@ -515,8 +521,9 @@ bool Machine::stepReader(Reader &R, int64_t Cycle, ExecCtx &Ctx) {
   const double *Vector =
       R.Data->data() + static_cast<size_t>(R.VectorsPushed) *
                            static_cast<size_t>(Lanes);
-  for (size_t ChannelIndex : R.OutChannels)
-    channelPush(ChannelIndex, Vector, Cycle);
+  for (size_t I = 0; I != R.OutChannels.size(); ++I)
+    if (R.VectorsPushed >= R.ChannelBase[I])
+      channelPush(R.OutChannels[I], Vector, Cycle);
   ++R.VectorsPushed;
   if (ActiveTrace)
     ActiveTrace->setState(R.TraceTrack, Cycle, "active");
@@ -948,6 +955,7 @@ Error Machine::prepareRun(
                        "' has the wrong number of cells");
     R.Data = &It->second;
     R.VectorsPushed = 0;
+    R.ChannelBase.assign(R.OutChannels.size(), 0);
     R.Stalls = StallBreakdown();
     R.LastCause = StallCause::OutputBlocked;
     R.LastProgress = 0;
@@ -1042,6 +1050,17 @@ Error Machine::prepareRun(
         S.WriterIdx.empty() ? -1 : std::numeric_limits<int64_t>::max();
     S.SkippedCycles = 0;
   }
+
+  // Checkpoint bookkeeping: a fresh run starts at cycle zero; a resume
+  // overrides these after restoreSnapshot succeeds.
+  ResumeCycle = 0;
+  NextCheckpointCycle = Config.CheckpointEveryCycles;
+  LastCheckpointWall = std::chrono::steady_clock::now();
+  CheckpointsWritten = 0;
+  CheckpointFailures = 0;
+  ResumedFromCycle = -1;
+  TierReassignedUnits = 0;
+  RestoredSkippedCycles = 0;
 
   // Observability: attach the tracer, discarding any previous recording.
   ActiveTrace = Config.Trace;
@@ -1273,10 +1292,15 @@ Machine::StepOutcome Machine::stepCycleSerial(int64_t Cycle,
 
 Machine::StepOutcome Machine::runSerialLoop(int64_t &FinalCycles,
                                             SimFailure &Failure) {
-  for (int64_t Cycle = 0;; ++Cycle) {
+  for (int64_t Cycle = ResumeCycle;; ++Cycle) {
     StepOutcome Outcome = stepCycleSerial(Cycle, Failure);
-    if (Outcome == StepOutcome::Running)
+    if (Outcome == StepOutcome::Running) {
+      // Every serial cycle boundary is globally consistent; the wall
+      // clock is only consulted every 1024 cycles to keep the fault-free
+      // fast path free of syscalls.
+      maybeCheckpoint(Cycle + 1, (Cycle & 1023) == 0);
       continue;
+    }
     if (Outcome == StepOutcome::Finished)
       FinalCycles = Cycle + 1;
     return Outcome;
@@ -1298,6 +1322,10 @@ SimResult Machine::collectResult(int64_t FinalCycles) {
   Result.Stats.Engine = EngineNote;
   Result.Stats.ParallelEpochs = EpochCount;
   Result.Stats.SerialFallbackCycles = SerialFallbackCount;
+  Result.Stats.SkippedCycles = RestoredSkippedCycles;
+  Result.Stats.CheckpointsWritten = CheckpointsWritten;
+  Result.Stats.ResumedFromCycle = ResumedFromCycle;
+  Result.Stats.TierReassignedUnits = TierReassignedUnits;
   Result.Stats.KernelExec = compute::kernelEngineName(Config.KernelExec);
   for (const Unit &U : Units) {
     // Record what actually runs, not what was requested: Specialized can
@@ -1346,9 +1374,23 @@ SimResult Machine::collectResult(int64_t FinalCycles) {
 }
 
 Expected<SimResult, SimFailure>
-Machine::run(const std::map<std::string, std::vector<double>> &Inputs) {
+Machine::run(const std::map<std::string, std::vector<double>> &Inputs,
+             const MachineSnapshot *Resume) {
   if (Error Err = prepareRun(Inputs))
     return Err;
+  InputsHashOfRun = hashInputFields(Inputs);
+  if (Resume) {
+    if (Error Err = restoreSnapshot(*Resume, InputsHashOfRun))
+      return SimFailure(std::move(Err));
+    // Both cadences restart relative to the resume point, so the first
+    // snapshot of the resumed run lands on the same boundary the killed
+    // run would have used next.
+    if (Config.CheckpointEveryCycles > 0)
+      NextCheckpointCycle =
+          (ResumeCycle / Config.CheckpointEveryCycles + 1) *
+          Config.CheckpointEveryCycles;
+    LastCheckpointWall = std::chrono::steady_clock::now();
+  }
   SimFailure Failure;
   int64_t FinalCycles = 0;
   StepOutcome Outcome;

@@ -40,6 +40,7 @@
 #include "sim/Trace.h"
 #include "support/Error.h"
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -49,6 +50,8 @@
 
 namespace stencilflow {
 namespace sim {
+
+struct MachineSnapshot;
 
 /// Reliable-transport counters for one remote stream (all zero unless a
 /// fault plan is attached; see SimConfig::Faults).
@@ -157,6 +160,16 @@ struct SimStats {
   /// Compact "tier xN" histogram of UnitKernelTiers, e.g.
   /// "jit x3, specialized x1" (empty when there are no units).
   std::string kernelTierSummary() const;
+
+  /// Checkpoint/restart (sim/Checkpoint.h): snapshots persisted during
+  /// this run, the cycle the run resumed from (-1 when it started fresh),
+  /// and how many stencil units ended up on a different effective kernel
+  /// tier than the snapshotting run recorded (tier assignment is
+  /// re-derived on restore, so a resumed run on a machine without a host
+  /// compiler transparently drops from jit to specialized).
+  int64_t CheckpointsWritten = 0;
+  int64_t ResumedFromCycle = -1;
+  int64_t TierReassignedUnits = 0;
 };
 
 /// How a returned simulation terminated. Failed runs return a typed
@@ -195,8 +208,17 @@ public:
   /// \p Inputs maps every program input field to its data. On failure the
   /// returned \c SimFailure carries both the classified error and the
   /// structured \c FailureReport, so no separate accessor call is needed.
+  ///
+  /// When \p Resume is non-null the machine state is restored from the
+  /// snapshot before stepping and the run continues from the snapshot
+  /// cycle: bit- and cycle-exact with the uninterrupted run when the
+  /// snapshot's exact signature matches, or rehydrated onto the current
+  /// placement (device-loss recovery) when only the topology matches.
+  /// Incompatible or undecodable snapshots fail with
+  /// ErrorCode::SnapshotIncompatible / SnapshotInvalid.
   Expected<SimResult, SimFailure>
-  run(const std::map<std::string, std::vector<double>> &Inputs);
+  run(const std::map<std::string, std::vector<double>> &Inputs,
+      const MachineSnapshot *Resume = nullptr);
 
   /// The runtime model's expected cycle count C = L + N (Eq. 1), excluding
   /// network latency.
@@ -303,6 +325,12 @@ private:
     /// Runtime state.
     const std::vector<double> *Data = nullptr;
     int64_t VectorsPushed = 0;
+    /// Per-channel delivery cursor for snapshot rehydration: OutChannels[i]
+    /// already received the first ChannelBase[i] vectors (pushed by a
+    /// reader of the pre-recovery placement), so pushes are skipped for
+    /// that channel until VectorsPushed catches up. All zero on fresh runs
+    /// and exact resumes.
+    std::vector<int64_t> ChannelBase;
     StallBreakdown Stalls;
     StallCause LastCause = StallCause::OutputBlocked; ///< Most recent stall.
     int64_t LastProgress = 0;
@@ -494,6 +522,50 @@ private:
 
   /// Gathers stats and outputs after a completed run.
   SimResult collectResult(int64_t FinalCycles);
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoint/restart (Checkpoint.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Compatibility hash over the machine structure. With
+  /// \p IncludePlacement: topology + device placement + every
+  /// trajectory-relevant config knob + the fault plan (the *exact*
+  /// signature — matching it makes a verbatim restore bit-exact). Without:
+  /// the placement-independent topology only (the *rehydrate* signature
+  /// used by device-loss recovery across re-partitionings).
+  uint64_t machineSignature(bool IncludePlacement) const;
+
+  /// Serializes the complete runtime state after completing cycles
+  /// [0, \p Cycle). Only legal at a globally consistent boundary (between
+  /// serial cycles or parallel epochs).
+  MachineSnapshot captureSnapshot(int64_t Cycle) const;
+
+  /// Overwrites the freshly prepared runtime state from \p Snap,
+  /// dispatching to the exact or rehydrate path by signature; sets
+  /// ResumeCycle on success. \p InputsHash guards against resuming with
+  /// different input data.
+  Error restoreSnapshot(const MachineSnapshot &Snap, uint64_t InputsHash);
+  Error restoreExact(const MachineSnapshot &Snap);
+  Error restoreRehydrate(const MachineSnapshot &Snap);
+
+  /// Writes a snapshot when the cycle or wall-clock cadence says one is
+  /// due after completing \p CompletedCycles cycles. The wall clock is
+  /// only consulted when \p WallEligible (the serial loop rate-limits the
+  /// clock read; the parallel driver is eligible at every epoch boundary).
+  void maybeCheckpoint(int64_t CompletedCycles, bool WallEligible);
+  void writeCheckpoint(int64_t CompletedCycles);
+
+  int64_t ResumeCycle = 0; ///< First cycle the current run steps.
+  uint64_t InputsHashOfRun = 0; ///< hashInputFields of the bound inputs.
+  int64_t NextCheckpointCycle = 0;
+  std::chrono::steady_clock::time_point LastCheckpointWall;
+  int64_t CheckpointsWritten = 0;  ///< Snapshots persisted this run.
+  int64_t CheckpointFailures = 0;  ///< Failed writes (the run continues).
+  int64_t ResumedFromCycle = -1;   ///< Snapshot cycle, -1 when fresh.
+  int64_t TierReassignedUnits = 0; ///< Units whose tier changed on restore.
+  /// Quiescence-skip cycles accumulated before the snapshot (per-shard
+  /// counters reset on resume; collectResult adds this base back).
+  int64_t RestoredSkippedCycles = 0;
 
   //===--------------------------------------------------------------------===//
   // Parallel engine (Parallel.cpp)

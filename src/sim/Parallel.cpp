@@ -642,8 +642,12 @@ Machine::StepOutcome Machine::runParallelLoop(int64_t &FinalCycles,
       });
 
   StepOutcome Outcome = StepOutcome::Running;
-  int64_t T0 = 0;
+  int64_t T0 = ResumeCycle;
   while (Outcome == StepOutcome::Running) {
+    // T0 is always an epoch (or serial-fallback cycle) boundary, where
+    // shard state is globally consistent — the only points a snapshot is
+    // legal under this engine.
+    maybeCheckpoint(T0, /*WallEligible=*/true);
     if (T0 >= MaxCycles) {
       Failure = abortRun(ErrorCode::CycleLimit, T0);
       Outcome = StepOutcome::Failed;

@@ -18,6 +18,9 @@
 #include <cstring>
 #include <set>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 using namespace stencilflow;
 using namespace stencilflow::sim;
 
@@ -226,7 +229,7 @@ std::string Tracer::chromeTraceJson() const {
 }
 
 Error Tracer::writeChromeTrace(const std::string &Path) const {
-  return writeTextFile(Path, chromeTraceJson());
+  return writeTextFileAtomic(Path, chromeTraceJson());
 }
 
 //===----------------------------------------------------------------------===//
@@ -320,6 +323,57 @@ Error sim::writeTextFile(const std::string &Path, std::string_view Text) {
     return makeError("failed to write '" + Path + "'" +
                      (Cause ? std::string(": ") + std::strerror(Cause)
                             : std::string()));
+  }
+  return Error::success();
+}
+
+Error sim::writeTextFileAtomic(const std::string &Path,
+                               std::string_view Text) {
+  // The temp file lives in the target's directory so the final rename
+  // stays within one filesystem (rename across mounts is a copy, not an
+  // atomic replace). The pid suffix keeps concurrent writers from
+  // clobbering each other's staging files.
+  std::string Temp =
+      Path + formatString(".tmp.%ld", static_cast<long>(::getpid()));
+  int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return makeError("cannot open '" + Temp + "' for writing: " +
+                     std::strerror(errno));
+  const char *Data = Text.data();
+  size_t Left = Text.size();
+  bool WriteOk = true;
+  int WriteErrno = 0;
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, Data, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      WriteOk = false;
+      WriteErrno = errno;
+      break;
+    }
+    Data += N;
+    Left -= static_cast<size_t>(N);
+  }
+  // fsync before rename: the rename must never become visible while the
+  // data behind it is still only in the page cache.
+  if (WriteOk && ::fsync(Fd) != 0) {
+    WriteOk = false;
+    WriteErrno = errno;
+  }
+  bool CloseOk = ::close(Fd) == 0;
+  if (!WriteOk || !CloseOk) {
+    int Cause = WriteOk ? errno : WriteErrno;
+    ::unlink(Temp.c_str());
+    return makeError("failed to write '" + Temp + "'" +
+                     (Cause ? std::string(": ") + std::strerror(Cause)
+                            : std::string()));
+  }
+  if (::rename(Temp.c_str(), Path.c_str()) != 0) {
+    int Cause = errno;
+    ::unlink(Temp.c_str());
+    return makeError("failed to rename '" + Temp + "' to '" + Path +
+                     "': " + std::strerror(Cause));
   }
   return Error::success();
 }

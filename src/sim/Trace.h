@@ -210,6 +210,13 @@ std::string formatMetricsCsv(const SimStats &Stats);
 /// Writes \p Text to \p Path, reporting I/O failures.
 Error writeTextFile(const std::string &Path, std::string_view Text);
 
+/// Crash-consistent variant of \c writeTextFile: writes to a temporary
+/// file in the same directory, fsyncs, and renames over \p Path. A crash
+/// (or a failure partway through) leaves either the complete old file or
+/// the complete new file — never a truncated artifact. Report writers
+/// (Chrome traces, metrics CSVs, tuning JSON) route through this.
+Error writeTextFileAtomic(const std::string &Path, std::string_view Text);
+
 } // namespace sim
 } // namespace stencilflow
 

@@ -30,6 +30,10 @@ const char *stencilflow::errorCodeName(ErrorCode Code) {
     return "device-lost";
   case ErrorCode::ValidationMismatch:
     return "validation-mismatch";
+  case ErrorCode::SnapshotInvalid:
+    return "snapshot-invalid";
+  case ErrorCode::SnapshotIncompatible:
+    return "snapshot-incompatible";
   }
   return "unknown";
 }
@@ -58,6 +62,10 @@ int stencilflow::exitCodeFor(ErrorCode Code) {
     return 7;
   case ErrorCode::Starvation:
     return 8;
+  case ErrorCode::SnapshotInvalid:
+    return 9;
+  case ErrorCode::SnapshotIncompatible:
+    return 10;
   case ErrorCode::Unknown:
   case ErrorCode::InvalidInput:
   case ErrorCode::Infeasible:

@@ -56,11 +56,17 @@ enum class ErrorCode : uint8_t {
   DeviceLost,
   /// Simulated outputs disagree with the reference executor.
   ValidationMismatch,
+  /// A checkpoint snapshot file is unreadable: bad magic, version skew,
+  /// truncation, or a CRC mismatch (sim/Checkpoint.h).
+  SnapshotInvalid,
+  /// A checkpoint snapshot is well-formed but belongs to a different
+  /// machine: topology, configuration, or input data do not match.
+  SnapshotIncompatible,
 };
 
 /// Number of distinct error codes (for iteration in tests).
 constexpr int NumErrorCodes =
-    static_cast<int>(ErrorCode::ValidationMismatch) + 1;
+    static_cast<int>(ErrorCode::SnapshotIncompatible) + 1;
 
 /// Stable kebab-case name, e.g. "device-lost".
 const char *errorCodeName(ErrorCode Code);

@@ -28,13 +28,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace stencilflow;
 using namespace stencilflow::compute;
@@ -660,6 +664,54 @@ TEST(EngineTest, JitFallsBackWithoutCompiler) {
   for (const Kernel *K : {&Chain, &Irregular})
     expectTierParity(*K, 2, randomSoA(Rng, K->inputs().size(), 2, false),
                      "no-compiler fallback");
+}
+
+TEST(EngineTest, JitCompileTimeoutFallsBack) {
+  // A hung (or pathologically slow) compiler must not hang the
+  // simulator: the wall-clock bound kills the child's whole process
+  // group, records a Timeouts cache stat, and compile(Jit) degrades
+  // exactly as if no compiler existed.
+  std::string Script = ::testing::TempDir() + "/sf_slow_cxx.sh";
+  {
+    std::FILE *File = std::fopen(Script.c_str(), "w");
+    ASSERT_NE(File, nullptr);
+    std::fputs("#!/bin/sh\nsleep 600\n", File);
+    ASSERT_EQ(std::fclose(File), 0);
+  }
+  ASSERT_EQ(::chmod(Script.c_str(), 0755), 0);
+  ASSERT_EQ(setenv("STENCILFLOW_JIT_CXX", Script.c_str(), 1), 0);
+  ASSERT_EQ(setenv("STENCILFLOW_JIT_TIMEOUT_S", "1", 1), 0);
+  struct Restore {
+    ~Restore() {
+      unsetenv("STENCILFLOW_JIT_CXX");
+      unsetenv("STENCILFLOW_JIT_TIMEOUT_S");
+    }
+  } RestoreEnv;
+  // The script is discoverable and executable, so the availability probe
+  // says yes — the timeout is only observable at compile time.
+  EXPECT_TRUE(jit::compilerAvailable());
+
+  // A distinct source/width from every other test so the process-wide
+  // cache cannot mask the timeout path.
+  Kernel Krn = compileKernel(
+      "out = a[0, 0] * 6.125 + a[0, 1] * 0.375 - a[0, -1] * 2.75;");
+  jit::CacheStats Before = jit::cacheStats();
+  auto Start = std::chrono::steady_clock::now();
+  KernelEvaluator Eval = KernelEvaluator::compile(Krn, KernelEngine::Jit, 3);
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  // Bounded: the 600-second sleep was killed, not awaited.
+  EXPECT_LT(Elapsed, 60.0);
+  EXPECT_NE(Eval.tier(), KernelEngine::Jit);
+  jit::CacheStats After = jit::cacheStats();
+  EXPECT_EQ(After.Timeouts, Before.Timeouts + 1);
+  EXPECT_GT(After.Failures, Before.Failures);
+
+  // The fallback still evaluates correctly.
+  Random Rng(5678);
+  expectTierParity(Krn, 3, randomSoA(Rng, Krn.inputs().size(), 3, false),
+                   "timeout fallback");
 }
 
 TEST(EngineTest, AutoSelectsPerKernel) {

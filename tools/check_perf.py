@@ -54,14 +54,18 @@ def geomean(values):
 
 
 def check_positive(times, path):
-    """A zero or negative cpu_time (a fresh/empty/hand-edited BENCH file)
-    would crash the geomean or the per-benchmark ratio below; fail with a
-    clear message instead of a traceback."""
-    bad = sorted(name for name, t in times.items() if t <= 0)
+    """A zero, negative, or non-finite cpu_time (a fresh/empty/hand-edited
+    BENCH file, or a benchmark that divided by zero) would crash the
+    geomean or poison every ratio below — NaN in particular compares False
+    against the threshold and would silently pass the whole check. Fail
+    with a clear message instead."""
+    bad = sorted(name for name, t in times.items()
+                 if not math.isfinite(t) or t <= 0)
     if bad:
-        sys.exit(f"error: non-positive cpu_time in {path} for: "
-                 + ", ".join(bad)
-                 + " (regenerate the file; every median must be > 0)")
+        sys.exit(f"error: non-positive or non-finite cpu_time in {path} "
+                 "for: " + ", ".join(bad)
+                 + " (regenerate the file; every median must be a finite "
+                 "value > 0)")
 
 
 def main():
@@ -110,9 +114,25 @@ def main():
         sys.exit("error: no common benchmarks between baseline and current")
     check_positive({n: baseline[n] for n in common}, args.baseline)
     check_positive({n: current[n] for n in common}, args.current)
+    # A name-set mismatch in either direction is a hard failure, not a
+    # warning: a benchmark silently dropped from the current run is a
+    # regression that would otherwise never be measured again, and a new
+    # benchmark missing from the baseline skews the geomean normalization
+    # for every other entry until someone notices.
     missing = sorted(set(baseline) - set(current))
-    if missing:
-        print("warning: not in current run: " + ", ".join(missing))
+    extra = sorted(set(current) - set(baseline))
+    if missing or extra:
+        parts = []
+        if missing:
+            parts.append("in baseline but not in current run: "
+                         + ", ".join(missing))
+        if extra:
+            parts.append("in current run but not in baseline: "
+                         + ", ".join(extra))
+        sys.exit("error: benchmark name sets differ ("
+                 + "; ".join(parts)
+                 + "). Re-run the full suite, or refresh the baseline "
+                 "with --update.")
 
     if args.absolute:
         base_norm, cur_norm = 1.0, 1.0
