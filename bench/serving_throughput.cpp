@@ -1,0 +1,202 @@
+//===- bench/serving_throughput.cpp - Serving daemon benchmarks ----------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings of the serving core (serve/Server.h), driven
+// in-process through the same Server::submit path the daemon's socket
+// transport uses:
+//
+//  - BM_ServeHitPath / BM_ServeMissPath: per-request service time when
+//    the compiled-plan cache hits (execute only) vs misses (compile +
+//    execute). The hit path skipping the pipeline's compile half is the
+//    whole point of the cache; CI gates on the checked-in ratio.
+//  - BM_ServeTunedMissPath: the expensive miss — autotuning the mapping
+//    before caching it — i.e. the work repeat tenants amortize.
+//  - BM_ServeOpenLoopBurst: an open-loop synthetic client fleet: a burst
+//    of requests submitted without pacing, 1:4 miss:hit mix, collected
+//    as futures. Reports jobs/s plus p50/p99 service latency (queue +
+//    compile + execute) as counters; BENCH_serving.json records them.
+//
+// All benchmarks measure process CPU time (the work happens on the
+// server's worker threads, so the calling thread's own CPU time would
+// only see synchronization overhead) and rank by real time. Numbers
+// land in BENCH_serving.json; bench/baselines/serving_baseline.json is
+// the perf-smoke reference for tools/check_perf.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "frontend/ProgramLoader.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+using namespace stencilflow;
+using namespace stencilflow::serve;
+
+namespace {
+
+/// The serving workload: a short diffusion chain on a grid small enough
+/// that compile time and execute time are the same order of magnitude —
+/// the cache effect shows up directly in the per-request numbers.
+json::Value servedProgram() {
+  return programToJson(workloads::diffusion2dChain(2, 32, 32));
+}
+
+Request runRequest(const json::Value &Program) {
+  Request R;
+  R.Op = RequestOp::Run;
+  R.Program = Program;
+  return R;
+}
+
+/// A request whose plan key is unique per \p Epoch: stepping the target
+/// utilization by the key quantum (1e-3) forces a fresh compilation
+/// without changing the workload meaningfully.
+Request missRequest(const json::Value &Program, int Epoch) {
+  Request R = runRequest(Program);
+  R.Options.TargetUtilization = 0.500 + 0.001 * (Epoch % 300);
+  return R;
+}
+
+void BM_ServeHitPath(benchmark::State &State) {
+  ServerOptions O;
+  O.Workers = 1;
+  Server S(O);
+  S.start();
+  json::Value Program = servedProgram();
+  // Warm the cache; every timed iteration must hit.
+  Response Warm = S.handle(runRequest(Program));
+  if (!Warm.Ok) {
+    State.SkipWithError(("warmup failed: " + Warm.ErrorMessage).c_str());
+    return;
+  }
+  for (auto _ : State) {
+    Response R = S.handle(runRequest(Program));
+    if (!R.Ok || !R.CacheHit || !*R.CacheHit) {
+      State.SkipWithError("expected a cache hit");
+      return;
+    }
+    benchmark::DoNotOptimize(R);
+  }
+  ServeStats Stats = S.stats();
+  State.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(Stats.CacheHits));
+  S.stop();
+}
+BENCHMARK(BM_ServeHitPath)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_ServeMissPath(benchmark::State &State) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.CacheCapacity = 64; // far fewer than distinct keys: always a miss
+  Server S(O);
+  S.start();
+  json::Value Program = servedProgram();
+  int Epoch = 0;
+  for (auto _ : State) {
+    Response R = S.handle(missRequest(Program, Epoch++));
+    if (!R.Ok || !R.CacheHit || *R.CacheHit) {
+      State.SkipWithError("expected a cache miss");
+      return;
+    }
+    benchmark::DoNotOptimize(R);
+  }
+  S.stop();
+}
+BENCHMARK(BM_ServeMissPath)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_ServeTunedMissPath(benchmark::State &State) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.CacheCapacity = 64;
+  Server S(O);
+  S.start();
+  json::Value Program = servedProgram();
+  int Epoch = 0;
+  for (auto _ : State) {
+    Request R = missRequest(Program, Epoch++);
+    R.Options.Tune = true;
+    R.Options.TuneBudget = 16;
+    Response Out = S.handle(std::move(R));
+    if (!Out.Ok || *Out.CacheHit) {
+      State.SkipWithError("expected a tuned cache miss");
+      return;
+    }
+    benchmark::DoNotOptimize(Out);
+  }
+  S.stop();
+}
+BENCHMARK(BM_ServeTunedMissPath)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_ServeOpenLoopBurst(benchmark::State &State) {
+  // The synthetic multi-tenant client: each iteration fires a burst of
+  // requests open-loop (no pacing, submit then collect), 1 miss per 4
+  // hits, against a worker pool. Service latency = queue + compile +
+  // execute, straight from the responses.
+  constexpr int Burst = 32;
+  ServerOptions O;
+  O.Workers = 4;
+  O.QueueDepth = Burst; // admit the whole burst; nothing sheds
+  Server S(O);
+  S.start();
+  json::Value Program = servedProgram();
+  S.handle(runRequest(Program)); // warm the hit entry
+
+  std::vector<int64_t> ServiceMicros;
+  int64_t Jobs = 0;
+  double Seconds = 0.0;
+  int Epoch = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<std::future<Response>> Pending;
+    Pending.reserve(Burst);
+    for (int I = 0; I != Burst; ++I)
+      Pending.push_back(S.submit(I % 5 == 0
+                                     ? missRequest(Program, Epoch++)
+                                     : runRequest(Program)));
+    for (std::future<Response> &F : Pending) {
+      Response R = F.get();
+      if (!R.Ok) {
+        State.SkipWithError(("burst request failed: " + R.ErrorMessage)
+                                .c_str());
+        return;
+      }
+      ServiceMicros.push_back(R.QueueMicros + R.CompileMicros +
+                              R.ExecuteMicros);
+    }
+    Jobs += Burst;
+    Seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  }
+  std::sort(ServiceMicros.begin(), ServiceMicros.end());
+  if (!ServiceMicros.empty()) {
+    State.counters["jobs_per_second"] =
+        benchmark::Counter(static_cast<double>(Jobs) / Seconds);
+    State.counters["p50_service_us"] = benchmark::Counter(
+        static_cast<double>(ServiceMicros[ServiceMicros.size() / 2]));
+    State.counters["p99_service_us"] = benchmark::Counter(
+        static_cast<double>(
+            ServiceMicros[ServiceMicros.size() * 99 / 100]));
+  }
+  ServeStats Stats = S.stats();
+  State.counters["shed"] =
+      benchmark::Counter(static_cast<double>(Stats.Shed));
+  S.stop();
+}
+BENCHMARK(BM_ServeOpenLoopBurst)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -10,48 +10,42 @@
 // ... code generation, ... execution of the program, and validation of
 // results." (paper Sec. VII)
 //
-// Usage:  ./run_program <program.json>
-//             [--fuse] [--emit] [--dot] [--vectorize W]
-//             [--constrained-memory] [--report]
-//             [--trace FILE] [--metrics FILE] [--trace-stride N]
-//             [--fault-plan FILE] [--stall-timeout N]
-//             [--parallel] [--threads N]
+// Usage:  ./run_program <program.json> [flags]   (--help lists them)
 //
-// --trace writes a Chrome trace-event timeline of the simulation (open in
-// chrome://tracing or https://ui.perfetto.dev); --metrics writes a tidy
-// CSV of the per-component stall attribution and channel occupancies.
-// --fault-plan injects a deterministic fault schedule (see sim/Fault.h for
-// the JSON format) and switches remote streams to the reliable transport;
-// --stall-timeout enables the progress watchdog. --parallel selects the
-// epoch-synchronized parallel engine (--threads pins its worker count);
-// tracing requires the serial engine, so --trace wins when both are given.
-// --auto-tune runs the mapping autotuner (tuner/Tuner.h) instead of a
-// single configuration: the best found mapping (vector width, fusion,
-// devices, utilization) is applied, simulated, and validated;
-// --tune-budget caps the candidates searched, --tune-seed fixes the beam
-// search's PRNG seed (identical seed + space => identical trajectory), and
-// --tune-json dumps the machine-readable TuningReport. Sample descriptions
-// live in examples/programs/.
+// Flags come from the shared CLI surface (support/Args.h): the session
+// pack (--fuse --simplify --vectorize --constrained-memory
+// --kernel-engine --parallel --threads --stall-timeout), the checkpoint
+// pack (--checkpoint-dir --checkpoint-every --checkpoint-every-seconds
+// --checkpoint-keep --resume --crash-after-checkpoints), and the
+// autotuner pack (--tune-budget --tune-seed --tune-top-k --tune-workers)
+// behind --auto-tune; plus this tool's own knobs:
 //
-// --checkpoint-dir enables crash-safe snapshots (sim/Checkpoint.h):
-// --checkpoint-every sets the cycle cadence, --checkpoint-every-seconds the
-// wall-clock cadence, --checkpoint-keep the retention bound, and --resume
-// restarts from a snapshot file or from the latest snapshot in a directory
-// (cycle- and bit-exact with the uninterrupted run).
-// --crash-after-checkpoints N is the crash-consistency test hook: the
-// process SIGKILLs itself right after the N-th snapshot is persisted.
+//   --emit          print generated OpenCL kernel sources
+//   --dot           print the extracted SDFG in Graphviz format
+//   --report        print the dataflow/buffering analysis report
+//   --trace FILE    write a Chrome trace-event timeline of the simulation
+//                   (open in chrome://tracing or https://ui.perfetto.dev);
+//                   requires the serial engine, so it wins over --parallel
+//   --trace-stride N  counter sampling stride for --trace
+//   --metrics FILE  write a tidy CSV of stall attribution and occupancies
+//   --fault-plan FILE  inject a deterministic fault schedule (sim/Fault.h)
+//                   and switch remote streams to the reliable transport
+//   --auto-tune     run the mapping autotuner instead of one
+//                   configuration; the winning mapping is applied,
+//                   simulated, and validated
+//   --tune-json FILE  dump the machine-readable TuningReport
 //
-// The exit code classifies the outcome so CI scripts can branch on it:
-// 0 success, 1 unclassified error, 2 validation mismatch, 3 deadlock,
-// 4 cycle limit, 5 device lost, 6 link failure, 7 data corruption,
-// 8 starvation, 9 invalid snapshot, 10 incompatible snapshot (see
-// support/Error.h exitCodeFor).
+// The process exit code classifies the outcome so CI scripts can branch
+// on it — see the table printed by --help (support/Error.h
+// exitCodeLegend), e.g. 0 success, 2 validation mismatch, 3 deadlock,
+// 9 invalid snapshot.
 //
 //===----------------------------------------------------------------------===//
 
 #include "StencilFlow.h"
 #include "sdfg/Lowering.h"
-#include "support/CommandLine.h"
+#include "runtime/SessionArgs.h"
+#include "support/Args.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -59,33 +53,36 @@
 using namespace stencilflow;
 
 int main(int argc, char **argv) {
-  auto Args = CommandLine::parse(
-      argc, argv,
-      {"fuse", "emit", "dot", "vectorize", "constrained-memory", "report",
-       "trace", "metrics", "trace-stride", "fault-plan", "stall-timeout",
-       "parallel", "threads", "kernel-engine", "auto-tune", "tune-budget",
-       "tune-seed", "tune-json", "checkpoint-dir", "checkpoint-every",
-       "checkpoint-every-seconds", "checkpoint-keep", "resume",
-       "crash-after-checkpoints"});
+  cli::ArgSet Spec("run_program",
+                   "One-shot pipeline driver: parse, analyze, partition, "
+                   "simulate, and validate a stencil program description.",
+                   "<program.json>");
+  Spec.pack(cli::sessionFlagSpecs())
+      .group("output")
+      .flag("emit", "print generated OpenCL kernel sources")
+      .flag("dot", "print the extracted SDFG in Graphviz format")
+      .flag("report", "print the dataflow/buffering analysis report")
+      .option("trace", "FILE", "write a Chrome trace-event timeline")
+      .option("trace-stride", "N", "counter sampling stride for --trace")
+      .option("metrics", "FILE", "write the stall/occupancy metrics CSV")
+      .group("resilience")
+      .option("fault-plan", "FILE",
+              "inject a deterministic fault schedule (sim/Fault.h)")
+      .pack(cli::checkpointFlagSpecs())
+      .group("autotuning")
+      .flag("auto-tune", "search the mapping space instead of running "
+                         "one configuration")
+      .option("tune-json", "FILE", "dump the machine-readable TuningReport")
+      .pack(cli::tuneFlagSpecs());
+  auto Args = Spec.parse(argc, argv);
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
   }
+  if (Spec.helpShown())
+    return 0;
   if (Args->positional().size() != 1) {
-    std::fprintf(stderr, "usage: run_program <program.json> [--fuse] "
-                         "[--emit] [--dot] [--vectorize W] "
-                         "[--constrained-memory] [--report] "
-                         "[--trace FILE] [--metrics FILE] "
-                         "[--trace-stride N] [--fault-plan FILE] "
-                         "[--stall-timeout N] [--parallel] [--threads N] "
-                         "[--kernel-engine "
-                         "scalar|batched|specialized|jit|auto] "
-                         "[--auto-tune] [--tune-budget N] "
-                         "[--tune-seed N] [--tune-json FILE] "
-                         "[--checkpoint-dir DIR] [--checkpoint-every N] "
-                         "[--checkpoint-every-seconds S] "
-                         "[--checkpoint-keep K] [--resume PATH|DIR] "
-                         "[--crash-after-checkpoints N]\n");
+    std::fprintf(stderr, "%s\n", Spec.usageLine().c_str());
     return 1;
   }
 
@@ -94,14 +91,26 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", S.message().c_str());
     return 1;
   }
-  if (Args->has("vectorize"))
-    S->vectorize(static_cast<int>(Args->getInt("vectorize", 1)));
   std::printf("%s\n", S->program().summary().c_str());
 
-  S->fuseStencils(Args->has("fuse"))
-      .emitCode(Args->has("emit"))
-      .unconstrainedMemory(!Args->has("constrained-memory"))
-      .stallTimeout(Args->getInt("stall-timeout", 0));
+  // Tracing requires the serial engine; --trace wins over --parallel.
+  bool Parallel = Args->has("parallel");
+  if (Parallel && Args->has("trace")) {
+    std::fprintf(stderr, "warning: tracing requires the serial engine; "
+                         "ignoring --parallel\n");
+    Parallel = false;
+  }
+  if (Error Err = cli::applySessionArgs(*S, *Args)) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return exitCodeFor(Err.code());
+  }
+  if (!Parallel)
+    S->engine(sim::SimEngine::Serial);
+  if (Error Err = cli::applyCheckpointArgs(*S, *Args)) {
+    std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+    return exitCodeFor(Err.code());
+  }
+  S->emitCode(Args->has("emit"));
 
   if (Args->has("fault-plan")) {
     Expected<json::Value> PlanJson =
@@ -124,49 +133,16 @@ int main(int argc, char **argv) {
   if (Args->has("trace"))
     S->trace(Args->getInt("trace-stride", 16));
 
-  if (Args->has("kernel-engine")) {
-    Expected<compute::KernelEngine> Engine =
-        compute::parseKernelEngine(Args->getString("kernel-engine"));
-    if (!Engine) {
-      std::fprintf(stderr, "error: %s\n", Engine.message().c_str());
-      return 1;
-    }
-    S->kernelEngine(*Engine);
-  }
-
-  if (Args->has("checkpoint-dir")) {
-    sim::SimConfig &Sim = S->pipelineOptions().Simulator;
-    Sim.CheckpointDir = Args->getString("checkpoint-dir");
-    Sim.CheckpointEveryCycles = Args->getInt("checkpoint-every", 0);
-    Sim.CheckpointEverySeconds =
-        static_cast<double>(Args->getInt("checkpoint-every-seconds", 0));
-    Sim.CheckpointKeep =
-        static_cast<int>(Args->getInt("checkpoint-keep", 3));
-    Sim.CheckpointCrashAfter =
-        static_cast<int>(Args->getInt("crash-after-checkpoints", 0));
-  }
-  if (Args->has("resume"))
-    S->resumeFrom(Args->getString("resume"));
-
-  if (Args->has("parallel")) {
-    if (Args->has("trace"))
-      std::fprintf(stderr, "warning: tracing requires the serial engine; "
-                           "ignoring --parallel\n");
-    else
-      S->engine(sim::SimEngine::Parallel,
-                static_cast<int>(Args->getInt("threads", 0)));
-  }
-
   if (Args->has("auto-tune")) {
     // Tune instead of running one configuration: search the mapping
     // space, then report the winning plan's simulated, validated run.
-    tuner::TuneOptions TuneOpts;
-    TuneOpts.Search.CandidateBudget =
-        static_cast<int>(Args->getInt("tune-budget", 64));
-    if (Args->has("tune-seed"))
-      TuneOpts.Search.Seed =
-          static_cast<uint64_t>(Args->getInt("tune-seed", 0));
-    Expected<tuner::TuningOutcome> Tuned = S->tune(TuneOpts);
+    // The shared applier seeds the fluent tune* knobs; the no-argument
+    // tune() overload folds them into the search options.
+    if (Error Err = cli::applyTuneArgs(*S, *Args)) {
+      std::fprintf(stderr, "error: %s\n", Err.message().c_str());
+      return exitCodeFor(Err.code());
+    }
+    Expected<tuner::TuningOutcome> Tuned = S->tune();
     if (!Tuned) {
       std::fprintf(stderr, "error: %s\n", Tuned.message().c_str());
       return exitCodeFor(Tuned.code());

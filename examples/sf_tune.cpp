@@ -9,26 +9,31 @@
 // partitioner target utilization (Sec. III-B) — ranked by the analytic
 // runtime/resource models and validated on the cycle-level simulator.
 //
-// Usage:  ./sf_tune (<program.json> | --workload NAME) [--length N]
-//             [--budget N] [--beam N] [--seed N] [--top-k N]
-//             [--workers N] [--no-simulate] [--constrained-memory]
-//             [--max-devices N] [--kernel-engines LIST] [--json FILE]
-//             [--candidates]
+// Usage:  ./sf_tune (<program.json> | --workload NAME) [flags]
+//         (--help lists them)
 //
-// --workload picks a built-in benchmark (jacobi3d, diffusion2d,
-// diffusion3d, hdiff); --length overrides the chain length of the first
-// three. --json writes the machine-readable TuningReport (per-candidate
-// predicted vs simulated cycles, prune reasons, search trajectory, Pareto
-// front); --candidates prints the per-candidate table to stdout.
-// --no-simulate ranks by the analytic model alone. --kernel-engines adds a
-// comma-separated kernel-execution axis to the space (e.g.
-// "specialized,jit,auto"); the default keeps the base configuration's
-// single tier. Exit codes follow support/Error.h exitCodeFor.
+// Takes the shared autotuner flag pack (support/Args.h: --tune-budget
+// --tune-seed --tune-top-k --tune-workers --tune-beam --no-simulate —
+// the same spellings run_program's --auto-tune mode uses) plus:
+//
+//   --workload NAME   a built-in benchmark (jacobi3d, diffusion2d,
+//                     diffusion3d, hdiff) instead of a description file
+//   --length N        chain length for the first three workloads
+//   --max-devices N   cap the device axis of the design space
+//   --kernel-engines LIST  comma-separated kernel-execution axis
+//                     (e.g. "specialized,jit,auto"); default keeps the
+//                     base configuration's single tier
+//   --json FILE       write the machine-readable TuningReport
+//   --candidates      print the per-candidate table
+//   --constrained-memory   model the finite memory controller
+//
+// Exit codes follow the shared table printed by --help
+// (support/Error.h exitCodeLegend).
 //
 //===----------------------------------------------------------------------===//
 
 #include "StencilFlow.h"
-#include "support/CommandLine.h"
+#include "support/Args.h"
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
@@ -38,18 +43,6 @@
 using namespace stencilflow;
 
 namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: sf_tune (<program.json> | --workload NAME) [--length N]\n"
-      "               [--budget N] [--beam N] [--seed N] [--top-k N]\n"
-      "               [--workers N] [--no-simulate] [--constrained-memory]\n"
-      "               [--max-devices N] [--kernel-engines LIST]\n"
-      "               [--json FILE] [--candidates]\n"
-      "workloads: jacobi3d diffusion2d diffusion3d hdiff\n"
-      "kernel engines: comma-separated scalar|batched|specialized|jit|auto\n");
-}
 
 Expected<StencilProgram> builtinWorkload(const std::string &Name,
                                          int Length) {
@@ -70,18 +63,33 @@ Expected<StencilProgram> builtinWorkload(const std::string &Name,
 } // namespace
 
 int main(int argc, char **argv) {
-  auto Args = CommandLine::parse(
-      argc, argv,
-      {"workload", "length", "budget", "beam", "seed", "top-k", "workers",
-       "no-simulate", "constrained-memory", "max-devices", "kernel-engines",
-       "json", "candidates"});
+  cli::ArgSet Spec("sf_tune",
+                   "Design-space exploration over the mapping knobs, "
+                   "ranked analytically and validated on the simulator.",
+                   "(<program.json> | --workload NAME)");
+  Spec.group("input")
+      .option("workload", "NAME",
+              "built-in benchmark: jacobi3d diffusion2d diffusion3d hdiff")
+      .option("length", "N", "chain length for the built-in workloads")
+      .flag("constrained-memory",
+            "model the finite memory controller (default is ideal memory)")
+      .option("max-devices", "N", "cap the device axis of the space")
+      .pack(cli::tuneFlagSpecs())
+      .group("output")
+      .option("kernel-engines", "LIST",
+              "comma-separated kernel-execution axis, e.g. specialized,jit")
+      .option("json", "FILE", "write the machine-readable TuningReport")
+      .flag("candidates", "print the per-candidate table");
+  auto Args = Spec.parse(argc, argv);
   if (!Args) {
     std::fprintf(stderr, "error: %s\n", Args.message().c_str());
     return 1;
   }
+  if (Spec.helpShown())
+    return 0;
   bool HaveWorkload = Args->has("workload");
   if (Args->positional().size() != (HaveWorkload ? 0u : 1u)) {
-    usage();
+    std::fprintf(stderr, "%s\n", Spec.usageLine().c_str());
     return 1;
   }
 
@@ -106,14 +114,17 @@ int main(int argc, char **argv) {
     S->pipelineOptions().Partitioning.MaxDevices =
         static_cast<int>(Args->getInt("max-devices", 8));
 
+  // The unified --tune-* spellings (support/Args.h tuneFlagSpecs);
+  // --tune-beam and --kernel-engines are search-axis overrides beyond the
+  // fluent Session knobs, so the options block is assembled explicitly.
   tuner::TuneOptions Opts;
   Opts.Search.CandidateBudget =
-      static_cast<int>(Args->getInt("budget", 64));
-  Opts.Search.BeamWidth = static_cast<int>(Args->getInt("beam", 6));
+      static_cast<int>(Args->getInt("tune-budget", 64));
+  Opts.Search.BeamWidth = static_cast<int>(Args->getInt("tune-beam", 6));
   Opts.Search.Seed = static_cast<uint64_t>(
-      Args->getInt("seed", 0x5F3759DF));
-  Opts.TopK = static_cast<int>(Args->getInt("top-k", 3));
-  Opts.Workers = static_cast<int>(Args->getInt("workers", 0));
+      Args->getInt("tune-seed", 0x5F3759DF));
+  Opts.TopK = static_cast<int>(Args->getInt("tune-top-k", 3));
+  Opts.Workers = static_cast<int>(Args->getInt("tune-workers", 0));
   Opts.Simulate = !Args->has("no-simulate");
   if (Args->has("kernel-engines")) {
     for (const std::string &Name :

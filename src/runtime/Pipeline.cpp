@@ -18,17 +18,17 @@
 
 using namespace stencilflow;
 
-Expected<PipelineResult>
-stencilflow::runPipeline(StencilProgram Program,
-                         const PipelineOptions &Options) {
-  PipelineResult Result;
+Expected<CompiledPlan>
+stencilflow::compilePipeline(StencilProgram Program,
+                             const PipelineOptions &Options) {
+  CompiledPlan Plan;
 
   // Domain-specific optimization: aggressive stencil fusion (Sec. V-B).
   if (Options.FuseStencils) {
     Expected<FusionReport> Fusion = fuseAllStencils(Program);
     if (!Fusion)
       return Fusion.takeError().addContext("stencil fusion");
-    Result.FusedPairs = Fusion->FusedPairs;
+    Plan.FusedPairs = Fusion->FusedPairs;
   }
 
   // Algebraic simplification (after fusion, which exposes identities).
@@ -44,19 +44,19 @@ stencilflow::runPipeline(StencilProgram Program,
       CompiledProgram::compile(std::move(Program), Options.Kernel);
   if (!Compiled)
     return Compiled.takeError().addContext("compilation");
-  Result.Compiled = Compiled.takeValue();
+  Plan.Compiled = Compiled.takeValue();
 
   Expected<DataflowAnalysis> Dataflow =
-      analyzeDataflow(Result.Compiled, Options.Latencies);
+      analyzeDataflow(Plan.Compiled, Options.Latencies);
   if (!Dataflow)
     return Dataflow.takeError().addContext("dataflow analysis");
-  Result.Dataflow = Dataflow.takeValue();
+  Plan.Dataflow = Dataflow.takeValue();
 
-  Result.Runtime = computeRuntimeEstimate(Result.Compiled, Result.Dataflow);
-  Result.Resources = estimateProgramResources(
-      Result.Compiled, Result.Dataflow, Options.Partitioning.ResourceConfig);
-  Result.FrequencyMHz =
-      estimateFrequencyMHz(Result.Resources, Options.Partitioning.Device,
+  Plan.Runtime = computeRuntimeEstimate(Plan.Compiled, Plan.Dataflow);
+  Plan.Resources = estimateProgramResources(
+      Plan.Compiled, Plan.Dataflow, Options.Partitioning.ResourceConfig);
+  Plan.FrequencyMHz =
+      estimateFrequencyMHz(Plan.Resources, Options.Partitioning.Device,
                            Options.Partitioning.ResourceConfig);
 
   // Device mapping.
@@ -64,171 +64,204 @@ stencilflow::runPipeline(StencilProgram Program,
   if (!Options.AllowMultiDevice)
     PartOptions.MaxDevices = 1;
   Expected<Partition> Placement =
-      partitionProgram(Result.Compiled, Result.Dataflow, PartOptions);
+      partitionProgram(Plan.Compiled, Plan.Dataflow, PartOptions);
   if (!Placement)
     return Placement.takeError().addContext("partitioning");
-  Result.Placement = Placement.takeValue();
+  Plan.Placement = Placement.takeValue();
 
   // Code generation.
   if (Options.EmitCode) {
     Expected<std::vector<GeneratedSource>> Sources = emitOpenCL(
-        Result.Compiled, Result.Dataflow,
-        Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr);
+        Plan.Compiled, Plan.Dataflow,
+        Plan.Placement.numDevices() > 1 ? &Plan.Placement : nullptr);
     if (!Sources)
       return Sources.takeError().addContext("code generation");
-    Result.Sources = Sources.takeValue();
+    Plan.Sources = Sources.takeValue();
   }
+  return Plan;
+}
+
+Expected<PlanExecution, sim::SimFailure>
+stencilflow::executePlan(const CompiledPlan &Plan,
+                         const PipelineOptions &Options) {
+  PlanExecution Exec;
+  Exec.Placement = Plan.Placement;
+  if (!Options.Simulate)
+    return Exec;
 
   // Simulated execution and validation, with graceful degradation: a
   // permanent device loss re-partitions the DAG across the survivors and
   // re-runs (paper Sec. VI-B fabrics must outlive single-node failures).
-  if (Options.Simulate) {
-    auto Inputs = materializeInputs(Result.Compiled.program());
-    sim::SimConfig SimConfig = Options.Simulator;
-    sim::FaultPlan SurvivorPlan; // Retry plan: device failures stripped.
+  PartitionOptions PartOptions = Options.Partitioning;
+  if (!Options.AllowMultiDevice)
+    PartOptions.MaxDevices = 1;
 
-    // Explicit resume: the user pointed at a snapshot (or a directory of
-    // them); failing to load it is a hard error, unlike the best-effort
-    // automatic reload on device loss below.
-    sim::MachineSnapshot ResumeSnap;
-    bool HaveResume = false;
-    if (!Options.ResumeFrom.empty()) {
+  auto Inputs = materializeInputs(Plan.Compiled.program());
+  sim::SimConfig SimConfig = Options.Simulator;
+  sim::FaultPlan SurvivorPlan; // Retry plan: device failures stripped.
+
+  // Explicit resume: the user pointed at a snapshot (or a directory of
+  // them); failing to load it is a hard error, unlike the best-effort
+  // automatic reload on device loss below.
+  sim::MachineSnapshot ResumeSnap;
+  bool HaveResume = false;
+  if (!Options.ResumeFrom.empty()) {
+    Expected<std::string> Latest =
+        sim::findLatestSnapshot(Options.ResumeFrom);
+    if (!Latest)
+      return Latest.takeError().addContext("resolving --resume");
+    Expected<sim::MachineSnapshot> Snap = sim::readSnapshotFile((*Latest));
+    if (!Snap)
+      return Snap.takeError().addContext("loading resume snapshot");
+    ResumeSnap = Snap.takeValue();
+    HaveResume = true;
+    Exec.Recovery.Log.push_back(formatString(
+        "resuming from snapshot '%s' at cycle %lld", (*Latest).c_str(),
+        static_cast<long long>(ResumeSnap.Cycle)));
+  }
+
+  for (int Attempt = 1;; ++Attempt) {
+    Exec.Recovery.Attempts = Attempt;
+    Expected<sim::Machine> M = sim::Machine::build(
+        Plan.Compiled, Plan.Dataflow,
+        Exec.Placement.numDevices() > 1 ? &Exec.Placement : nullptr,
+        SimConfig);
+    if (!M)
+      return M.takeError().addContext("simulator construction");
+    Expected<sim::SimResult, sim::SimFailure> Sim =
+        M->run(Inputs, HaveResume ? &ResumeSnap : nullptr);
+    if (Sim) {
+      Exec.Simulation = Sim.takeValue();
+      if (Exec.Simulation.Stats.ResumedFromCycle >= 0)
+        Exec.Recovery.CyclesSavedByCheckpoint =
+            Exec.Simulation.Stats.ResumedFromCycle;
+      for (const auto &[Name, Link] : Exec.Simulation.Stats.Links) {
+        Exec.Recovery.Retransmissions += Link.Retransmissions;
+        Exec.Recovery.CorruptedVectors += Link.CorruptedVectors;
+      }
+      if (Attempt > 1 || Exec.Recovery.Retransmissions > 0 ||
+          Exec.Recovery.CorruptedVectors > 0)
+        Exec.Recovery.Log.push_back(formatString(
+            "attempt %d: completed on %zu device(s), absorbing %lld "
+            "corrupted vector(s) via %lld retransmission(s)",
+            Attempt, Exec.Placement.numDevices(),
+            static_cast<long long>(Exec.Recovery.CorruptedVectors),
+            static_cast<long long>(Exec.Recovery.Retransmissions)));
+      break;
+    }
+    // The structured report travels with the failure itself.
+    sim::SimFailure Fail = Sim.takeError();
+    const sim::FailureReport &Failure = Fail.report();
+    // Each lost node shrinks the testbed's device pool by one; the
+    // program is re-partitioned across the survivors (a spare takes the
+    // failed node's place when the pool still has slack). Unrecoverable
+    // when the pool is exhausted.
+    int Survivors =
+        PartOptions.MaxDevices - (Exec.Recovery.DevicesLost + 1);
+    bool Recoverable = Fail.code() == ErrorCode::DeviceLost &&
+                       Options.RecoverFromDeviceLoss &&
+                       Attempt < Options.MaxSimAttempts && Survivors >= 1;
+    if (!Recoverable)
+      return Fail.addContext("simulation");
+
+    ++Exec.Recovery.DevicesLost;
+    Exec.Recovery.Log.push_back(formatString(
+        "attempt %d: device %d lost at cycle %lld; re-partitioning "
+        "across a pool of %d surviving device(s)",
+        Attempt, Failure.FailedDevice,
+        static_cast<long long>(Failure.Cycle), Survivors));
+
+    // Incremental recovery: when the run was checkpointing, reload the
+    // latest snapshot and rehydrate it onto the survivor placement so
+    // the retry replays only the tail since that snapshot instead of
+    // the whole run. Best-effort — a missing or unreadable snapshot
+    // falls back to the pre-checkpoint behavior (restart from zero).
+    HaveResume = false;
+    if (!SimConfig.CheckpointDir.empty()) {
       Expected<std::string> Latest =
-          sim::findLatestSnapshot(Options.ResumeFrom);
-      if (!Latest)
-        return Latest.takeError().addContext("resolving --resume");
+          sim::findLatestSnapshot(SimConfig.CheckpointDir);
       Expected<sim::MachineSnapshot> Snap =
-          sim::readSnapshotFile((*Latest));
-      if (!Snap)
-        return Snap.takeError().addContext("loading resume snapshot");
-      ResumeSnap = Snap.takeValue();
-      HaveResume = true;
-      Result.Recovery.Log.push_back(formatString(
-          "resuming from snapshot '%s' at cycle %lld",
-          (*Latest).c_str(),
-          static_cast<long long>(ResumeSnap.Cycle)));
-    }
-
-    for (int Attempt = 1;; ++Attempt) {
-      Result.Recovery.Attempts = Attempt;
-      Expected<sim::Machine> M = sim::Machine::build(
-          Result.Compiled, Result.Dataflow,
-          Result.Placement.numDevices() > 1 ? &Result.Placement : nullptr,
-          SimConfig);
-      if (!M)
-        return M.takeError().addContext("simulator construction");
-      Expected<sim::SimResult, sim::SimFailure> Sim =
-          M->run(Inputs, HaveResume ? &ResumeSnap : nullptr);
-      if (Sim) {
-        Result.Simulation = Sim.takeValue();
-        if (Result.Simulation.Stats.ResumedFromCycle >= 0)
-          Result.Recovery.CyclesSavedByCheckpoint =
-              Result.Simulation.Stats.ResumedFromCycle;
-        for (const auto &[Name, Link] : Result.Simulation.Stats.Links) {
-          Result.Recovery.Retransmissions += Link.Retransmissions;
-          Result.Recovery.CorruptedVectors += Link.CorruptedVectors;
-        }
-        if (Attempt > 1 || Result.Recovery.Retransmissions > 0 ||
-            Result.Recovery.CorruptedVectors > 0)
-          Result.Recovery.Log.push_back(formatString(
-              "attempt %d: completed on %zu device(s), absorbing %lld "
-              "corrupted vector(s) via %lld retransmission(s)",
-              Attempt, Result.Placement.numDevices(),
-              static_cast<long long>(Result.Recovery.CorruptedVectors),
-              static_cast<long long>(Result.Recovery.Retransmissions)));
-        break;
-      }
-      // The structured report travels with the failure itself.
-      sim::SimFailure Fail = Sim.takeError();
-      const sim::FailureReport &Failure = Fail.report();
-      Error Err = Fail;
-      // Each lost node shrinks the testbed's device pool by one; the
-      // program is re-partitioned across the survivors (a spare takes the
-      // failed node's place when the pool still has slack). Unrecoverable
-      // when the pool is exhausted.
-      int Survivors = PartOptions.MaxDevices -
-                      (Result.Recovery.DevicesLost + 1);
-      bool Recoverable = Err.code() == ErrorCode::DeviceLost &&
-                         Options.RecoverFromDeviceLoss &&
-                         Attempt < Options.MaxSimAttempts &&
-                         Survivors >= 1;
-      if (!Recoverable)
-        return Err.addContext("simulation");
-
-      ++Result.Recovery.DevicesLost;
-      Result.Recovery.Log.push_back(formatString(
-          "attempt %d: device %d lost at cycle %lld; re-partitioning "
-          "across a pool of %d surviving device(s)",
-          Attempt, Failure.FailedDevice,
-          static_cast<long long>(Failure.Cycle), Survivors));
-
-      // Incremental recovery: when the run was checkpointing, reload the
-      // latest snapshot and rehydrate it onto the survivor placement so
-      // the retry replays only the tail since that snapshot instead of
-      // the whole run. Best-effort — a missing or unreadable snapshot
-      // falls back to the pre-checkpoint behavior (restart from zero).
-      HaveResume = false;
-      if (!SimConfig.CheckpointDir.empty()) {
-        Expected<std::string> Latest =
-            sim::findLatestSnapshot(SimConfig.CheckpointDir);
-        Expected<sim::MachineSnapshot> Snap =
-            Latest ? sim::readSnapshotFile((*Latest))
-                   : Expected<sim::MachineSnapshot>(Latest.takeError());
-        if (Snap) {
-          ResumeSnap = Snap.takeValue();
-          HaveResume = true;
-          Result.Recovery.Log.push_back(formatString(
-              "attempt %d: rehydrating survivors from checkpoint at "
-              "cycle %lld (skipping %lld completed cycle(s))",
-              Attempt + 1, static_cast<long long>(ResumeSnap.Cycle),
-              static_cast<long long>(ResumeSnap.Cycle)));
-        } else {
-          Error Why = Snap.takeError();
-          Result.Recovery.Log.push_back(formatString(
-              "attempt %d: no usable checkpoint (%s); restarting from "
-              "cycle zero",
-              Attempt + 1, Why.message().c_str()));
-        }
-      }
-
-      PartitionOptions Degraded = PartOptions;
-      Degraded.MaxDevices = Survivors;
-      Expected<Partition> Replacement =
-          partitionProgram(Result.Compiled, Result.Dataflow, Degraded);
-      if (!Replacement)
-        return Replacement.takeError().addContext(formatString(
-            "re-partitioning after losing device %d",
-            Failure.FailedDevice));
-      Result.Placement = Replacement.takeValue();
-
-      // The failed node is gone; keep only the survivors' faults.
-      if (SimConfig.Faults) {
-        SurvivorPlan = *SimConfig.Faults;
-        SurvivorPlan.Events.erase(
-            std::remove_if(SurvivorPlan.Events.begin(),
-                           SurvivorPlan.Events.end(),
-                           [](const sim::FaultEvent &E) {
-                             return E.Kind == sim::FaultKind::DeviceFailure;
-                           }),
-            SurvivorPlan.Events.end());
-        SimConfig.Faults = &SurvivorPlan;
+          Latest ? sim::readSnapshotFile((*Latest))
+                 : Expected<sim::MachineSnapshot>(Latest.takeError());
+      if (Snap) {
+        ResumeSnap = Snap.takeValue();
+        HaveResume = true;
+        Exec.Recovery.Log.push_back(formatString(
+            "attempt %d: rehydrating survivors from checkpoint at "
+            "cycle %lld (skipping %lld completed cycle(s))",
+            Attempt + 1, static_cast<long long>(ResumeSnap.Cycle),
+            static_cast<long long>(ResumeSnap.Cycle)));
+      } else {
+        Error Why = Snap.takeError();
+        Exec.Recovery.Log.push_back(formatString(
+            "attempt %d: no usable checkpoint (%s); restarting from "
+            "cycle zero",
+            Attempt + 1, Why.message().c_str()));
       }
     }
 
-    if (Options.Validate) {
-      Expected<ExecutionResult> Reference =
-          runReference(Result.Compiled, Inputs);
-      if (!Reference)
-        return Reference.takeError().addContext("reference execution");
-      for (const std::string &Output :
-           Result.Compiled.program().Outputs) {
-        ValidationReport Report = validateField(
-            Output, Result.Simulation.Outputs.at(Output),
-            Reference->field(Output), Options.Tolerance);
-        Result.ValidationPassed &= Report.Passed;
-        Result.Validations.push_back(std::move(Report));
-      }
+    PartitionOptions Degraded = PartOptions;
+    Degraded.MaxDevices = Survivors;
+    Expected<Partition> Replacement =
+        partitionProgram(Plan.Compiled, Plan.Dataflow, Degraded);
+    if (!Replacement)
+      return Replacement.takeError().addContext(formatString(
+          "re-partitioning after losing device %d", Failure.FailedDevice));
+    Exec.Placement = Replacement.takeValue();
+
+    // The failed node is gone; keep only the survivors' faults.
+    if (SimConfig.Faults) {
+      SurvivorPlan = *SimConfig.Faults;
+      SurvivorPlan.Events.erase(
+          std::remove_if(SurvivorPlan.Events.begin(),
+                         SurvivorPlan.Events.end(),
+                         [](const sim::FaultEvent &E) {
+                           return E.Kind == sim::FaultKind::DeviceFailure;
+                         }),
+          SurvivorPlan.Events.end());
+      SimConfig.Faults = &SurvivorPlan;
     }
   }
+
+  if (Options.Validate) {
+    Expected<ExecutionResult> Reference =
+        runReference(Plan.Compiled, Inputs);
+    if (!Reference)
+      return Reference.takeError().addContext("reference execution");
+    for (const std::string &Output : Plan.Compiled.program().Outputs) {
+      ValidationReport Report = validateField(
+          Output, Exec.Simulation.Outputs.at(Output),
+          Reference->field(Output), Options.Tolerance);
+      Exec.ValidationPassed &= Report.Passed;
+      Exec.Validations.push_back(std::move(Report));
+    }
+  }
+  return Exec;
+}
+
+Expected<PipelineResult>
+stencilflow::runPipeline(StencilProgram Program,
+                         const PipelineOptions &Options) {
+  Expected<CompiledPlan> Plan =
+      compilePipeline(std::move(Program), Options);
+  if (!Plan)
+    return Plan.takeError();
+  Expected<PlanExecution, sim::SimFailure> Exec = executePlan(*Plan, Options);
+  if (!Exec)
+    return Error(Exec.takeError());
+
+  PipelineResult Result;
+  Result.Compiled = std::move(Plan->Compiled);
+  Result.Dataflow = std::move(Plan->Dataflow);
+  Result.Runtime = Plan->Runtime;
+  Result.Resources = Plan->Resources;
+  Result.FrequencyMHz = Plan->FrequencyMHz;
+  Result.Sources = std::move(Plan->Sources);
+  Result.FusedPairs = Plan->FusedPairs;
+  Result.Placement = std::move(Exec->Placement);
+  Result.Simulation = std::move(Exec->Simulation);
+  Result.Validations = std::move(Exec->Validations);
+  Result.ValidationPassed = Exec->ValidationPassed;
+  Result.Recovery = std::move(Exec->Recovery);
   return Result;
 }

@@ -135,7 +135,60 @@ struct PipelineResult {
   }
 };
 
-/// Runs the full pipeline on \p Program.
+/// The reusable product of the pipeline's *compile half*: everything
+/// derived from the program description alone — fusion, kernel
+/// compilation, dataflow/buffer analysis, the runtime/resource/frequency
+/// estimates, optional code generation, and the device placement. A plan
+/// holds no per-run simulator state, so one plan can be executed many
+/// times concurrently via \c executePlan; the serving layer caches plans
+/// across requests (serve/PlanCache.h) so repeat traffic skips this half
+/// entirely. Move-only (kernels own their tapes).
+struct CompiledPlan {
+  CompiledProgram Compiled;
+  DataflowAnalysis Dataflow;
+  RuntimeEstimate Runtime;
+  ResourceUsage Resources;   ///< Single-device aggregate estimate.
+  double FrequencyMHz = 0.0; ///< From the utilization model.
+  Partition Placement;
+  std::vector<GeneratedSource> Sources; ///< When EmitCode.
+  int FusedPairs = 0;
+};
+
+/// What one execution of a compiled plan produced: the simulation, its
+/// validation against the reference executor, and the resilience
+/// narrative. The compile-side artifacts stay with the (shared, possibly
+/// cached) \c CompiledPlan rather than being copied per run.
+struct PlanExecution {
+  sim::SimResult Simulation;
+  std::vector<ValidationReport> Validations;
+  bool ValidationPassed = true;
+  RecoveryReport Recovery;
+  /// The placement the successful attempt actually ran on — differs from
+  /// the plan's when device-loss recovery re-partitioned onto survivors.
+  Partition Placement;
+};
+
+/// The compile half: fusion and simplification, kernel compilation,
+/// dataflow analysis, model estimates, optional code generation, and
+/// partitioning. Only \p Options fields consumed before simulation are
+/// read (FuseStencils, SimplifyCode, Kernel, Latencies, Partitioning,
+/// AllowMultiDevice, EmitCode).
+Expected<CompiledPlan> compilePipeline(StencilProgram Program,
+                                       const PipelineOptions &Options = {});
+
+/// The execute half: simulation with graceful device-loss degradation,
+/// then validation. \p Plan is shared-read-only — concurrent executions
+/// of one plan are safe — and per-run knobs (Simulator, ResumeFrom,
+/// Validate, Tolerance, recovery policy) come from \p Options. Honors
+/// Options.Simulate == false by returning an empty execution. Failures
+/// are \c sim::SimFailure so the structured \c FailureReport travels to
+/// callers (the serving layer forwards it in error responses); it
+/// converts to plain \c Error for generic propagation.
+Expected<PlanExecution, sim::SimFailure>
+executePlan(const CompiledPlan &Plan, const PipelineOptions &Options = {});
+
+/// Runs the full pipeline on \p Program: \c compilePipeline composed with
+/// \c executePlan, assembled into the all-in-one \c PipelineResult.
 Expected<PipelineResult> runPipeline(StencilProgram Program,
                                      const PipelineOptions &Options = {});
 

@@ -33,11 +33,11 @@ Session &Session::trace(int64_t SampleStride) {
   return *this;
 }
 
-Expected<PipelineResult> Session::run() {
-  // Fail fast on inconsistent state, before any expensive phase runs.
-  if (Error Err = Program.validate())
-    return Err.addContext("session program");
-
+/// Materializes the effective option block: the stored options plus the
+/// session-owned fault plan and tracer wired in, validated up front so
+/// inconsistent settings fail with a typed error instead of deep inside
+/// the pipeline.
+Expected<PipelineOptions> Session::effectiveOptions() const {
   PipelineOptions O = Opts;
   if (OwnedFaults)
     O.Simulator.Faults = &*OwnedFaults;
@@ -48,8 +48,35 @@ Expected<PipelineResult> Session::run() {
   if (O.Simulator.Faults)
     if (Error Err = O.Simulator.Faults->validate())
       return Err.addContext("session fault plan");
+  return O;
+}
+
+Expected<PipelineResult> Session::run() {
+  // Fail fast on inconsistent state, before any expensive phase runs.
+  if (Error Err = Program.validate())
+    return Err.addContext("session program");
+  Expected<PipelineOptions> O = effectiveOptions();
+  if (!O)
+    return O.takeError();
 
   // The pipeline consumes its program; hand it a clone so the session
   // stays runnable (option sweeps over one loaded program).
-  return runPipeline(Program.clone(), O);
+  return runPipeline(Program.clone(), *O);
+}
+
+Expected<CompiledPlan> Session::compilePlan() {
+  if (Error Err = Program.validate())
+    return Err.addContext("session program");
+  Expected<PipelineOptions> O = effectiveOptions();
+  if (!O)
+    return O.takeError();
+  return compilePipeline(Program.clone(), *O);
+}
+
+Expected<PlanExecution, sim::SimFailure>
+Session::runPlan(const CompiledPlan &Plan) {
+  Expected<PipelineOptions> O = effectiveOptions();
+  if (!O)
+    return O.takeError();
+  return executePlan(Plan, *O);
 }

@@ -166,6 +166,30 @@ public:
     Opts.Simulator.CheckpointKeep = Keep;
     return *this;
   }
+  /// Granular checkpoint knobs, one setter per SimConfig field, for
+  /// callers (CLIs) that assemble the cadence piecemeal instead of via
+  /// the combined \c checkpointEvery* overloads above.
+  Session &checkpointDir(std::string Dir) {
+    Opts.Simulator.CheckpointDir = std::move(Dir);
+    return *this;
+  }
+  Session &checkpointEveryCycles(int64_t Cycles) {
+    Opts.Simulator.CheckpointEveryCycles = Cycles;
+    return *this;
+  }
+  Session &checkpointEverySeconds(double Seconds) {
+    Opts.Simulator.CheckpointEverySeconds = Seconds;
+    return *this;
+  }
+  Session &checkpointKeep(int Keep) {
+    Opts.Simulator.CheckpointKeep = Keep;
+    return *this;
+  }
+  /// Crash-consistency test hook: SIGKILL after the N-th snapshot.
+  Session &checkpointCrashAfter(int Count) {
+    Opts.Simulator.CheckpointCrashAfter = Count;
+    return *this;
+  }
   /// Resumes the first simulation attempt from \p PathOrDir: a snapshot
   /// file, or a checkpoint directory (the latest snapshot wins). An
   /// unreadable or incompatible snapshot fails the run with
@@ -196,6 +220,33 @@ public:
   /// The owned tracer, or null when \c trace() was never called.
   sim::Tracer *tracer() { return OwnedTracer.get(); }
 
+  /// Autotuner knobs, mirrored from tuner::TuneOptions so they chain like
+  /// every other Session setter (the option struct itself stays
+  /// forward-declared here — sf_runtime does not depend on sf_tuner).
+  /// They seed the no-argument \c tune() overload; \c tune(Options) takes
+  /// a fully-formed option block and ignores them.
+  Session &tuneBudget(int Candidates) {
+    Tuning.Budget = Candidates;
+    return *this;
+  }
+  Session &tuneSeed(uint64_t Seed) {
+    Tuning.Seed = Seed;
+    Tuning.HaveSeed = true;
+    return *this;
+  }
+  Session &tuneTopK(int K) {
+    Tuning.TopK = K;
+    return *this;
+  }
+  Session &tuneWorkers(int Workers) {
+    Tuning.Workers = Workers;
+    return *this;
+  }
+  Session &tuneSimulate(bool Enable = true) {
+    Tuning.Simulate = Enable;
+    return *this;
+  }
+
   //===--------------------------------------------------------------------===//
   // Introspection and execution
   //===--------------------------------------------------------------------===//
@@ -212,23 +263,55 @@ public:
   /// program.
   Expected<PipelineResult> run();
 
+  /// Runs only the compile half (runtime/Pipeline.h compilePipeline)
+  /// under the current configuration: fusion, kernel compilation,
+  /// dataflow analysis, estimates, partitioning. The returned plan is
+  /// independent of this session and reusable across many \c runPlan
+  /// calls — the serving layer caches plans across requests.
+  Expected<CompiledPlan> compilePlan();
+
+  /// Runs only the execute half on a previously compiled plan: simulation
+  /// with device-loss recovery, then validation. The plan is read-only;
+  /// concurrent \c runPlan calls on one shared plan are safe. Per-run
+  /// knobs (engine, faults, checkpointing, validation) come from this
+  /// session's current configuration, validated up front like \c run().
+  /// Failures carry the structured \c sim::FailureReport (convertible to
+  /// plain \c Error for generic propagation).
+  Expected<PlanExecution, sim::SimFailure> runPlan(const CompiledPlan &Plan);
+
   /// Runs the mapping autotuner (tuner/Tuner.h) over this session's
   /// program and base configuration: searches vectorization width x
   /// fusion x device count x target utilization, validates the top
   /// candidates on the simulator, and returns the chosen plan plus the
-  /// full report. Defined in sf_tuner (link it to use this); the no-arg
-  /// overload stands in for a default argument, which the forward-declared
-  /// option type cannot express here.
+  /// full report. Defined in sf_tuner (link it to use this). The no-arg
+  /// overload assembles its options from the fluent tune* setters above;
+  /// the explicit overload takes a fully-formed option block for axis
+  /// overrides the setters do not cover.
   Expected<tuner::TuningOutcome> tune(const tuner::TuneOptions &Options);
   Expected<tuner::TuningOutcome> tune();
 
 private:
   explicit Session(StencilProgram Program) : Program(std::move(Program)) {}
 
+  /// Stored options + owned fault plan/tracer, validated.
+  Expected<PipelineOptions> effectiveOptions() const;
+
+  /// Stored autotuner knobs (the fluent tune* setters); folded into a
+  /// tuner::TuneOptions by the no-argument tune() overload (Tuner.cpp).
+  struct TuneKnobs {
+    int Budget = 64;
+    uint64_t Seed = 0;
+    bool HaveSeed = false;
+    int TopK = 3;
+    int Workers = 0;
+    bool Simulate = true;
+  };
+
   StencilProgram Program;
   PipelineOptions Opts;
   std::optional<sim::FaultPlan> OwnedFaults;
   std::unique_ptr<sim::Tracer> OwnedTracer;
+  TuneKnobs Tuning;
 };
 
 } // namespace stencilflow

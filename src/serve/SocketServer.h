@@ -1,0 +1,75 @@
+//===- serve/SocketServer.h - AF_UNIX line-JSON transport ---------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon transport: an AF_UNIX stream socket speaking the
+/// line-delimited JSON protocol (serve/Protocol.h). Each accepted
+/// connection gets a reader thread that decodes request lines, drives the
+/// shared \c Server, and writes one response line per request, in order.
+/// Admission control and the plan cache live in the \c Server — the
+/// transport is deliberately dumb.
+///
+/// Shutdown is graceful and signal-safe: \c requestShutdown() (callable
+/// from a SIGTERM/SIGINT handler — it only calls shutdown(2) on the
+/// listening descriptor) unblocks the accept loop; \c run() then stops
+/// the server (draining admitted jobs, shedding queued ones), joins the
+/// connection threads, and unlinks the socket path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SERVE_SOCKETSERVER_H
+#define STENCILFLOW_SERVE_SOCKETSERVER_H
+
+#include "serve/Server.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stencilflow {
+namespace serve {
+
+/// One listening AF_UNIX socket bound to a filesystem path, multiplexing
+/// connections onto a shared \c Server.
+class SocketServer {
+public:
+  /// \p Core must outlive this transport.
+  SocketServer(Server &Core, std::string Path);
+  ~SocketServer();
+
+  /// Binds and listens. Fails with InvalidInput if the path is taken or
+  /// unbindable (a stale socket file left by a crashed daemon is
+  /// reclaimed automatically when nothing is listening on it).
+  Error open();
+
+  /// Accept loop: blocks until \c requestShutdown() (or a fatal accept
+  /// error), then stops the core server, joins connection threads, and
+  /// removes the socket file. The "shutdown" protocol op triggers the
+  /// same path from a connection thread.
+  void run();
+
+  /// Async-signal-safe shutdown trigger.
+  void requestShutdown();
+
+  const std::string &path() const { return Path; }
+
+private:
+  void serveConnection(int Fd);
+
+  Server &Core;
+  std::string Path;
+  std::atomic<int> ListenFd{-1};
+  std::atomic<bool> ShutdownRequested{false};
+
+  std::mutex ConnMutex;
+  std::vector<std::thread> Connections;
+};
+
+} // namespace serve
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SERVE_SOCKETSERVER_H

@@ -184,9 +184,8 @@ struct FailureChannel {
 /// class, the cycle, the most-stalled component with its attributed stall
 /// cause, and the occupancy of every channel adjacent to a stuck
 /// component. Produced by \c Machine::run on every failure path and
-/// rendered into the returned \c Error's message; the structured form is
-/// available via \c Machine::lastFailure for recovery policies and JSON
-/// export.
+/// carried by the returned \c SimFailure (rendered into its message) for
+/// recovery policies and JSON export.
 struct FailureReport {
   ErrorCode Code = ErrorCode::Unknown;
   int64_t Cycle = 0;
@@ -215,9 +214,9 @@ struct FailureReport {
 };
 
 /// The failure value of \c Machine::run: a classified \c Error plus the
-/// structured \c FailureReport behind it, carried together so callers no
-/// longer pair the returned error with a second \c Machine::lastFailure()
-/// call. Converts implicitly from and to \c Error, so generic error
+/// structured \c FailureReport behind it, carried together so callers
+/// never pair the returned error with a second accessor call.
+/// Converts implicitly from and to \c Error, so generic error
 /// plumbing (\c makeError returns, \c Error::addContext, exit-code
 /// mapping) keeps working unchanged:
 /// \code

@@ -173,9 +173,9 @@ struct SimStats {
 };
 
 /// How a returned simulation terminated. Failed runs return a typed
-/// \c Error instead (see \c Machine::lastFailure for the structured
-/// report), so a \c SimResult either completed cleanly or completed while
-/// the reliable transport absorbed injected faults.
+/// \c SimFailure instead (carrying the structured \c FailureReport), so a
+/// \c SimResult either completed cleanly or completed while the reliable
+/// transport absorbed injected faults.
 enum class TerminationReason : uint8_t {
   /// Ran to completion; no faults were absorbed.
   Completed,
@@ -226,16 +226,6 @@ public:
 
   /// Number of devices in the machine.
   int numDevices() const { return NumDevices; }
-
-  /// The structured report of the most recent failed run. Deprecated: the
-  /// report now travels with the failure itself — use
-  /// `run(...).takeError().report()` instead of pairing the returned
-  /// error with this second call.
-  [[deprecated("use the FailureReport carried by run()'s SimFailure "
-               "instead")]] const FailureReport &
-  lastFailure() const {
-    return LastFailure;
-  }
 
 private:
   //===--------------------------------------------------------------------===//

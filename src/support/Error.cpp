@@ -34,6 +34,8 @@ const char *stencilflow::errorCodeName(ErrorCode Code) {
     return "snapshot-invalid";
   case ErrorCode::SnapshotIncompatible:
     return "snapshot-incompatible";
+  case ErrorCode::Overloaded:
+    return "overloaded";
   }
   return "unknown";
 }
@@ -46,30 +48,50 @@ stencilflow::errorCodeFromName(std::string_view Name) {
   return std::nullopt;
 }
 
+const std::vector<ExitCodeRow> &stencilflow::exitCodeTable() {
+  // One row per ErrorCode, in enum order. This is the single source of
+  // truth for process exit codes; support_test asserts completeness,
+  // ordering, and distinctness of the classified rows.
+  static const std::vector<ExitCodeRow> Table = {
+      {ErrorCode::Unknown, 1, "unclassified failure"},
+      {ErrorCode::InvalidInput, 1,
+       "malformed program description or invalid configuration"},
+      {ErrorCode::Infeasible, 1, "no feasible mapping"},
+      {ErrorCode::Deadlock, 3, "cyclic-dependency deadlock"},
+      {ErrorCode::Starvation, 8, "progress watchdog stall timeout"},
+      {ErrorCode::CycleLimit, 4, "hard simulation cycle limit exceeded"},
+      {ErrorCode::LinkFailure, 6, "retransmit budget exhausted"},
+      {ErrorCode::DataCorruption, 7,
+       "payload corruption with no recovery protocol"},
+      {ErrorCode::DeviceLost, 5, "permanent device failure"},
+      {ErrorCode::ValidationMismatch, 2,
+       "simulated outputs disagree with the reference executor"},
+      {ErrorCode::SnapshotInvalid, 9, "unreadable checkpoint snapshot"},
+      {ErrorCode::SnapshotIncompatible, 10,
+       "checkpoint snapshot from a different machine"},
+      {ErrorCode::Overloaded, 11,
+       "request shed by serving admission control"},
+  };
+  return Table;
+}
+
 int stencilflow::exitCodeFor(ErrorCode Code) {
-  switch (Code) {
-  case ErrorCode::ValidationMismatch:
-    return 2;
-  case ErrorCode::Deadlock:
-    return 3;
-  case ErrorCode::CycleLimit:
-    return 4;
-  case ErrorCode::DeviceLost:
-    return 5;
-  case ErrorCode::LinkFailure:
-    return 6;
-  case ErrorCode::DataCorruption:
-    return 7;
-  case ErrorCode::Starvation:
-    return 8;
-  case ErrorCode::SnapshotInvalid:
-    return 9;
-  case ErrorCode::SnapshotIncompatible:
-    return 10;
-  case ErrorCode::Unknown:
-  case ErrorCode::InvalidInput:
-  case ErrorCode::Infeasible:
-    return 1;
-  }
+  for (const ExitCodeRow &Row : exitCodeTable())
+    if (Row.Code == Code)
+      return Row.ExitCode;
   return 1;
+}
+
+std::string stencilflow::exitCodeLegend() {
+  std::string Legend = "exit codes: 0 success\n";
+  for (const ExitCodeRow &Row : exitCodeTable()) {
+    // The unclassified rows collapse into the generic "1" line.
+    if (Row.ExitCode == 1 && Row.Code != ErrorCode::Unknown)
+      continue;
+    Legend += "  " + std::to_string(Row.ExitCode) + "  " +
+              (Row.Code == ErrorCode::Unknown ? "error"
+                                              : errorCodeName(Row.Code)) +
+              ": " + Row.Description + "\n";
+  }
+  return Legend;
 }

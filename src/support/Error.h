@@ -25,6 +25,7 @@
 #include <type_traits>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace stencilflow {
 
@@ -62,11 +63,15 @@ enum class ErrorCode : uint8_t {
   /// A checkpoint snapshot is well-formed but belongs to a different
   /// machine: topology, configuration, or input data do not match.
   SnapshotIncompatible,
+  /// The serving layer shed the request: the admission queue was full, a
+  /// job would oversubscribe the shared device pool, or the daemon was
+  /// draining for shutdown (serve/Server.h). The request was never run;
+  /// resubmitting later may succeed.
+  Overloaded,
 };
 
 /// Number of distinct error codes (for iteration in tests).
-constexpr int NumErrorCodes =
-    static_cast<int>(ErrorCode::SnapshotIncompatible) + 1;
+constexpr int NumErrorCodes = static_cast<int>(ErrorCode::Overloaded) + 1;
 
 /// Stable kebab-case name, e.g. "device-lost".
 const char *errorCodeName(ErrorCode Code);
@@ -74,11 +79,40 @@ const char *errorCodeName(ErrorCode Code);
 /// Inverse of \c errorCodeName; empty optional for unknown names.
 std::optional<ErrorCode> errorCodeFromName(std::string_view Name);
 
+//===----------------------------------------------------------------------===//
+// Process exit-code taxonomy
+//===----------------------------------------------------------------------===//
+//
+// The ONE table mapping error classifications to process exit codes. Every
+// CLI (run_program, sf_tune, sf_serve) and the serving protocol's error
+// responses go through it; nothing else may invent exit codes. Codes 0 and
+// 1 are the POSIX conventions (success / unclassified error); each
+// resilience and serving code maps to a distinct small value so CI scripts
+// can branch on the *kind* of failure.
+
+/// One row of the exit-code table: a classified failure and the process
+/// exit code CLIs return for it. \c errorCodeName(Code) is the stable
+/// kebab-case name; \c Description is a one-line human summary.
+struct ExitCodeRow {
+  ErrorCode Code;
+  int ExitCode;
+  const char *Description;
+};
+
+/// The full table, one row per \c ErrorCode in enum order. Unclassified
+/// codes (Unknown, InvalidInput, Infeasible) share exit code 1; every
+/// other row's exit code is distinct.
+const std::vector<ExitCodeRow> &exitCodeTable();
+
 /// Process exit code for CLI drivers: 0 is success, 1 an unclassified
 /// error, and each resilience code maps to a distinct small value so CI
 /// scripts can distinguish deadlock from cycle-limit aborts from
-/// validation mismatches.
+/// validation mismatches. A direct lookup into \c exitCodeTable().
 int exitCodeFor(ErrorCode Code);
+
+/// Multi-line "N  name: description" rendering of the distinct exit codes
+/// (for --help output), prefixed by the 0/1 conventions.
+std::string exitCodeLegend();
 
 /// A recoverable error carrying a human-readable message and a
 /// machine-readable \c ErrorCode.

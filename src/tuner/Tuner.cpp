@@ -233,5 +233,14 @@ Session::tune(const tuner::TuneOptions &Options) {
 }
 
 Expected<tuner::TuningOutcome> Session::tune() {
-  return tune(tuner::TuneOptions());
+  // Fold the fluent tune* setters into an option block; axis overrides
+  // beyond these knobs go through the explicit tune(Options) overload.
+  tuner::TuneOptions Options;
+  Options.Search.CandidateBudget = Tuning.Budget;
+  if (Tuning.HaveSeed)
+    Options.Search.Seed = Tuning.Seed;
+  Options.TopK = Tuning.TopK;
+  Options.Workers = Tuning.Workers;
+  Options.Simulate = Tuning.Simulate;
+  return tune(Options);
 }

@@ -603,9 +603,10 @@ TEST(DeviceLossTest, SingleDeviceFailureReportsDeviceLost) {
   EXPECT_GE(Result.error().report().Cycle, 64);
 }
 
-TEST(DeviceLossTest, DeprecatedLastFailureShimStillWorks) {
-  // The pre-SimFailure two-call pattern (check run(), then ask the
-  // machine) keeps working for one deprecation cycle.
+TEST(DeviceLossTest, FailureReportTravelsWithTheSimFailure) {
+  // The structured report arrives on the failure value itself — no
+  // stateful second accessor on the machine (the deprecated shim that
+  // once exposed the last run's report is gone).
   FaultPlan Plan;
   FaultEvent Death;
   Death.Kind = FaultKind::DeviceFailure;
@@ -624,11 +625,10 @@ TEST(DeviceLossTest, DeprecatedLastFailureShimStillWorks) {
   ASSERT_TRUE(M);
   auto Result = M->run(materializeInputs(Compiled->program()));
   ASSERT_FALSE(Result);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const FailureReport &Shim = M->lastFailure();
-#pragma GCC diagnostic pop
-  EXPECT_EQ(Shim.render(), Result.error().report().render());
+  const FailureReport &Report = Result.error().report();
+  EXPECT_EQ(Report.Code, ErrorCode::DeviceLost);
+  EXPECT_FALSE(Report.render().empty());
+  EXPECT_EQ(Result.message(), Report.render());
 }
 
 TEST(DeviceLossTest, PipelineRecoversByRepartitioning) {

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace stencilflow;
 
 //===----------------------------------------------------------------------===//
@@ -314,4 +316,63 @@ TEST(JsonWriterTest, OutputRoundTripsThroughParser) {
   const auto &Nested = Parsed->getObject().get("nested")->getArray();
   ASSERT_EQ(Nested.size(), 3u);
   EXPECT_EQ(Nested[2].getObject().get("label")->getString(), "item 2");
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code taxonomy (the one table every CLI exits through)
+//===----------------------------------------------------------------------===//
+
+TEST(ExitCodeTest, TableCoversEveryErrorCodeInEnumOrder) {
+  const std::vector<ExitCodeRow> &Table = exitCodeTable();
+  ASSERT_EQ(static_cast<int>(Table.size()), NumErrorCodes);
+  for (int I = 0; I != NumErrorCodes; ++I)
+    EXPECT_EQ(Table[I].Code, static_cast<ErrorCode>(I));
+}
+
+TEST(ExitCodeTest, ClassifiedCodesAreDistinctSmallValues) {
+  // The unclassified trio shares POSIX's generic 1; every classified
+  // failure gets its own code so CI scripts can branch on the kind.
+  std::set<int> Seen;
+  for (const ExitCodeRow &Row : exitCodeTable()) {
+    EXPECT_GT(Row.ExitCode, 0);
+    EXPECT_LT(Row.ExitCode, 64) << "stay clear of the 64+ BSD range";
+    if (Row.ExitCode == 1)
+      continue;
+    EXPECT_TRUE(Seen.insert(Row.ExitCode).second)
+        << "duplicate exit code " << Row.ExitCode;
+  }
+  // Pinned values: these are documented in README/--help and scripts
+  // depend on them, so a renumbering must be deliberate.
+  EXPECT_EQ(exitCodeFor(ErrorCode::Unknown), 1);
+  EXPECT_EQ(exitCodeFor(ErrorCode::InvalidInput), 1);
+  EXPECT_EQ(exitCodeFor(ErrorCode::Infeasible), 1);
+  EXPECT_EQ(exitCodeFor(ErrorCode::ValidationMismatch), 2);
+  EXPECT_EQ(exitCodeFor(ErrorCode::Deadlock), 3);
+  EXPECT_EQ(exitCodeFor(ErrorCode::CycleLimit), 4);
+  EXPECT_EQ(exitCodeFor(ErrorCode::DeviceLost), 5);
+  EXPECT_EQ(exitCodeFor(ErrorCode::LinkFailure), 6);
+  EXPECT_EQ(exitCodeFor(ErrorCode::DataCorruption), 7);
+  EXPECT_EQ(exitCodeFor(ErrorCode::Starvation), 8);
+  EXPECT_EQ(exitCodeFor(ErrorCode::SnapshotInvalid), 9);
+  EXPECT_EQ(exitCodeFor(ErrorCode::SnapshotIncompatible), 10);
+  EXPECT_EQ(exitCodeFor(ErrorCode::Overloaded), 11);
+}
+
+TEST(ExitCodeTest, NamesRoundTripAndLegendListsEveryDistinctCode) {
+  for (int I = 0; I != NumErrorCodes; ++I) {
+    ErrorCode Code = static_cast<ErrorCode>(I);
+    std::optional<ErrorCode> Back = errorCodeFromName(errorCodeName(Code));
+    ASSERT_TRUE(Back.has_value()) << errorCodeName(Code);
+    EXPECT_EQ(*Back, Code);
+  }
+  EXPECT_FALSE(errorCodeFromName("no-such-code").has_value());
+
+  std::string Legend = exitCodeLegend();
+  EXPECT_NE(Legend.find("0 success"), std::string::npos);
+  for (const ExitCodeRow &Row : exitCodeTable()) {
+    if (Row.ExitCode == 1)
+      continue; // collapsed into the generic "1  error" line
+    EXPECT_NE(Legend.find(errorCodeName(Row.Code)), std::string::npos)
+        << errorCodeName(Row.Code);
+  }
 }
