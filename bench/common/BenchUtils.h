@@ -60,6 +60,10 @@ struct SimPoint {
   int64_t ExpectedCycles = 0;
   double EfficiencyVsModel = 0.0;
   double AchievedBytesPerCycle = 0.0;
+  /// Total off-chip traffic of the run, summed over all devices. The
+  /// temporal-blocking sweeps gate on this: a T-deep unrolled pipeline
+  /// must move ~T-fold fewer bytes than T host-loop passes.
+  double MemoryBytesMoved = 0.0;
   bool Succeeded = false;
   std::string Message;
 
@@ -105,6 +109,8 @@ inline SimPoint simulate(const CompiledProgram &Compiled,
                             static_cast<double>(Point.Cycles);
   for (double Bytes : Result->Stats.AchievedMemoryBytesPerCycle)
     Point.AchievedBytesPerCycle += Bytes;
+  for (double Bytes : Result->Stats.MemoryBytesMoved)
+    Point.MemoryBytesMoved += Bytes;
   for (const auto &[Name, Stalls] : Result->Stats.UnitStalls)
     Point.UnitStalls += Stalls;
   for (const auto &[Name, Stalls] : Result->Stats.ReaderStalls)

@@ -17,9 +17,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "baselines/Comparators.h"
 #include "common/BenchUtils.h"
 #include "frontend/SemanticAnalysis.h"
 #include "frontend/Parser.h"
+#include "sdfg/TemporalUnroll.h"
+#include "workloads/Workloads.h"
 
 #include <cstdio>
 
@@ -129,5 +132,67 @@ int main() {
               "cycles denied by the memory controller, and the dominant "
               "stall cause — the plateau is reached exactly when "
               "memory-denied dominates\n");
+
+  // Temporal blocking against the analytic Zohouri-style roofline
+  // (baselines::estimateTemporalBlocking): for each unroll degree T the
+  // analytic column predicts T * flops/cell * W * f derated by the halo
+  // redundancy of spatial blocking, with the estimator's device budget
+  // clamped so it sizes exactly T steps. The measured column runs the
+  // T-deep unrolled diffusion2d pipeline on the simulator with the same
+  // DDR4 memory model as the sweep above and reports its sustained
+  // GOp/s at 300 MHz; the error column records how far the analytic
+  // roofline sits from cycle-accurate reality (pipeline drain and
+  // memory-transaction overhead, which the estimate ignores).
+  printHeader("Temporal blocking roofline - analytic estimate vs. "
+              "simulated unrolled pipeline (diffusion2d, W=1, 300 MHz)");
+  StencilProgram Step = workloads::diffusion2dChain(1, 64, 96);
+  auto StepCompiled = CompiledProgram::compile(Step.clone());
+  assert(StepCompiled);
+  auto StepDataflow = analyzeDataflow(*StepCompiled);
+  RuntimeEstimate StepRuntime =
+      computeRuntimeEstimate(*StepCompiled, *StepDataflow);
+  ResourceUsage StepResources =
+      estimateProgramResources(*StepCompiled, *StepDataflow);
+
+  std::printf("%4s %15s %15s %9s %13s %12s\n", "T", "analytic GOp/s",
+              "measured GOp/s", "error", "bytes/step", "GB/s");
+  for (int T : {1, 2, 4, 8}) {
+    baselines::TemporalBlockingConfig Config;
+    Config.VectorWidth = Step.VectorWidth;
+    Config.FrequencyMHz = FrequencyMHz;
+    // Budget the estimator's device to exactly T steps so it becomes a
+    // per-degree roofline instead of a deepest-fit design point.
+    Config.Device.DSPs = StepResources.DSPs * T;
+    baselines::TemporalBlockingEstimate Estimate =
+        baselines::estimateTemporalBlocking(
+            StepRuntime.FlopsPerCell, StepResources.DSPs,
+            StepResources.ALMs, Step.IterationSpace.rank(), Config);
+
+    auto Unrolled = sdfg::unrollTimeSteps(Step, T);
+    assert(Unrolled);
+    auto Compiled = CompiledProgram::compile(Unrolled.takeValue());
+    assert(Compiled);
+    auto Dataflow = analyzeDataflow(*Compiled);
+    sim::SimConfig SimCfg; // DDR4 model on by default.
+    SimPoint Sim = simulate(*Compiled, *Dataflow, nullptr, SimCfg);
+    if (!Sim.Succeeded) {
+      std::printf("%4d  simulation failed: %s\n", T, Sim.Message.c_str());
+      continue;
+    }
+    RuntimeEstimate Runtime = computeRuntimeEstimate(*Compiled, *Dataflow);
+    double Seconds =
+        static_cast<double>(Sim.Cycles) / (FrequencyMHz * 1e6);
+    double MeasuredGOps =
+        static_cast<double>(Runtime.TotalFlops) / Seconds / 1e9;
+    double ErrorPct = 100.0 *
+                      (Estimate.EffectiveGOpPerSecond - MeasuredGOps) /
+                      MeasuredGOps;
+    std::printf("%4d %15.2f %15.2f %8.1f%% %13.0f %12.2f\n", T,
+                Estimate.EffectiveGOpPerSecond, MeasuredGOps, ErrorPct,
+                Sim.MemoryBytesMoved / static_cast<double>(T),
+                Sim.MemoryBytesMoved / Seconds / 1e9);
+  }
+  std::printf("\nbytes/step: off-chip traffic per generation — constant "
+              "input+output volume amortized over T on-chip timesteps\n");
   return 0;
 }

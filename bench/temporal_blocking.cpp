@@ -1,0 +1,106 @@
+//===- bench/temporal_blocking.cpp - Temporal-blocking perf gate --------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Perf gate for temporal blocking (Sec. VIII-C turned into a
+// transformation): executing T timesteps of an iterative stencil as a
+// T-pass host loop must be *slower in simulated time* than executing the
+// T-deep unrolled pipeline once, and must move ~T-fold more off-chip
+// bytes. Both sides run the cycle simulator with the DDR4
+// memory-controller model.
+//
+// The benchmarks report the simulated elapsed time at 300 MHz as manual
+// time, so `real_time` in the JSON output is deterministic and CI can
+// gate BM_TemporalUnrolled < BM_TemporalHostLoop without flakiness;
+// `cpu_time` still measures the simulator's host-side speed and feeds
+// tools/check_perf.py regression tracking. Off-chip traffic is attached
+// as the `offchip_bytes` counter.
+//
+// Host-loop passes have identical cycle counts (the dataflow is
+// data-independent), so each benchmark iteration re-runs the single-step
+// machine T times on the same inputs rather than marshalling outputs
+// back to inputs; the simulated cost per pass is the same either way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DataflowAnalysis.h"
+#include "runtime/InputData.h"
+#include "sdfg/TemporalUnroll.h"
+#include "sim/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace stencilflow;
+
+namespace {
+
+constexpr double FrequencyHz = 300.0e6;
+
+StencilProgram makeStep() { return workloads::diffusion2dChain(1, 48, 64); }
+
+void BM_TemporalHostLoop(benchmark::State &State) {
+  const int T = static_cast<int>(State.range(0));
+  auto Compiled = CompiledProgram::compile(makeStep());
+  auto Dataflow = analyzeDataflow(*Compiled);
+  auto Inputs = materializeInputs(Compiled->program());
+  sim::SimConfig Config; // DDR4 model on by default.
+  int64_t Cycles = 0;
+  double Bytes = 0.0;
+  for (auto _ : State) {
+    Cycles = 0;
+    Bytes = 0.0;
+    for (int Pass = 0; Pass < T; ++Pass) {
+      auto M = sim::Machine::build(*Compiled, *Dataflow, nullptr, Config);
+      auto Result = M->run(Inputs);
+      if (!Result) {
+        State.SkipWithError(Result.message().c_str());
+        return;
+      }
+      Cycles += Result->Stats.Cycles;
+      for (double B : Result->Stats.MemoryBytesMoved)
+        Bytes += B;
+    }
+    State.SetIterationTime(static_cast<double>(Cycles) / FrequencyHz);
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["offchip_bytes"] = Bytes;
+}
+BENCHMARK(BM_TemporalHostLoop)->Arg(8)->UseManualTime();
+
+void BM_TemporalUnrolled(benchmark::State &State) {
+  const int T = static_cast<int>(State.range(0));
+  auto Unrolled = sdfg::unrollTimeSteps(makeStep(), T);
+  if (!Unrolled) {
+    State.SkipWithError(Unrolled.message().c_str());
+    return;
+  }
+  auto Compiled = CompiledProgram::compile(Unrolled.takeValue());
+  auto Dataflow = analyzeDataflow(*Compiled);
+  auto Inputs = materializeInputs(Compiled->program());
+  sim::SimConfig Config;
+  int64_t Cycles = 0;
+  double Bytes = 0.0;
+  for (auto _ : State) {
+    auto M = sim::Machine::build(*Compiled, *Dataflow, nullptr, Config);
+    auto Result = M->run(Inputs);
+    if (!Result) {
+      State.SkipWithError(Result.message().c_str());
+      return;
+    }
+    Cycles = Result->Stats.Cycles;
+    Bytes = 0.0;
+    for (double B : Result->Stats.MemoryBytesMoved)
+      Bytes += B;
+    State.SetIterationTime(static_cast<double>(Cycles) / FrequencyHz);
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["offchip_bytes"] = Bytes;
+}
+BENCHMARK(BM_TemporalUnrolled)->Arg(8)->UseManualTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

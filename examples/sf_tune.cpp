@@ -23,6 +23,10 @@
 //   --kernel-engines LIST  comma-separated kernel-execution axis
 //                     (e.g. "specialized,jit,auto"); default keeps the
 //                     base configuration's single tier
+//   --temporal-degrees LIST  comma-separated temporal-blocking axis
+//                     (e.g. "1,2,4,8"); degrees above 1 unroll the
+//                     program's time loop on-chip (requires time_loop
+//                     bindings); default keeps the base degree
 //   --json FILE       write the machine-readable TuningReport
 //   --candidates      print the per-candidate table
 //   --constrained-memory   model the finite memory controller
@@ -38,6 +42,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 using namespace stencilflow;
@@ -78,6 +83,8 @@ int main(int argc, char **argv) {
       .group("output")
       .option("kernel-engines", "LIST",
               "comma-separated kernel-execution axis, e.g. specialized,jit")
+      .option("temporal-degrees", "LIST",
+              "comma-separated temporal-blocking axis, e.g. 1,2,4,8")
       .option("json", "FILE", "write the machine-readable TuningReport")
       .flag("candidates", "print the per-candidate table");
   auto Args = Spec.parse(argc, argv);
@@ -135,6 +142,20 @@ int main(int argc, char **argv) {
         return 1;
       }
       Opts.Space.KernelEngines.push_back(*Engine);
+    }
+  }
+  if (Args->has("temporal-degrees")) {
+    for (const std::string &Token :
+         splitString(Args->getString("temporal-degrees"), ',')) {
+      char *End = nullptr;
+      long Degree = std::strtol(Token.c_str(), &End, 10);
+      if (Token.empty() || End == nullptr || *End != '\0') {
+        std::fprintf(stderr,
+                     "error: --temporal-degrees: '%s' is not an integer\n",
+                     Token.c_str());
+        return 1;
+      }
+      Opts.Space.TemporalDegrees.push_back(static_cast<int>(Degree));
     }
   }
 

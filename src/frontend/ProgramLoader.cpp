@@ -268,6 +268,23 @@ Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
     }
   }
 
+  // Time loop: output -> input feedback bindings for iterative programs.
+  if (const Value *TimeLoop = Obj.get("time_loop")) {
+    if (!TimeLoop->isArray())
+      return makeError("'time_loop' must be an array of bindings");
+    for (const Value &Entry : TimeLoop->getArray()) {
+      if (!Entry.isObject())
+        return makeError("'time_loop' entries must be objects");
+      const json::Object &EntryObj = Entry.getObject();
+      const Value *Output = EntryObj.get("output");
+      const Value *Input = EntryObj.get("input");
+      if (!Output || !Output->isString() || !Input || !Input->isString())
+        return makeError(
+            "'time_loop' entries require 'output' and 'input' field names");
+      Program.TimeLoop.push_back({Output->getString(), Input->getString()});
+    }
+  }
+
   if (Error Err = analyzeProgram(Program)) {
     // If outputs were defaulted, retry after inferring sinks.
     if (!Program.Outputs.empty())
@@ -335,6 +352,18 @@ Value stencilflow::programToJson(const StencilProgram &Program) {
   for (const std::string &Output : Program.Outputs)
     Outputs.emplace_back(Output);
   Root.set("outputs", Value(std::move(Outputs)));
+
+  // Omitted when empty so fingerprints of loop-free programs are stable.
+  if (!Program.TimeLoop.empty()) {
+    std::vector<Value> TimeLoop;
+    for (const IterationBinding &Binding : Program.TimeLoop) {
+      json::Object BindingObj;
+      BindingObj.set("output", Binding.Output);
+      BindingObj.set("input", Binding.Input);
+      TimeLoop.emplace_back(std::move(BindingObj));
+    }
+    Root.set("time_loop", Value(std::move(TimeLoop)));
+  }
 
   json::Object NodesObj;
   for (const StencilNode &Node : Program.Nodes) {

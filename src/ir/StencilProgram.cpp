@@ -20,6 +20,7 @@ StencilProgram StencilProgram::clone() const {
   Result.VectorWidth = VectorWidth;
   Result.Inputs = Inputs;
   Result.Outputs = Outputs;
+  Result.TimeLoop = TimeLoop;
   Result.Nodes.reserve(Nodes.size());
   for (const StencilNode &Node : Nodes)
     Result.Nodes.push_back(Node.clone());

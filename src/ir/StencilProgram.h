@@ -25,6 +25,16 @@
 
 namespace stencilflow {
 
+/// Feeds program output \p Output into input field \p Input at the start
+/// of the next time step. Both must be full-rank fields of the same type.
+/// Bindings describe the program's time loop; they are honored either by
+/// the host loop (runtime/Iterate.h) or unrolled on-chip by
+/// sdfg::unrollTimeSteps (temporal blocking).
+struct IterationBinding {
+  std::string Output;
+  std::string Input;
+};
+
 /// A complete stencil program: iteration space, off-chip inputs, stencil
 /// nodes, and the set of fields written back to off-chip memory.
 class StencilProgram {
@@ -49,6 +59,12 @@ public:
   /// The stencil operations, in definition order (not necessarily
   /// topological).
   std::vector<StencilNode> Nodes;
+
+  /// Output -> input feedback edges describing the program's time loop
+  /// (empty for programs without one). Consumed by iterateReference (host
+  /// loop through off-chip memory) and by sdfg::unrollTimeSteps (on-chip
+  /// temporal blocking).
+  std::vector<IterationBinding> TimeLoop;
 
   /// Deep copy (nodes own expression trees).
   StencilProgram clone() const;

@@ -7,12 +7,24 @@
 /// \file
 /// Iterative execution of a stencil program: outputs are fed back as
 /// inputs for the next time step, the way production solvers invoke the
-/// horizontal-diffusion kernel every timestep. This is the load/store
-/// execution style that the paper's chained programs unroll spatially —
-/// "chaining together long linear sequences of stencils ... analogous to
-/// time-tiled iterative stencils" (Sec. VIII-C). The tests exploit the
-/// equivalence: iterating a single-step program T times is bit-identical
-/// to evaluating the T-deep chained program once.
+/// horizontal-diffusion kernel every timestep. Two execution styles honor
+/// the same `StencilProgram::TimeLoop` bindings:
+///
+///  1. The host loop below (`iterateReference`): every step is a full
+///     off-chip round trip — outputs are written back to memory and
+///     re-read as inputs. Simple, but each generation pays the full
+///     memory-bandwidth cost.
+///  2. On-chip temporal blocking (`sdfg::unrollTimeSteps`, selected via
+///     `PipelineOptions::TemporalDegree` / `Session::temporalDegree`):
+///     T copies of the single-step graph are chained back-to-back in the
+///     dataflow graph, so T generations flow through per round trip.
+///     This is the paper's Sec. VIII-C observation ("chaining together
+///     long linear sequences of stencils ... analogous to time-tiled
+///     iterative stencils") turned into a transformation.
+///
+/// The two are bit-identical: iterating a single-step program T times is
+/// exactly evaluating the T-deep chained program once. The tests use this
+/// function as the parity oracle for the unroll transformation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,16 +41,9 @@
 
 namespace stencilflow {
 
-/// Feeds program output \p Output into input field \p Input at the start
-/// of the next time step. Both must be full-rank fields of the same type.
-struct IterationBinding {
-  std::string Output;
-  std::string Input;
-};
-
 /// Runs \p Compiled for \p Steps time steps with the reference executor,
-/// applying \p Bindings between consecutive steps. Returns the final
-/// step's execution result.
+/// applying \p Bindings (see ir/StencilProgram.h) between consecutive
+/// steps. Returns the final step's execution result.
 Expected<ExecutionResult>
 iterateReference(const CompiledProgram &Compiled,
                  std::map<std::string, std::vector<double>> Inputs,

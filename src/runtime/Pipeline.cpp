@@ -12,6 +12,7 @@
 #include "compute/Simplify.h"
 #include "frontend/SemanticAnalysis.h"
 #include "sdfg/StencilFusion.h"
+#include "sdfg/TemporalUnroll.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -22,6 +23,16 @@ Expected<CompiledPlan>
 stencilflow::compilePipeline(StencilProgram Program,
                              const PipelineOptions &Options) {
   CompiledPlan Plan;
+
+  // Temporal blocking first: unroll T timesteps into one chained graph.
+  // Fusion and the width knob then see an ordinary (longer) program.
+  if (Options.TemporalDegree != 1) {
+    Expected<StencilProgram> Unrolled =
+        sdfg::unrollTimeSteps(Program, Options.TemporalDegree);
+    if (!Unrolled)
+      return Unrolled.takeError().addContext("temporal unrolling");
+    Program = Unrolled.takeValue();
+  }
 
   // Domain-specific optimization: aggressive stencil fusion (Sec. V-B).
   if (Options.FuseStencils) {

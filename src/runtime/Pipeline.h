@@ -37,6 +37,12 @@ namespace stencilflow {
 
 /// Pipeline configuration.
 struct PipelineOptions {
+  /// Temporal blocking degree T: unroll T timesteps of the program's
+  /// time loop into the dataflow graph before any other transformation
+  /// (sdfg/TemporalUnroll.h), so T generations flow through per off-chip
+  /// round trip. Requires `StencilProgram::TimeLoop` bindings when > 1.
+  int TemporalDegree = 1;
+
   /// Apply aggressive stencil fusion before analysis (Sec. V-B).
   bool FuseStencils = false;
 
@@ -168,11 +174,11 @@ struct PlanExecution {
   Partition Placement;
 };
 
-/// The compile half: fusion and simplification, kernel compilation,
-/// dataflow analysis, model estimates, optional code generation, and
-/// partitioning. Only \p Options fields consumed before simulation are
-/// read (FuseStencils, SimplifyCode, Kernel, Latencies, Partitioning,
-/// AllowMultiDevice, EmitCode).
+/// The compile half: temporal unrolling, fusion and simplification,
+/// kernel compilation, dataflow analysis, model estimates, optional code
+/// generation, and partitioning. Only \p Options fields consumed before
+/// simulation are read (TemporalDegree, FuseStencils, SimplifyCode,
+/// Kernel, Latencies, Partitioning, AllowMultiDevice, EmitCode).
 Expected<CompiledPlan> compilePipeline(StencilProgram Program,
                                        const PipelineOptions &Options = {});
 

@@ -112,6 +112,14 @@ public:
     Program.VectorWidth = Width;
     return *this;
   }
+  /// Temporal blocking: unroll \p Degree timesteps of the program's time
+  /// loop into the dataflow graph (sdfg/TemporalUnroll.h), so that many
+  /// generations flow on-chip per off-chip round trip. Requires the
+  /// program to declare `TimeLoop` bindings when > 1.
+  Session &temporalDegree(int Degree) {
+    Opts.TemporalDegree = Degree;
+    return *this;
+  }
 
   /// Replaces the simulator configuration wholesale.
   Session &simulator(sim::SimConfig Config) {

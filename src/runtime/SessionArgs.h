@@ -29,6 +29,8 @@ namespace cli {
 inline Error applySessionArgs(Session &S, const CommandLine &Args) {
   if (Args.has("vectorize"))
     S.vectorize(static_cast<int>(Args.getInt("vectorize", 1)));
+  if (Args.has("temporal-degree"))
+    S.temporalDegree(static_cast<int>(Args.getInt("temporal-degree", 1)));
   S.fuseStencils(Args.has("fuse"))
       .simplifyCode(Args.has("simplify"))
       .unconstrainedMemory(!Args.has("constrained-memory"))

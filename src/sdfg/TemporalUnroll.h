@@ -1,0 +1,61 @@
+//===- sdfg/TemporalUnroll.h - Temporal blocking unroll -----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Temporal blocking as a graph transformation: unroll T timesteps of an
+/// iterative stencil program into one T-deep dataflow chain, so T
+/// generations flow through the chip per off-chip round trip (Zohouri et
+/// al., "Combined Spatial and Temporal Blocking ..."; paper Sec. VIII-C
+/// notes the equivalence with long chained programs).
+///
+/// Each `IterationBinding` output -> input feedback edge through off-chip
+/// memory is rewired into an on-chip channel: step s > 0 reads the
+/// renamed copy of step s-1's producer instead of the bound input field.
+/// The final step keeps the original node names, so `Outputs` (and the
+/// program's `TimeLoop`) are unchanged and the result composes:
+/// iterating the unrolled program K times computes T*K generations.
+///
+/// Legality rules (violations are typed `ErrorCode::InvalidInput`):
+///  - T >= 1; T > 1 requires at least one binding;
+///  - every binding source is a stencil node listed in `Outputs` and does
+///    not shrink its output;
+///  - every binding target is a full-rank input field of the source's
+///    element type, bound at most once.
+///
+/// The unrolled program is re-analyzed and re-validated like any
+/// hand-written chain, so the existing buffer-sizing and deadlock
+/// analyses apply unchanged. `iterateReference` is the parity oracle:
+/// running it for T steps is bit-identical to evaluating the unrolled
+/// program once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_SDFG_TEMPORALUNROLL_H
+#define STENCILFLOW_SDFG_TEMPORALUNROLL_H
+
+#include "ir/StencilProgram.h"
+#include "support/Error.h"
+
+namespace stencilflow {
+namespace sdfg {
+
+/// Unrolls \p Steps timesteps of \p Program into one chained program,
+/// rewiring the \p Bindings feedback edges into on-chip channels.
+/// Intermediate copies are renamed (`<node>__t<s>`); copies of outputs
+/// that feed nothing are pruned. The result carries \p Bindings as its
+/// `TimeLoop` and passes `validate()`.
+Expected<StencilProgram>
+unrollTimeSteps(const StencilProgram &Program,
+                const std::vector<IterationBinding> &Bindings, int Steps);
+
+/// Convenience overload using the program's own `TimeLoop` bindings.
+Expected<StencilProgram> unrollTimeSteps(const StencilProgram &Program,
+                                         int Steps);
+
+} // namespace sdfg
+} // namespace stencilflow
+
+#endif // STENCILFLOW_SDFG_TEMPORALUNROLL_H

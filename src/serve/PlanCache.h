@@ -58,6 +58,9 @@ struct PlanKey {
   bool Simplify = false;
   /// Requested vectorization width; 0 keeps the program's own width.
   int VectorWidth = 0;
+  /// Timesteps unrolled on-chip; appears in the id only when above 1 so
+  /// keys of temporally-unblocked plans are unchanged.
+  int TemporalDegree = 1;
   int MaxDevices = 8;
   double TargetUtilization = 0.85;
   compute::KernelEngine KernelExec = compute::KernelEngine::Specialized;

@@ -128,6 +128,8 @@ Expected<Request> Request::fromJson(const json::Value &V) {
       return Err;
     if (Error Err = readInt(OO, "vectorize", RO.Vectorize))
       return Err;
+    if (Error Err = readInt(OO, "temporal_degree", RO.TemporalDegree))
+      return Err;
     if (Error Err = readInt(OO, "max_devices", RO.MaxDevices))
       return Err;
     if (Error Err = readDouble(OO, "target_utilization",
@@ -184,6 +186,7 @@ std::string Request::toJsonText() const {
   OO.set("fuse", json::Value(Options.Fuse));
   OO.set("simplify", json::Value(Options.Simplify));
   OO.set("vectorize", json::Value(Options.Vectorize));
+  OO.set("temporal_degree", json::Value(Options.TemporalDegree));
   OO.set("max_devices", json::Value(Options.MaxDevices));
   OO.set("target_utilization", json::Value(Options.TargetUtilization));
   OO.set("kernel_engine",

@@ -14,7 +14,8 @@
 /// \code
 ///   {"id": "r1", "op": "run", "program": {...} | "program_path": "x.json",
 ///    "options": {"fuse": false, "simplify": false, "vectorize": 0,
-///                "max_devices": 8, "target_utilization": 0.85,
+///                "temporal_degree": 1, "max_devices": 8,
+///                "target_utilization": 0.85,
 ///                "kernel_engine": "specialized", "engine": "serial",
 ///                "threads": 0, "validate": true, "tune": false,
 ///                "tune_budget": 32}}
@@ -56,13 +57,15 @@ const char *requestOpName(RequestOp Op);
 
 /// Per-request execution knobs, mirroring the Session fluent setters the
 /// CLIs expose. Plan-affecting knobs (fuse/simplify/vectorize/
-/// max_devices/target_utilization/kernel_engine/tune*) enter the plan
-/// cache key; the rest only shape execution.
+/// temporal_degree/max_devices/target_utilization/kernel_engine/tune*)
+/// enter the plan cache key; the rest only shape execution.
 struct RequestOptions {
   bool Fuse = false;
   bool Simplify = false;
   /// Vectorization width override; 0 keeps the program's own width.
   int Vectorize = 0;
+  /// Timesteps unrolled on-chip (requires time_loop bindings when > 1).
+  int TemporalDegree = 1;
   int MaxDevices = 8;
   double TargetUtilization = 0.85;
   compute::KernelEngine KernelExec = compute::KernelEngine::Specialized;

@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 #include "tuner/Tuner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -217,6 +218,7 @@ Server::CompileOutcome Server::compileForRequest(const Request &R) {
   PipelineOptions PO = Opts.Base;
   PO.FuseStencils = R.Options.Fuse;
   PO.SimplifyCode = R.Options.Simplify;
+  PO.TemporalDegree = std::max(1, R.Options.TemporalDegree);
   PO.Partitioning.MaxDevices = R.Options.MaxDevices;
   PO.Partitioning.TargetUtilization = R.Options.TargetUtilization;
   PO.Simulator.KernelExec = R.Options.KernelExec;
@@ -274,6 +276,7 @@ Server::resolvePlan(const Request &R, bool &Hit, int64_t &CompileMicros) {
   Key.Fuse = R.Options.Fuse;
   Key.Simplify = R.Options.Simplify;
   Key.VectorWidth = R.Options.Vectorize;
+  Key.TemporalDegree = std::max(1, R.Options.TemporalDegree);
   Key.MaxDevices = R.Options.MaxDevices;
   Key.TargetUtilization = R.Options.TargetUtilization;
   Key.KernelExec = R.Options.KernelExec;

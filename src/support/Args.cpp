@@ -88,6 +88,8 @@ const std::vector<ArgSpec> &cli::sessionFlagSpecs() {
       {"fuse", "", "aggressive stencil fusion before analysis"},
       {"simplify", "", "algebraic simplification of every node's code"},
       {"vectorize", "W", "override the program's vectorization width"},
+      {"temporal-degree", "T",
+       "unroll T timesteps on-chip (requires time_loop bindings)"},
       {"constrained-memory", "",
        "model the finite memory controller (default is ideal memory)"},
       {"kernel-engine", "E",

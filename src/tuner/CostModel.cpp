@@ -58,6 +58,7 @@ double deviceMemoryDemand(const StencilProgram &Program,
 CandidateCost CostModel::cost(const CandidateMapping &Mapping) const {
   CandidateCost Cost;
   Cost.FusedPairs = Mapping.FusionPairs;
+  Cost.TemporalDegree = Mapping.TemporalDegree;
 
   // Stage 1: apply the program-transforming knobs (fusion, width).
   Expected<StencilProgram> Applied = applyMapping(Program, Mapping);
@@ -150,8 +151,11 @@ CandidateCost CostModel::cost(const CandidateMapping &Mapping) const {
       Runtime.LatencyCycles + NetworkLatency +
       static_cast<int64_t>(std::ceil(
           static_cast<double>(Runtime.StreamedCycles) * Slowdown));
+  // Rank on seconds per *timestep*: a degree-T circuit advances T
+  // generations per pass, so its per-pass cycles are amortized over T.
   Cost.PredictedSeconds =
-      static_cast<double>(Cost.PredictedCycles) / (Cost.FrequencyMHz * 1e6);
+      static_cast<double>(Cost.PredictedCycles) /
+      (Cost.FrequencyMHz * 1e6 * std::max(1, Mapping.TemporalDegree));
   Cost.Feasible = true;
   return Cost;
 }

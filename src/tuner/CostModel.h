@@ -58,8 +58,15 @@ struct CandidateCost {
   /// Clock frequency of the worst (most utilized) device.
   double FrequencyMHz = 0.0;
 
-  /// PredictedCycles at FrequencyMHz — the ranking objective.
+  /// PredictedCycles at FrequencyMHz, divided by the temporal degree —
+  /// the ranking objective. A degree-T candidate's circuit advances T
+  /// timesteps per pass, so candidates compete on seconds *per timestep*;
+  /// PredictedCycles stays the raw per-pass count (it must match the
+  /// simulator bit-for-bit in the single-device exactness invariant).
   double PredictedSeconds = 0.0;
+
+  /// Timesteps unrolled on-chip by this candidate (the normalizer above).
+  int TemporalDegree = 1;
 
   /// Streaming-phase slowdown factors (>= 1; 1 = not a bottleneck).
   double MemorySlowdown = 1.0;

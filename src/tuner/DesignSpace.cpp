@@ -7,6 +7,7 @@
 #include "tuner/DesignSpace.h"
 
 #include "sdfg/StencilFusion.h"
+#include "sdfg/TemporalUnroll.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -19,10 +20,12 @@ std::string CandidateMapping::id() const {
   std::string Id =
       formatString("W%d-F%d-D%d-U%d", VectorWidth, FusionPairs, MaxDevices,
                    static_cast<int>(std::lround(TargetUtilization * 100)));
-  // The suffix only appears for non-default engines, keeping ids from the
+  // Suffixes only appear for non-default values, keeping ids from the
   // original four-axis space (golden trajectories, saved reports) stable.
   if (KernelExec != compute::KernelEngine::Specialized)
     Id += formatString("-K%s", compute::kernelEngineName(KernelExec));
+  if (TemporalDegree > 1)
+    Id += formatString("-T%d", TemporalDegree);
   return Id;
 }
 
@@ -45,6 +48,28 @@ size_t closestIndex(const std::vector<T> &Axis, T Want) {
   return Best;
 }
 
+/// Validates an explicitly provided axis vector: every entry must be at
+/// least \p Min and entries must be pairwise distinct. Derived defaults
+/// never pass through here — only caller-specified axes get typed errors.
+template <typename T>
+Error checkExplicitAxis(const char *Axis, const std::vector<T> &Values,
+                        T Min) {
+  for (size_t I = 0; I != Values.size(); ++I) {
+    if (Values[I] < Min)
+      return makeError(
+          ErrorCode::InvalidInput,
+          formatString("%s axis entry %g is below the minimum %g", Axis,
+                       static_cast<double>(Values[I]),
+                       static_cast<double>(Min)));
+    for (size_t J = I + 1; J != Values.size(); ++J)
+      if (Values[I] == Values[J])
+        return makeError(ErrorCode::InvalidInput,
+                         formatString("%s axis entry %g appears twice", Axis,
+                                      static_cast<double>(Values[I])));
+  }
+  return Error::success();
+}
+
 } // namespace
 
 Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
@@ -55,6 +80,29 @@ Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
                      "cannot enumerate a design space for a rank-0 program");
   int64_t Innermost =
       Program.IterationSpace.extent(Program.IterationSpace.rank() - 1);
+
+  // Explicit axis vectors are configuration, not a wish list: malformed
+  // entries (non-positive, duplicated) are typed errors instead of being
+  // silently enumerated or dropped. Derived defaults below keep the silent
+  // per-program filtering.
+  if (Error Err = checkExplicitAxis("vector-width", Options.VectorWidths, 1))
+    return Err;
+  if (Error Err = checkExplicitAxis("fusion-level", Options.FusionLevels, 0))
+    return Err;
+  if (Error Err = checkExplicitAxis("device-count", Options.DeviceCounts, 1))
+    return Err;
+  if (Error Err = checkExplicitAxis("temporal-degree",
+                                    Options.TemporalDegrees, 1))
+    return Err;
+  for (double U : Options.TargetUtilizations)
+    if (U <= 0.0 || U > 1.0)
+      return makeError(
+          ErrorCode::InvalidInput,
+          formatString("target-utilization axis entry %g lies outside (0, 1]",
+                       U));
+  if (Error Err = checkExplicitAxis("target-utilization",
+                                    Options.TargetUtilizations, 0.0))
+    return Err;
 
   DesignSpace Space;
 
@@ -113,6 +161,22 @@ Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
     return makeError(ErrorCode::InvalidInput,
                      "no candidate target utilization lies in (0, 1]");
 
+  // Temporal blocking degrees. Like the engine axis this defaults to a
+  // single value (the tuner substitutes its base configuration's degree),
+  // so the space only grows when the caller opts in. Degrees above 1
+  // replicate the pipeline through sdfg::unrollTimeSteps, which needs the
+  // program to declare time-loop bindings.
+  Space.Degrees = Options.TemporalDegrees.empty()
+                      ? std::vector<int>{1}
+                      : Options.TemporalDegrees;
+  sortUnique(Space.Degrees);
+  if (Space.Degrees.back() > 1 && Program.TimeLoop.empty())
+    return makeError(
+        ErrorCode::InvalidInput,
+        formatString("temporal degree %d requires time-loop bindings, but "
+                     "program '%s' declares none",
+                     Space.Degrees.back(), Program.Name.c_str()));
+
   // Kernel execution tiers. The axis defaults to the single Specialized
   // tier (the tuner substitutes its base configuration's tier), so the
   // space only grows when the caller opts in.
@@ -127,38 +191,50 @@ Expected<DesignSpace> DesignSpace::enumerate(const StencilProgram &Program,
     for (int F : Space.Levels)
       for (int D : Space.Devices)
         for (double U : Space.Utils)
-          for (compute::KernelEngine K : Space.Engines)
-            Space.All.push_back(CandidateMapping{W, F, D, U, K});
+          for (int T : Space.Degrees)
+            for (compute::KernelEngine K : Space.Engines)
+              Space.All.push_back(CandidateMapping{W, F, D, U, T, K});
   return Space;
 }
 
 CandidateMapping DesignSpace::at(size_t Wi, size_t Fi, size_t Di, size_t Ui,
-                                 size_t Ki) const {
+                                 size_t Ti, size_t Ki) const {
   assert(Wi < Widths.size() && Fi < Levels.size() && Di < Devices.size() &&
-         Ui < Utils.size() && Ki < Engines.size() &&
+         Ui < Utils.size() && Ti < Degrees.size() && Ki < Engines.size() &&
          "axis index out of range");
-  return CandidateMapping{Widths[Wi], Levels[Fi], Devices[Di], Utils[Ui],
-                          Engines[Ki]};
+  return CandidateMapping{Widths[Wi],  Levels[Fi], Devices[Di],
+                          Utils[Ui],   Degrees[Ti], Engines[Ki]};
 }
 
 void DesignSpace::closestIndices(const CandidateMapping &M,
-                                 size_t Index[5]) const {
+                                 size_t Index[6]) const {
   Index[0] = closestIndex(Widths, M.VectorWidth);
   Index[1] = closestIndex(Levels, M.FusionPairs);
   Index[2] = closestIndex(Devices, M.MaxDevices);
   Index[3] = closestIndex(Utils, M.TargetUtilization);
+  Index[4] = closestIndex(Degrees, M.TemporalDegree);
   // The engine axis is categorical: snap to the exact engine when present,
   // else to the first axis value.
-  Index[4] = 0;
+  Index[5] = 0;
   for (size_t I = 0; I != Engines.size(); ++I)
     if (Engines[I] == M.KernelExec)
-      Index[4] = I;
+      Index[5] = I;
 }
 
 Expected<StencilProgram>
 stencilflow::tuner::applyMapping(const StencilProgram &Program,
                                  const CandidateMapping &Mapping) {
   StencilProgram Applied = Program.clone();
+  // Pipeline order: unroll first, as compilePipeline does — fusion levels
+  // probed on the base program remain legal on the unrolled one.
+  if (Mapping.TemporalDegree != 1) {
+    Expected<StencilProgram> Unrolled =
+        sdfg::unrollTimeSteps(Applied, Mapping.TemporalDegree);
+    if (!Unrolled)
+      return Unrolled.takeError().addContext(
+          formatString("unrolling %d timestep(s)", Mapping.TemporalDegree));
+    Applied = Unrolled.takeValue();
+  }
   if (Mapping.FusionPairs > 0) {
     Expected<FusionReport> Fusion =
         fuseStencilsUpTo(Applied, Mapping.FusionPairs);

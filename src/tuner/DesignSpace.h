@@ -51,6 +51,13 @@ struct CandidateMapping {
   /// Partitioner target utilization (fraction of each resource class).
   double TargetUtilization = 0.85;
 
+  /// Temporal blocking degree T: timesteps of the program's time loop
+  /// unrolled on-chip (sdfg/TemporalUnroll.h). Replicates area/DSPs ~T
+  /// times while amortizing off-chip bandwidth over T generations — the
+  /// Zohouri et al. trade the cost model prices via the replay of the
+  /// compile half on the unrolled program.
+  int TemporalDegree = 1;
+
   /// Kernel execution tier the simulator uses for this candidate. Not a
   /// hardware knob like the other axes, but it decides how fast the
   /// testbed evaluates a candidate — and with Auto/Jit in the axis the
@@ -58,8 +65,9 @@ struct CandidateMapping {
   compute::KernelEngine KernelExec = compute::KernelEngine::Specialized;
 
   /// Stable identity, e.g. "W4-F2-D2-U85" (utilization in percent). A
-  /// "-K<engine>" suffix appears only for non-default engines so ids from
-  /// the four-axis space are unchanged.
+  /// "-K<engine>" suffix appears only for non-default engines and a
+  /// "-T<degree>" suffix only for degrees > 1, so ids from the smaller
+  /// spaces are unchanged.
   std::string id() const;
 
   friend bool operator==(const CandidateMapping &A,
@@ -68,11 +76,17 @@ struct CandidateMapping {
            A.FusionPairs == B.FusionPairs &&
            A.MaxDevices == B.MaxDevices &&
            A.TargetUtilization == B.TargetUtilization &&
+           A.TemporalDegree == B.TemporalDegree &&
            A.KernelExec == B.KernelExec;
   }
 };
 
 /// Axis overrides; any empty vector is derived from the program.
+/// Explicitly provided vectors are validated: non-positive entries
+/// (negative fusion levels, utilizations outside (0, 1]) and duplicates
+/// are typed InvalidInput errors rather than silently enumerated.
+/// Derived defaults keep the silent per-program filtering (widths to
+/// divisors, levels to the legal maximum, devices to the testbed cap).
 struct DesignSpaceOptions {
   /// Candidate vectorization widths. Default: {1, 2, 4, 8} filtered to
   /// divisors of the innermost extent.
@@ -88,6 +102,12 @@ struct DesignSpaceOptions {
 
   /// Candidate target utilizations. Default: {0.70, 0.85, 0.95}.
   std::vector<double> TargetUtilizations;
+
+  /// Candidate temporal blocking degrees. Default: the base
+  /// configuration's degree alone (so the space does not grow unless the
+  /// caller opts in, e.g. sf_tune --temporal-degrees=1,2,4,8). Degrees
+  /// above 1 require the program to declare time-loop bindings.
+  std::vector<int> TemporalDegrees;
 
   /// Candidate kernel execution tiers. Default: the single tier of the
   /// base configuration (so the space does not grow unless the caller
@@ -117,18 +137,19 @@ public:
   const std::vector<int> &fusionLevels() const { return Levels; }
   const std::vector<int> &deviceCounts() const { return Devices; }
   const std::vector<double> &targetUtilizations() const { return Utils; }
+  const std::vector<int> &temporalDegrees() const { return Degrees; }
   const std::vector<compute::KernelEngine> &kernelEngines() const {
     return Engines;
   }
 
-  /// The candidate at axis indices (Wi, Fi, Di, Ui, Ki).
-  CandidateMapping at(size_t Wi, size_t Fi, size_t Di, size_t Ui,
+  /// The candidate at axis indices (Wi, Fi, Di, Ui, Ti, Ki).
+  CandidateMapping at(size_t Wi, size_t Fi, size_t Di, size_t Ui, size_t Ti,
                       size_t Ki) const;
 
   /// Axis indices of the candidate closest to \p M (each axis snaps to the
   /// nearest value — the engine axis to an exact match, else index 0; used
   /// to seed the beam search at the default mapping).
-  void closestIndices(const CandidateMapping &M, size_t Index[5]) const;
+  void closestIndices(const CandidateMapping &M, size_t Index[6]) const;
 
 private:
   std::vector<CandidateMapping> All;
@@ -136,15 +157,19 @@ private:
   std::vector<int> Levels;
   std::vector<int> Devices;
   std::vector<double> Utils;
+  std::vector<int> Degrees;
   std::vector<compute::KernelEngine> Engines;
   int MaxPairs = 0;
 };
 
 /// Applies the program-transforming knobs of \p Mapping to a copy of
-/// \p Program: fuses \c FusionPairs pairs and sets the vectorization
-/// width. Fails when the width does not divide the innermost extent or
-/// fusion breaks validation. Partitioning knobs (device budget, target
-/// utilization) are applied to PipelineOptions by the caller.
+/// \p Program, in pipeline order: unrolls \c TemporalDegree timesteps,
+/// fuses \c FusionPairs pairs, and sets the vectorization width (fusion
+/// levels enumerated on the base program stay legal on the unrolled one,
+/// which has at least as many fusable pairs). Fails when the width does
+/// not divide the innermost extent or fusion breaks validation.
+/// Partitioning knobs (device budget, target utilization) are applied to
+/// PipelineOptions by the caller.
 Expected<StencilProgram> applyMapping(const StencilProgram &Program,
                                       const CandidateMapping &Mapping);
 

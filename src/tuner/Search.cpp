@@ -30,34 +30,31 @@ bool stencilflow::tuner::rankByPrediction(const CandidateRecord &A,
 
 namespace {
 
-/// Linearizes/delinearizes axis indices over the 5D space so visited
+/// Linearizes/delinearizes axis indices over the 6D space so visited
 /// candidates dedup on a flat bitmap instead of string ids.
 struct AxisGrid {
-  size_t Sizes[5];
+  size_t Sizes[6];
 
   explicit AxisGrid(const DesignSpace &Space)
       : Sizes{Space.vectorWidths().size(), Space.fusionLevels().size(),
               Space.deviceCounts().size(),
               Space.targetUtilizations().size(),
+              Space.temporalDegrees().size(),
               Space.kernelEngines().size()} {}
 
-  size_t linearize(const size_t Index[5]) const {
-    return (((Index[0] * Sizes[1] + Index[1]) * Sizes[2] + Index[2]) *
-                Sizes[3] +
-            Index[3]) *
-               Sizes[4] +
-           Index[4];
+  size_t linearize(const size_t Index[6]) const {
+    size_t Linear = Index[0];
+    for (int Axis = 1; Axis != 6; ++Axis)
+      Linear = Linear * Sizes[Axis] + Index[Axis];
+    return Linear;
   }
 
-  void delinearize(size_t Linear, size_t Index[5]) const {
-    Index[4] = Linear % Sizes[4];
-    Linear /= Sizes[4];
-    Index[3] = Linear % Sizes[3];
-    Linear /= Sizes[3];
-    Index[2] = Linear % Sizes[2];
-    Linear /= Sizes[2];
-    Index[1] = Linear % Sizes[1];
-    Index[0] = Linear / Sizes[1];
+  void delinearize(size_t Linear, size_t Index[6]) const {
+    for (int Axis = 5; Axis != 0; --Axis) {
+      Index[Axis] = Linear % Sizes[Axis];
+      Linear /= Sizes[Axis];
+    }
+    Index[0] = Linear;
   }
 };
 
@@ -79,11 +76,11 @@ public:
     if (Visited[Linear] || !budgetLeft())
       return false;
     Visited[Linear] = true;
-    size_t Index[5];
+    size_t Index[6];
     Grid.delinearize(Linear, Index);
     CandidateRecord Record;
-    Record.Mapping =
-        Space.at(Index[0], Index[1], Index[2], Index[3], Index[4]);
+    Record.Mapping = Space.at(Index[0], Index[1], Index[2], Index[3],
+                              Index[4], Index[5]);
     Record.Cost = Model.cost(Record.Mapping);
     Record.Round = Round;
     Result.Records.push_back(std::move(Record));
@@ -129,7 +126,7 @@ stencilflow::tuner::searchDesignSpace(const DesignSpace &Space,
   Random Rng(Options.Seed);
 
   std::vector<size_t> Beam;
-  size_t Index[5];
+  size_t Index[6];
   Space.closestIndices(Default, Index);
   Beam.push_back(Grid.linearize(Index));
   for (int Attempt = 0;
@@ -146,14 +143,14 @@ stencilflow::tuner::searchDesignSpace(const DesignSpace &Space,
     bool Expanded = false;
     for (size_t Linear : Beam) {
       Grid.delinearize(Linear, Index);
-      for (int Axis = 0; Axis != 5; ++Axis) {
+      for (int Axis = 0; Axis != 6; ++Axis) {
         for (int Step : {-1, +1}) {
           if (Step < 0 && Index[Axis] == 0)
             continue;
           if (Step > 0 && Index[Axis] + 1 >= Grid.Sizes[Axis])
             continue;
-          size_t Neighbor[5] = {Index[0], Index[1], Index[2], Index[3],
-                                Index[4]};
+          size_t Neighbor[6] = {Index[0], Index[1], Index[2],
+                                Index[3], Index[4], Index[5]};
           Neighbor[Axis] += Step;
           Expanded |= Exp.explore(Grid.linearize(Neighbor), Round);
         }

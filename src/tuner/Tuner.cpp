@@ -31,6 +31,7 @@ Expected<PipelineResult> runCandidate(const StencilProgram &Program,
     return Applied.takeError();
   PipelineOptions O = Base;
   O.FuseStencils = false; // Fusion is part of the mapping, already applied.
+  O.TemporalDegree = 1;   // Unrolling too — re-unrolling would square T.
   O.Simulate = true;
   O.Validate = true;
   O.EmitCode = false;
@@ -60,12 +61,14 @@ Expected<TuningOutcome>
 stencilflow::tuner::tuneProgram(const StencilProgram &Program,
                                 const PipelineOptions &Base,
                                 const TuneOptions &Options) {
-  // The kernel-engine axis defaults to the base configuration's tier so
-  // the space (and every existing trajectory) is unchanged unless the
-  // caller opts into exploring engines.
+  // The kernel-engine and temporal-degree axes default to the base
+  // configuration's values so the space (and every existing trajectory)
+  // is unchanged unless the caller opts into exploring them.
   DesignSpaceOptions SpaceOpts = Options.Space;
   if (SpaceOpts.KernelEngines.empty())
     SpaceOpts.KernelEngines = {Base.Simulator.KernelExec};
+  if (SpaceOpts.TemporalDegrees.empty())
+    SpaceOpts.TemporalDegrees = {std::max(1, Base.TemporalDegree)};
   Expected<DesignSpace> Space = DesignSpace::enumerate(
       Program, SpaceOpts, Base.Partitioning.MaxDevices);
   if (!Space)
@@ -74,14 +77,15 @@ stencilflow::tuner::tuneProgram(const StencilProgram &Program,
   // The default mapping — unvectorized, unfused, base partitioning and
   // kernel tier — snapped onto the enumerated axes so it is a point of
   // the space.
-  size_t Index[5];
+  size_t Index[6];
   Space->closestIndices(
       CandidateMapping{1, 0, Base.Partitioning.MaxDevices,
                        Base.Partitioning.TargetUtilization,
+                       std::max(1, Base.TemporalDegree),
                        Base.Simulator.KernelExec},
       Index);
-  CandidateMapping Default =
-      Space->at(Index[0], Index[1], Index[2], Index[3], Index[4]);
+  CandidateMapping Default = Space->at(Index[0], Index[1], Index[2],
+                                       Index[3], Index[4], Index[5]);
 
   CostModel Model(Program, Base);
   SearchResult Search =
@@ -183,9 +187,12 @@ stencilflow::tuner::tuneProgram(const StencilProgram &Program,
     }
     R.SimulatedCycles = Run->Simulation.Stats.Cycles;
     // One clock for both sides of the comparison: the cost model's
-    // worst-device frequency.
-    R.SimulatedSeconds = static_cast<double>(R.SimulatedCycles) /
-                         (R.Cost.FrequencyMHz * 1e6);
+    // worst-device frequency. Like PredictedSeconds, amortize over the
+    // temporal degree so candidates compete on seconds per timestep;
+    // SimulatedCycles stays the raw per-pass count for ModelErrorPct.
+    R.SimulatedSeconds =
+        static_cast<double>(R.SimulatedCycles) /
+        (R.Cost.FrequencyMHz * 1e6 * std::max(1, R.Mapping.TemporalDegree));
     R.ValidationPassed = Run->ValidationPassed;
     if (R.SimulatedCycles > 0)
       R.ModelErrorPct =

@@ -46,6 +46,7 @@ void writeCandidate(json::JsonWriter &W, const CandidateRecord &R) {
   W.attribute("fusion_pairs", R.Mapping.FusionPairs);
   W.attribute("max_devices", R.Mapping.MaxDevices);
   W.attribute("target_utilization", R.Mapping.TargetUtilization);
+  W.attribute("temporal_degree", R.Mapping.TemporalDegree);
   W.attribute("kernel_engine",
               compute::kernelEngineName(R.Mapping.KernelExec));
   W.attribute("round", R.Round);

@@ -72,6 +72,28 @@ StencilProgram finish(StencilProgram Program) {
 
 } // namespace
 
+StencilProgram workloads::jacobi2dChain(int Length, int64_t J, int64_t I,
+                                        int VectorWidth) {
+  assert(Length >= 1);
+  StencilProgram Program;
+  Program.Name = formatString("jacobi2d_x%d", Length);
+  Program.IterationSpace = Shape({J, I});
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "a0", 19);
+  for (int Step = 0; Step < Length; ++Step) {
+    std::string In = formatString("a%d", Step);
+    std::string Out = formatString("a%d", Step + 1);
+    addStencil(Program, Out,
+               formatString("%s = 0.2 * (%s[0,0] + %s[0,-1] + %s[0,1] + "
+                            "%s[-1,0] + %s[1,0]);",
+                            Out.c_str(), In.c_str(), In.c_str(), In.c_str(),
+                            In.c_str(), In.c_str()));
+  }
+  Program.Outputs = {formatString("a%d", Length)};
+  Program.TimeLoop = {{Program.Outputs.front(), "a0"}};
+  return finish(std::move(Program));
+}
+
 StencilProgram workloads::jacobi3dChain(int Length, int64_t K, int64_t J,
                                         int64_t I, int VectorWidth) {
   assert(Length >= 1);
@@ -91,6 +113,7 @@ StencilProgram workloads::jacobi3dChain(int Length, int64_t K, int64_t J,
                             In.c_str(), In.c_str(), In.c_str(), In.c_str()));
   }
   Program.Outputs = {formatString("a%d", Length)};
+  Program.TimeLoop = {{Program.Outputs.front(), "a0"}};
   return finish(std::move(Program));
 }
 
@@ -114,6 +137,7 @@ StencilProgram workloads::diffusion2dChain(int Length, int64_t J, int64_t I,
                             In.c_str(), In.c_str()));
   }
   Program.Outputs = {formatString("a%d", Length)};
+  Program.TimeLoop = {{Program.Outputs.front(), "a0"}};
   return finish(std::move(Program));
 }
 
@@ -137,6 +161,7 @@ StencilProgram workloads::diffusion3dChain(int Length, int64_t K, int64_t J,
                      In.c_str(), In.c_str(), In.c_str(), In.c_str()));
   }
   Program.Outputs = {formatString("a%d", Length)};
+  Program.TimeLoop = {{Program.Outputs.front(), "a0"}};
   return finish(std::move(Program));
 }
 
@@ -257,5 +282,9 @@ StencilProgram workloads::horizontalDiffusion(int64_t K, int64_t J,
              "pp_in[0, 0, 0];");
 
   Program.Outputs = {"u_out", "v_out", "w_out", "pp_out"};
+  Program.TimeLoop = {{"u_out", "u_in"},
+                      {"v_out", "v_in"},
+                      {"w_out", "w_in"},
+                      {"pp_out", "pp_in"}};
   return finish(std::move(Program));
 }

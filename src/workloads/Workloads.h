@@ -18,7 +18,11 @@
 ///    per stencil, square roots, min/max clamps, and data-dependent
 ///    branches).
 ///
-/// All builders return fully analyzed programs.
+/// All builders return fully analyzed programs. Each declares its time
+/// loop (`StencilProgram::TimeLoop`): the chain output feeds back into
+/// the chain input (hdiff: each `*_out` into the matching `*_in`), so
+/// the programs iterate via runtime/Iterate.h or unroll on-chip via
+/// sdfg::unrollTimeSteps.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +35,11 @@
 
 namespace stencilflow {
 namespace workloads {
+
+/// A chain of \p Length Jacobi 2D (5-point) stencils: 4 additions and 1
+/// multiplication per stencil per cell.
+StencilProgram jacobi2dChain(int Length, int64_t J, int64_t I,
+                             int VectorWidth = 1);
 
 /// A chain of \p Length Jacobi 3D (7-point) stencils: 6 additions and 1
 /// multiplication per stencil per cell.

@@ -18,6 +18,7 @@
 #include "common/TestPrograms.h"
 #include "frontend/ProgramLoader.h"
 #include "runtime/Session.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
@@ -103,11 +104,17 @@ TEST(PlanKey, EveryKnobChangesTheKey) {
   K.Tuned = true;
   K.TuneBudget = 64;
   Ids.insert(K.id());
+  K = Base;
+  K.TemporalDegree = 4;
+  Ids.insert(K.id());
 
-  // Ten distinct configurations, ten distinct keys.
-  EXPECT_EQ(Ids.size(), 10u);
+  // Eleven distinct configurations, eleven distinct keys.
+  EXPECT_EQ(Ids.size(), 11u);
   // And the encoding is stable: rebuilding the base key reproduces it.
   EXPECT_EQ(PlanKey{Base}.id(), Base.id());
+  // Degree 1 leaves the id untouched, so keys of temporally-unblocked
+  // plans are unchanged across the introduction of the knob.
+  EXPECT_EQ(Base.id().find("-T"), std::string::npos);
 }
 
 TEST(PlanCacheLru, EvictsLeastRecentlyUsed) {
@@ -352,6 +359,44 @@ TEST(ServeParity, MatchesDirectSessionRun) {
   }
 }
 
+TEST(ServeParity, TemporalDegreeMatchesDirectSessionRun) {
+  // A temporally-unrolled daemon run must be bit-identical (same output
+  // CRC) to a direct Session run at the same degree, and the knob must be
+  // a distinct plan-cache key from the degree-1 plan.
+  StencilProgram Program = workloads::diffusion2dChain(1, 12, 16);
+  Session Direct = Session::fromProgram(Program.clone());
+  Expected<PipelineResult> Reference = Direct.temporalDegree(2).run();
+  ASSERT_TRUE(Reference) << Reference.message();
+
+  Server S(testOptions());
+  S.start();
+  auto MakeRequest = [&](std::string Id, int Degree) {
+    Request R;
+    R.Id = std::move(Id);
+    R.Op = RequestOp::Run;
+    R.Program = programToJson(Program);
+    R.Options.TemporalDegree = Degree;
+    return R;
+  };
+  Response Plain = S.handle(MakeRequest("t1", 1));
+  ASSERT_TRUE(Plain.Ok) << Plain.ErrorMessage;
+  EXPECT_FALSE(*Plain.CacheHit);
+  Response Unrolled = S.handle(MakeRequest("t2", 2));
+  ASSERT_TRUE(Unrolled.Ok) << Unrolled.ErrorMessage;
+  EXPECT_FALSE(*Unrolled.CacheHit); // Different degree, different plan.
+  Response Again = S.handle(MakeRequest("t3", 2));
+  ASSERT_TRUE(Again.Ok) << Again.ErrorMessage;
+  EXPECT_TRUE(*Again.CacheHit);
+  S.stop();
+
+  EXPECT_EQ(Unrolled.Cycles,
+            static_cast<int64_t>(Reference->Simulation.Stats.Cycles));
+  EXPECT_TRUE(Unrolled.ValidationPassed);
+  EXPECT_EQ(Unrolled.OutputsCrc, Again.OutputsCrc);
+  EXPECT_NE(Unrolled.OutputsCrc, Plain.OutputsCrc);
+  EXPECT_GT(Plain.Cycles, Unrolled.Cycles / 2); // Sanity, not a perf gate.
+}
+
 //===----------------------------------------------------------------------===//
 // Wire protocol
 //===----------------------------------------------------------------------===//
@@ -360,6 +405,7 @@ TEST(ServeProtocol, RequestRoundTrip) {
   Request R = laplaceRequest("round");
   R.Options.Fuse = true;
   R.Options.Vectorize = 4;
+  R.Options.TemporalDegree = 4;
   R.Options.KernelExec = compute::KernelEngine::Jit;
   R.Options.Engine = "parallel";
   R.Options.Threads = 3;
@@ -373,6 +419,7 @@ TEST(ServeProtocol, RequestRoundTrip) {
   EXPECT_EQ(Back->Op, RequestOp::Run);
   EXPECT_TRUE(Back->Options.Fuse);
   EXPECT_EQ(Back->Options.Vectorize, 4);
+  EXPECT_EQ(Back->Options.TemporalDegree, 4);
   EXPECT_EQ(Back->Options.KernelExec, compute::KernelEngine::Jit);
   EXPECT_EQ(Back->Options.Engine, "parallel");
   EXPECT_EQ(Back->Options.Threads, 3);

@@ -114,15 +114,18 @@ TEST(TunerTest, DesignSpaceRespectsDivisibilityAndCaps) {
   EXPECT_EQ(Space->vectorWidths(), (std::vector<int>{1, 2, 4}));
   for (int D : Space->deviceCounts())
     EXPECT_LE(D, 4);
-  // Without an explicit engine axis the space keeps a single tier, so
-  // its size (and every candidate id) is unchanged from the 4-axis days.
+  // Without an explicit engine or temporal axis the space keeps a single
+  // tier and degree 1, so its size (and every candidate id) is unchanged
+  // from the 4-axis days.
   EXPECT_EQ(Space->kernelEngines(),
             (std::vector<compute::KernelEngine>{
                 compute::KernelEngine::Specialized}));
+  EXPECT_EQ(Space->temporalDegrees(), (std::vector<int>{1}));
   EXPECT_EQ(Space->size(), Space->vectorWidths().size() *
                                Space->fusionLevels().size() *
                                Space->deviceCounts().size() *
                                Space->targetUtilizations().size() *
+                               Space->temporalDegrees().size() *
                                Space->kernelEngines().size());
   // Enumeration order is deterministic lexicographic.
   std::vector<std::string> Ids;
@@ -162,12 +165,130 @@ TEST(TunerTest, KernelEngineAxisExpandsTheSpace) {
   EXPECT_TRUE(std::adjacent_find(Ids.begin(), Ids.end()) == Ids.end());
 
   // closestIndices snaps the engine axis to an exact match.
-  size_t Index[5];
+  size_t Index[6];
   Space->closestIndices(
-      CandidateMapping{1, 0, 1, 0.85, compute::KernelEngine::Auto}, Index);
-  EXPECT_EQ(Space->at(Index[0], Index[1], Index[2], Index[3],
-                      Index[4]).KernelExec,
+      CandidateMapping{1, 0, 1, 0.85, 1, compute::KernelEngine::Auto},
+      Index);
+  EXPECT_EQ(Space->at(Index[0], Index[1], Index[2], Index[3], Index[4],
+                      Index[5]).KernelExec,
             compute::KernelEngine::Auto);
+}
+
+TEST(TunerTest, TemporalDegreeAxisExpandsTheSpace) {
+  StencilProgram P = workloads::diffusion2dChain(2, 16, 12);
+  DesignSpaceOptions Options;
+  Options.TemporalDegrees = {1, 2, 4};
+  Expected<DesignSpace> Space =
+      DesignSpace::enumerate(P, Options, /*MaxDevicesCap=*/4);
+  ASSERT_TRUE(Space) << Space.message();
+  EXPECT_EQ(Space->temporalDegrees(), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(Space->size(), Space->vectorWidths().size() *
+                               Space->fusionLevels().size() *
+                               Space->deviceCounts().size() *
+                               Space->targetUtilizations().size() * 3u);
+  // Ids stay unique, and only degrees above 1 carry the -T suffix — the
+  // degree-1 candidates keep their golden ids from the smaller spaces.
+  std::vector<std::string> Ids;
+  size_t Suffixed = 0;
+  for (const CandidateMapping &M : Space->candidates()) {
+    Ids.push_back(M.id());
+    bool HasSuffix = M.id().find("-T") != std::string::npos;
+    EXPECT_EQ(HasSuffix, M.TemporalDegree > 1) << M.id();
+    Suffixed += HasSuffix ? 1 : 0;
+  }
+  EXPECT_EQ(Suffixed, Space->size() / 3 * 2);
+  std::sort(Ids.begin(), Ids.end());
+  EXPECT_TRUE(std::adjacent_find(Ids.begin(), Ids.end()) == Ids.end());
+
+  // closestIndices snaps the degree axis to the nearest value.
+  size_t Index[6];
+  Space->closestIndices(
+      CandidateMapping{1, 0, 1, 0.85, 4, compute::KernelEngine::Specialized},
+      Index);
+  EXPECT_EQ(Space->at(Index[0], Index[1], Index[2], Index[3], Index[4],
+                      Index[5]).TemporalDegree,
+            4);
+
+  // applyMapping unrolls: a degree-4 mapping quadruples the node count
+  // (diffusion2dChain(2) has no dead copies — both steps feed the chain).
+  CandidateMapping Unrolled;
+  Unrolled.TemporalDegree = 4;
+  Expected<StencilProgram> Applied = applyMapping(P, Unrolled);
+  ASSERT_TRUE(Applied) << Applied.message();
+  EXPECT_EQ(Applied->Nodes.size(), P.Nodes.size() * 4);
+  EXPECT_EQ(Applied->TimeLoop.size(), P.TimeLoop.size());
+}
+
+TEST(TunerTest, TemporalAxisRequiresTimeLoopBindings) {
+  StencilProgram P = workloads::diffusion2dChain(2, 16, 12);
+  P.TimeLoop.clear();
+  DesignSpaceOptions Options;
+  Options.TemporalDegrees = {1, 2};
+  Expected<DesignSpace> Space =
+      DesignSpace::enumerate(P, Options, /*MaxDevicesCap=*/4);
+  ASSERT_FALSE(Space);
+  EXPECT_EQ(Space.code(), ErrorCode::InvalidInput);
+  // Degree 1 alone stays legal on a loop-free program.
+  Options.TemporalDegrees = {1};
+  EXPECT_TRUE(DesignSpace::enumerate(P, Options, 4));
+}
+
+TEST(TunerTest, ExplicitAxisVectorsRejectMalformedEntries) {
+  // Satellite contract: explicitly provided axis vectors are validated —
+  // non-positive entries and duplicates are typed InvalidInput errors,
+  // not silently enumerated (or silently dropped like derived defaults).
+  StencilProgram P = workloads::diffusion2dChain(2, 16, 12);
+  auto Enumerate = [&](const DesignSpaceOptions &O) {
+    return DesignSpace::enumerate(P, O, /*MaxDevicesCap=*/4);
+  };
+
+  struct BadCase {
+    const char *Label;
+    DesignSpaceOptions Options;
+  };
+  std::vector<BadCase> Bad;
+  Bad.push_back({"zero width", {}});
+  Bad.back().Options.VectorWidths = {0, 1};
+  Bad.push_back({"duplicate width", {}});
+  Bad.back().Options.VectorWidths = {2, 2};
+  Bad.push_back({"negative fusion level", {}});
+  Bad.back().Options.FusionLevels = {-1};
+  Bad.push_back({"duplicate fusion level", {}});
+  Bad.back().Options.FusionLevels = {0, 0};
+  Bad.push_back({"zero device count", {}});
+  Bad.back().Options.DeviceCounts = {0};
+  Bad.push_back({"duplicate device count", {}});
+  Bad.back().Options.DeviceCounts = {2, 2};
+  Bad.push_back({"zero utilization", {}});
+  Bad.back().Options.TargetUtilizations = {0.0};
+  Bad.push_back({"utilization above one", {}});
+  Bad.back().Options.TargetUtilizations = {1.5};
+  Bad.push_back({"duplicate utilization", {}});
+  Bad.back().Options.TargetUtilizations = {0.85, 0.85};
+  Bad.push_back({"zero temporal degree", {}});
+  Bad.back().Options.TemporalDegrees = {0};
+  Bad.push_back({"negative temporal degree", {}});
+  Bad.back().Options.TemporalDegrees = {-2};
+  Bad.push_back({"duplicate temporal degree", {}});
+  Bad.back().Options.TemporalDegrees = {2, 2};
+  for (const BadCase &C : Bad) {
+    Expected<DesignSpace> Space = Enumerate(C.Options);
+    EXPECT_FALSE(Space) << C.Label;
+    if (!Space)
+      EXPECT_EQ(Space.code(), ErrorCode::InvalidInput) << C.Label;
+  }
+
+  // Out-of-range-but-positive entries in explicit vectors keep the silent
+  // per-program filtering (a width of 5 does not divide 12; a device
+  // count above the cap is dropped) — those are program facts, not
+  // malformed configuration.
+  DesignSpaceOptions Filtered;
+  Filtered.VectorWidths = {1, 5};
+  Filtered.DeviceCounts = {1, 8};
+  Expected<DesignSpace> Space = Enumerate(Filtered);
+  ASSERT_TRUE(Space) << Space.message();
+  EXPECT_EQ(Space->vectorWidths(), (std::vector<int>{1}));
+  EXPECT_EQ(Space->deviceCounts(), (std::vector<int>{1}));
 }
 
 TEST(TunerTest, TunesAcrossKernelEngineAxis) {
@@ -192,6 +313,52 @@ TEST(TunerTest, TunesAcrossKernelEngineAxis) {
   for (const json::Value &V :
        Doc->getObject().get("candidates")->getArray())
     EXPECT_TRUE(V.getObject().contains("kernel_engine"));
+}
+
+TEST(TunerTest, TunesAcrossTemporalDegreeAxis) {
+  // End-to-end with the temporal axis opted in under the constrained
+  // memory model (where blocking actually pays): the search explores
+  // degrees above 1, the winning plan validates bit-exactly, the report
+  // serializes temporal_degree per candidate, and reruns with the same
+  // seed are bit-identical.
+  TuneOptions Opts;
+  Opts.Search.CandidateBudget = 16;
+  Opts.TopK = 3;
+  Opts.Space.TemporalDegrees = {1, 2, 4};
+  PipelineOptions Base = baseOptions();
+  Base.Simulator.UnconstrainedMemory = false;
+  TuningOutcome Out = tuneOrDie(smallDiffusion(), Opts, Base);
+  EXPECT_TRUE(Out.BestRun.ValidationPassed);
+  bool SawDegree = false;
+  for (const CandidateRecord &R : Out.Report.Candidates) {
+    SawDegree |= R.Mapping.TemporalDegree > 1;
+    // The ranking objective is per-timestep: feasible degree-T
+    // candidates report PredictedCycles amortized over T in seconds.
+    if (R.Cost.Feasible)
+      EXPECT_NEAR(R.Cost.PredictedSeconds,
+                  static_cast<double>(R.Cost.PredictedCycles) /
+                      (R.Cost.FrequencyMHz * 1e6 *
+                       R.Mapping.TemporalDegree),
+                  1e-12)
+          << R.Mapping.id();
+  }
+  EXPECT_TRUE(SawDegree);
+
+  Expected<json::Value> Doc = json::parse(Out.Report.toJson());
+  ASSERT_TRUE(Doc) << Doc.message();
+  for (const json::Value &V :
+       Doc->getObject().get("candidates")->getArray()) {
+    const json::Object &Obj = V.getObject();
+    ASSERT_TRUE(Obj.contains("temporal_degree"));
+    int Degree = static_cast<int>(Obj.get("temporal_degree")->getInteger());
+    std::string Id = Obj.get("id")->getString();
+    EXPECT_EQ(Degree > 1, Id.find("-T") != std::string::npos) << Id;
+  }
+
+  TuningOutcome Again = tuneOrDie(smallDiffusion(), Opts, Base);
+  EXPECT_EQ(Out.Best.id(), Again.Best.id());
+  EXPECT_EQ(trajectoryOf(Out.Report), trajectoryOf(Again.Report));
+  EXPECT_EQ(Out.Report.toJson(), Again.Report.toJson());
 }
 
 TEST(TunerTest, ApplyMappingRejectsIllegalWidth) {
