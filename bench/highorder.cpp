@@ -1,0 +1,90 @@
+//===- bench/highorder.cpp - High-order workload family perf gate --------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Perf tracking for the high-order workload family: radius-1..4
+// wave-equation steps in 2D, radius-2/4 in 3D, and the HotSpot thermal
+// update. Wider finite-difference rings grow the on-chip buffer depth
+// linearly with the radius while the off-chip traffic stays one
+// read + one write per time level, so the simulated cycle count should
+// stay roughly flat across radii — a regression here usually means the
+// ring-buffer sizing or the channel scheduler started serializing taps.
+//
+// Like temporal_blocking, the simulated elapsed time at 300 MHz is
+// reported as manual time so the JSON `real_time` is deterministic;
+// `cpu_time` tracks the simulator's host-side speed for
+// tools/check_perf.py. Off-chip traffic rides along as the
+// `offchip_bytes` counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DataflowAnalysis.h"
+#include "runtime/InputData.h"
+#include "sim/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace stencilflow;
+
+namespace {
+
+constexpr double FrequencyHz = 300.0e6;
+
+/// Simulates one single-pass run of \p Program per benchmark iteration,
+/// reporting simulated seconds as manual time.
+void runSimulated(benchmark::State &State, StencilProgram Program) {
+  auto Compiled = CompiledProgram::compile(std::move(Program));
+  if (!Compiled) {
+    State.SkipWithError(Compiled.message().c_str());
+    return;
+  }
+  auto Dataflow = analyzeDataflow(*Compiled);
+  if (!Dataflow) {
+    State.SkipWithError(Dataflow.message().c_str());
+    return;
+  }
+  auto Inputs = materializeInputs(Compiled->program());
+  sim::SimConfig Config; // DDR4 memory-controller model on by default.
+  int64_t Cycles = 0;
+  double Bytes = 0.0;
+  for (auto _ : State) {
+    auto M = sim::Machine::build(*Compiled, *Dataflow, nullptr, Config);
+    auto Result = M->run(Inputs);
+    if (!Result) {
+      State.SkipWithError(Result.message().c_str());
+      return;
+    }
+    Cycles = Result->Stats.Cycles;
+    Bytes = 0.0;
+    for (double B : Result->Stats.MemoryBytesMoved)
+      Bytes += B;
+    State.SetIterationTime(static_cast<double>(Cycles) / FrequencyHz);
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["offchip_bytes"] = Bytes;
+}
+
+void BM_HighOrderWave2D(benchmark::State &State) {
+  const int Radius = static_cast<int>(State.range(0));
+  runSimulated(State, workloads::wave2dChain(Radius, 1, 48, 64));
+}
+BENCHMARK(BM_HighOrderWave2D)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->UseManualTime();
+
+void BM_HighOrderWave3D(benchmark::State &State) {
+  const int Radius = static_cast<int>(State.range(0));
+  runSimulated(State, workloads::wave3dChain(Radius, 1, 12, 16, 24));
+}
+BENCHMARK(BM_HighOrderWave3D)->Arg(2)->Arg(4)->UseManualTime();
+
+void BM_HighOrderHotspot(benchmark::State &State) {
+  runSimulated(State, workloads::hotspot2dChain(1, 48, 64));
+}
+BENCHMARK(BM_HighOrderHotspot)->UseManualTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -123,10 +123,18 @@ double jitTimeoutSeconds() {
   return Seconds;
 }
 
-/// Runs `Compiler -O2 -fPIC -shared -ffp-contract=off -o So Cpp` directly
-/// (no shell) in its own process group, killing the whole group if it
-/// outlives the wall-clock budget. Returns true on a zero exit; sets
-/// \p TimedOut when the bound fired.
+/// Runs `Compiler -O2 -fPIC -shared -ffp-contract=off
+/// -fno-tree-vectorize -o So Cpp` directly (no shell) in its own process
+/// group, killing the whole group if it outlives the wall-clock budget.
+/// Returns true on a zero exit; sets \p TimedOut when the bound fired.
+///
+/// -fno-tree-vectorize is load-bearing for bit-exactness, not a tuning
+/// choice: GCC 12's vectorizer folds the (double)(float)x narrowing
+/// round-trip that implements float32 rounding (SF_R) into a plain copy
+/// when it vectorizes the lane loop (observed as cvtpd2ps/cvtps2pd
+/// collapsing to movupd at Lanes >= 2), so jitted float32 kernels
+/// reading float64 operands silently skipped the narrowing and diverged
+/// from every other tier. Found by the differential fuzzer (sf_fuzz).
 bool runCompiler(const std::string &Compiler, const std::string &So,
                  const std::string &Cpp, bool &TimedOut) {
   TimedOut = false;
@@ -144,8 +152,8 @@ bool runCompiler(const std::string &Compiler, const std::string &So,
       ::close(Null);
     }
     ::execl(Compiler.c_str(), Compiler.c_str(), "-O2", "-fPIC", "-shared",
-            "-ffp-contract=off", "-o", So.c_str(), Cpp.c_str(),
-            static_cast<char *>(nullptr));
+            "-ffp-contract=off", "-fno-tree-vectorize", "-o", So.c_str(),
+            Cpp.c_str(), static_cast<char *>(nullptr));
     ::_exit(127);
   }
   ::setpgid(Pid, Pid); // Also from the parent: close the fork/exec race.
@@ -257,7 +265,9 @@ uint64_t jit::hashTape(const std::vector<TapeOp> &Ops, int32_t OutReg,
 std::string jit::emitTapeSource(const std::vector<TapeOp> &Ops,
                                 int32_t OutReg, DataType Type, int Lanes) {
   std::string Out;
-  Out += "// StencilFlow JIT'd kernel tape; built with -ffp-contract=off\n";
+  Out += "// StencilFlow JIT'd kernel tape; built with -ffp-contract=off\n"
+         "// and -fno-tree-vectorize (the vectorizer folds the SF_R\n"
+         "// float32 narrowing round-trip into a copy; see runCompiler).\n";
   Out += formatString("// ops=%zu lanes=%d type=%d\n", Ops.size(), Lanes,
                       static_cast<int>(Type));
   // Self-contained libm prototypes: no include path needed at runtime.

@@ -18,27 +18,55 @@ using json::Value;
 
 namespace {
 
-Expected<DataSource> dataSourceFromJson(const Value &V) {
+/// Renders the offending JSON value for error context, truncated so
+/// messages stay one line: ` (got {"kind": 1})`.
+std::string got(const Value &V) {
+  std::string Text = V.toString();
+  constexpr size_t MaxLen = 80;
+  if (Text.size() > MaxLen)
+    Text = Text.substr(0, MaxLen - 3) + "...";
+  return " (got " + Text + ")";
+}
+
+/// Same, for a field that may be absent entirely.
+std::string got(const Value *V) {
+  return V ? got(*V) : std::string(" (missing)");
+}
+
+/// Malformed-description error: "<json path>: <what> (got <value>)". The
+/// path names the offending field in the document (e.g. "inputs.a.data"),
+/// so the message pinpoints what to fix without re-reading the schema.
+Error badField(const std::string &Path, const std::string &What,
+               const Value *V) {
+  return makeError(ErrorCode::InvalidInput, Path + ": " + What + got(V));
+}
+
+Expected<DataSource> dataSourceFromJson(const Value &V,
+                                        const std::string &Path) {
   if (!V.isObject())
-    return makeError("data source must be an object");
+    return badField(Path, "data source must be an object", &V);
   const json::Object &Obj = V.getObject();
   const Value *KindValue = Obj.get("kind");
   if (!KindValue || !KindValue->isString())
-    return makeError("data source requires a string 'kind'");
+    return badField(Path, "data source requires a string 'kind'", &V);
   const std::string &Kind = KindValue->getString();
   if (Kind == "zero")
     return DataSource::zero();
   if (Kind == "constant") {
     const Value *Val = Obj.get("value");
     if (!Val || !Val->isNumber())
-      return makeError("constant data source requires a numeric 'value'");
+      return badField(Path + ".value",
+                      "constant data source requires a numeric 'value'",
+                      Val);
     return DataSource::constant(Val->getNumber());
   }
   if (Kind == "random") {
     uint64_t Seed = 42;
     if (const Value *SeedValue = Obj.get("seed")) {
       if (!SeedValue->isNumber())
-        return makeError("random data source 'seed' must be a number");
+        return badField(Path + ".seed",
+                        "random data source 'seed' must be a number",
+                        SeedValue);
       Seed = static_cast<uint64_t>(SeedValue->getInteger());
     }
     return DataSource::random(Seed);
@@ -47,12 +75,16 @@ Expected<DataSource> dataSourceFromJson(const Value &V) {
     double Step = 1.0;
     if (const Value *StepValue = Obj.get("step")) {
       if (!StepValue->isNumber())
-        return makeError("ramp data source 'step' must be a number");
+        return badField(Path + ".step",
+                        "ramp data source 'step' must be a number",
+                        StepValue);
       Step = StepValue->getNumber();
     }
     return DataSource::ramp(Step);
   }
-  return makeError("unknown data source kind '" + Kind + "'");
+  return badField(Path + ".kind",
+                  "unknown data source kind (zero, constant, random, ramp)",
+                  KindValue);
 }
 
 Value dataSourceToJson(const DataSource &Source) {
@@ -77,22 +109,25 @@ Value dataSourceToJson(const DataSource &Source) {
   return Value(std::move(Obj));
 }
 
-Expected<BoundaryCondition> boundaryFromJson(const Value &V) {
+Expected<BoundaryCondition> boundaryFromJson(const Value &V,
+                                             const std::string &Path) {
   if (!V.isObject())
-    return makeError("boundary condition must be an object");
+    return badField(Path, "boundary condition must be an object", &V);
   const json::Object &Obj = V.getObject();
   const Value *TypeValue = Obj.get("type");
   if (!TypeValue || !TypeValue->isString())
-    return makeError("boundary condition requires a string 'type'");
+    return badField(Path, "boundary condition requires a string 'type'",
+                    &V);
   Expected<BoundaryKind> Kind = parseBoundaryKind(TypeValue->getString());
   if (!Kind)
-    return Kind.takeError();
+    return Kind.takeError().addContext(Path + ".type");
   switch (*Kind) {
   case BoundaryKind::Constant: {
     double BoundaryValue = 0.0;
     if (const Value *Val = Obj.get("value")) {
       if (!Val->isNumber())
-        return makeError("constant boundary 'value' must be a number");
+        return badField(Path + ".value",
+                        "constant boundary 'value' must be a number", Val);
       BoundaryValue = Val->getNumber();
     }
     return BoundaryCondition::constant(BoundaryValue);
@@ -102,7 +137,7 @@ Expected<BoundaryCondition> boundaryFromJson(const Value &V) {
   case BoundaryKind::Shrink:
     return BoundaryCondition::shrink();
   }
-  return makeError("invalid boundary kind");
+  return badField(Path, "invalid boundary kind", TypeValue);
 }
 
 Value boundaryToJson(const BoundaryCondition &Boundary) {
@@ -116,16 +151,24 @@ Value boundaryToJson(const BoundaryCondition &Boundary) {
 /// Maps a list of dimension names (e.g. ["k", "i"]) to a mask over the
 /// program dimensions.
 Expected<std::vector<bool>>
-dimensionMaskFromNames(const std::vector<Value> &Names, size_t Rank) {
+dimensionMaskFromNames(const std::vector<Value> &Names, size_t Rank,
+                       const std::string &Path) {
   std::vector<std::string> DimNames = StencilProgram::dimensionNames(Rank);
   std::vector<bool> Mask(Rank, false);
   for (const Value &NameValue : Names) {
     if (!NameValue.isString())
-      return makeError("input dimension names must be strings");
+      return badField(Path, "input dimension names must be strings",
+                      &NameValue);
     const std::string &Name = NameValue.getString();
     auto It = std::find(DimNames.begin(), DimNames.end(), Name);
-    if (It == DimNames.end())
-      return makeError("unknown dimension name '" + Name + "'");
+    if (It == DimNames.end()) {
+      std::string Known;
+      for (const std::string &Dim : DimNames)
+        Known += (Known.empty() ? "" : ", ") + Dim;
+      return makeError(ErrorCode::InvalidInput,
+                       Path + ": unknown dimension name '" + Name +
+                           "' (this program has: " + Known + ")");
+    }
     Mask[static_cast<size_t>(It - DimNames.begin())] = true;
   }
   return Mask;
@@ -141,64 +184,70 @@ Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
   StencilProgram Program;
   if (const Value *Name = Obj.get("name")) {
     if (!Name->isString())
-      return makeError("'name' must be a string");
+      return badField("name", "must be a string", Name);
     Program.Name = Name->getString();
   }
 
   const Value *Dims = Obj.get("dimensions");
   if (!Dims || !Dims->isArray())
-    return makeError("program requires a 'dimensions' array");
+    return badField("dimensions", "program requires a 'dimensions' array",
+                    Dims);
   std::vector<int64_t> Extents;
   for (const Value &Extent : Dims->getArray()) {
     if (!Extent.isNumber() || Extent.getNumber() <= 0 ||
         Extent.getNumber() != std::floor(Extent.getNumber()))
-      return makeError("'dimensions' must contain positive integers");
+      return badField("dimensions", "must contain positive integers",
+                      &Extent);
     Extents.push_back(Extent.getInteger());
   }
   if (Extents.empty() || Extents.size() > 3)
-    return makeError("programs must have 1, 2, or 3 dimensions");
+    return badField("dimensions", "programs must have 1, 2, or 3 dimensions",
+                    Dims);
   Program.IterationSpace = Shape(std::move(Extents));
   size_t Rank = Program.IterationSpace.rank();
 
   if (const Value *W = Obj.get("vectorization")) {
     if (!W->isNumber() || W->getNumber() < 1 ||
         W->getNumber() != std::floor(W->getNumber()))
-      return makeError("'vectorization' must be a positive integer");
+      return badField("vectorization", "must be a positive integer", W);
     Program.VectorWidth = static_cast<int>(W->getInteger());
   }
 
   // Inputs.
   if (const Value *Inputs = Obj.get("inputs")) {
     if (!Inputs->isObject())
-      return makeError("'inputs' must be an object");
+      return badField("inputs", "must be an object", Inputs);
     for (const auto &[InputName, InputValue] : Inputs->getObject()) {
+      std::string Path = "inputs." + InputName;
       if (!InputValue->isObject())
-        return makeError("input '" + InputName + "' must be an object");
+        return badField(Path, "input must be an object", InputValue.get());
       const json::Object &InputObj = InputValue->getObject();
       Field Input;
       Input.Name = InputName;
       Input.DimensionMask = std::vector<bool>(Rank, true);
       if (const Value *Type = InputObj.get("data_type")) {
         if (!Type->isString())
-          return makeError("input 'data_type' must be a string");
+          return badField(Path + ".data_type", "must be a string", Type);
         Expected<DataType> Parsed = parseDataType(Type->getString());
         if (!Parsed)
-          return Parsed.takeError();
+          return Parsed.takeError().addContext(Path + ".data_type");
         Input.Type = *Parsed;
       }
       if (const Value *InputDims = InputObj.get("dimensions")) {
         if (!InputDims->isArray())
-          return makeError("input 'dimensions' must be an array of names");
-        Expected<std::vector<bool>> Mask =
-            dimensionMaskFromNames(InputDims->getArray(), Rank);
+          return badField(Path + ".dimensions",
+                          "must be an array of dimension names", InputDims);
+        Expected<std::vector<bool>> Mask = dimensionMaskFromNames(
+            InputDims->getArray(), Rank, Path + ".dimensions");
         if (!Mask)
           return Mask.takeError();
         Input.DimensionMask = *Mask;
       }
       if (const Value *Source = InputObj.get("data")) {
-        Expected<DataSource> Parsed = dataSourceFromJson(*Source);
+        Expected<DataSource> Parsed =
+            dataSourceFromJson(*Source, Path + ".data");
         if (!Parsed)
-          return Parsed.takeError().addContext("input '" + InputName + "'");
+          return Parsed.takeError();
         Input.Source = *Parsed;
       }
       Program.Inputs.push_back(std::move(Input));
@@ -208,48 +257,51 @@ Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
   // Stencil nodes.
   const Value *ProgramNodes = Obj.get("program");
   if (!ProgramNodes || !ProgramNodes->isObject())
-    return makeError("program requires a 'program' object of stencils");
+    return badField("program", "requires a 'program' object of stencils",
+                    ProgramNodes);
   for (const auto &[NodeName, NodeValue] : ProgramNodes->getObject()) {
+    std::string Path = "program." + NodeName;
     if (!NodeValue->isObject())
-      return makeError("stencil '" + NodeName + "' must be an object");
+      return badField(Path, "stencil must be an object", NodeValue.get());
     const json::Object &NodeObj = NodeValue->getObject();
     StencilNode Node;
     Node.Name = NodeName;
 
     const Value *Computation = NodeObj.get("computation");
     if (!Computation || !Computation->isString())
-      return makeError("stencil '" + NodeName +
-                       "' requires a 'computation' string");
+      return badField(Path + ".computation",
+                      "stencil requires a 'computation' string",
+                      Computation);
     Expected<StencilCode> Code = parseStencilCode(Computation->getString());
     if (!Code)
-      return Code.takeError().addContext("stencil '" + NodeName + "'");
+      return Code.takeError().addContext(Path + ".computation");
     Node.Code = Code.takeValue();
 
     if (const Value *Type = NodeObj.get("data_type")) {
       if (!Type->isString())
-        return makeError("stencil 'data_type' must be a string");
+        return badField(Path + ".data_type", "must be a string", Type);
       Expected<DataType> Parsed = parseDataType(Type->getString());
       if (!Parsed)
-        return Parsed.takeError();
+        return Parsed.takeError().addContext(Path + ".data_type");
       Node.Type = *Parsed;
     }
 
     if (const Value *Boundaries = NodeObj.get("boundary_conditions")) {
       if (!Boundaries->isObject())
-        return makeError("'boundary_conditions' must be an object");
+        return badField(Path + ".boundary_conditions", "must be an object",
+                        Boundaries);
       for (const auto &[FieldName, BoundaryValue] : Boundaries->getObject()) {
-        Expected<BoundaryCondition> Boundary =
-            boundaryFromJson(*BoundaryValue);
+        Expected<BoundaryCondition> Boundary = boundaryFromJson(
+            *BoundaryValue, Path + ".boundary_conditions." + FieldName);
         if (!Boundary)
-          return Boundary.takeError().addContext("stencil '" + NodeName +
-                                                 "'");
+          return Boundary.takeError();
         Node.Boundaries[FieldName] = *Boundary;
       }
     }
 
     if (const Value *Shrink = NodeObj.get("shrink")) {
       if (!Shrink->isBoolean())
-        return makeError("'shrink' must be a boolean");
+        return badField(Path + ".shrink", "must be a boolean", Shrink);
       Node.ShrinkOutput = Shrink->getBoolean();
     }
 
@@ -260,10 +312,12 @@ Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
   // after semantic analysis, so explicit outputs are resolved first.)
   if (const Value *Outputs = Obj.get("outputs")) {
     if (!Outputs->isArray())
-      return makeError("'outputs' must be an array of field names");
+      return badField("outputs", "must be an array of field names",
+                      Outputs);
     for (const Value &Output : Outputs->getArray()) {
       if (!Output.isString())
-        return makeError("'outputs' must be an array of field names");
+        return badField("outputs", "must be an array of field names",
+                        &Output);
       Program.Outputs.push_back(Output.getString());
     }
   }
@@ -271,16 +325,22 @@ Expected<StencilProgram> stencilflow::programFromJson(const Value &Root) {
   // Time loop: output -> input feedback bindings for iterative programs.
   if (const Value *TimeLoop = Obj.get("time_loop")) {
     if (!TimeLoop->isArray())
-      return makeError("'time_loop' must be an array of bindings");
+      return badField("time_loop", "must be an array of bindings",
+                      TimeLoop);
+    size_t Index = 0;
     for (const Value &Entry : TimeLoop->getArray()) {
+      std::string Path = formatString("time_loop[%zu]", Index++);
       if (!Entry.isObject())
-        return makeError("'time_loop' entries must be objects");
+        return badField(Path, "'time_loop' entries must be objects",
+                        &Entry);
       const json::Object &EntryObj = Entry.getObject();
       const Value *Output = EntryObj.get("output");
       const Value *Input = EntryObj.get("input");
       if (!Output || !Output->isString() || !Input || !Input->isString())
-        return makeError(
-            "'time_loop' entries require 'output' and 'input' field names");
+        return badField(
+            Path, "'time_loop' entries require 'output' and 'input' "
+                  "field names",
+            &Entry);
       Program.TimeLoop.push_back({Output->getString(), Input->getString()});
     }
   }

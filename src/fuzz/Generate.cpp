@@ -1,0 +1,383 @@
+//===- fuzz/Generate.cpp - Seeded random stencil programs ---------------------==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generate.h"
+
+#include "frontend/Parser.h"
+#include "frontend/SemanticAnalysis.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace stencilflow;
+using namespace stencilflow::fuzz;
+
+GenConfig GenConfig::deepRings() {
+  GenConfig C;
+  C.MinRank = 2;
+  C.MinExtent = 10; // Room for radius-4 offsets (extent/2 - 1 >= 4).
+  C.MaxExtent = 24;
+  C.MaxNodes = 4;
+  C.MaxInputs = 2;
+  C.MaxExtraOperands = 1;
+  C.WideDagProbability = 0.1;
+  C.DeepRingProbability = 0.85;
+  C.MaxTapsPerField = 7;
+  C.CopyChainProbability = 0.0;
+  C.ConstantNodeProbability = 0.0;
+  return C;
+}
+
+GenConfig GenConfig::wideDags() {
+  GenConfig C;
+  C.MinNodes = 4;
+  C.MaxNodes = 8;
+  C.MaxInputs = 4;
+  C.MaxExtraOperands = 3;
+  C.WideDagProbability = 0.9;
+  C.MaxRadius = 2;
+  C.DeepRingProbability = 0.0;
+  C.CopyChainProbability = 0.0;
+  C.ConstantNodeProbability = 0.0;
+  return C;
+}
+
+GenConfig GenConfig::degenerate() {
+  GenConfig C;
+  C.MaxNodes = 6;
+  C.MaxRadius = 2;
+  C.ZeroCoefficientProbability = 0.4;
+  C.CopyChainProbability = 0.3;
+  C.ConstantNodeProbability = 0.3;
+  C.IntrinsicProbability = 0.05;
+  C.SelectProbability = 0.1;
+  return C;
+}
+
+namespace {
+
+/// A field visible to later nodes: an input or an earlier node's output.
+struct FieldInfo {
+  std::string Name;
+  DataType Type = DataType::Float32;
+  std::vector<bool> Mask; // Spanned dimensions.
+};
+
+/// Exactly representable coefficients (multiples of 1/16) render through
+/// %g and re-parse bit-identically, so reproducer JSON round-trips.
+std::string randomCoefficient(Random &Rng, bool AllowZero) {
+  int64_t Ticks = Rng.nextInRange(-8, 8);
+  if (!AllowZero && Ticks == 0)
+    Ticks = 1;
+  return formatString("%g", static_cast<double>(Ticks) * 0.0625);
+}
+
+std::string renderOffset(const std::string &Field,
+                         const std::vector<int> &Off) {
+  std::string Out = Field + "[";
+  for (size_t I = 0; I != Off.size(); ++I)
+    Out += formatString(I + 1 == Off.size() ? "%d" : "%d,", Off[I]);
+  return Out + "]";
+}
+
+/// Builds the deduplicated tap list for one consumed field: offsets
+/// sampled within the per-dimension envelope min(radius, extent/2 - 1).
+std::vector<std::string> sampleTaps(Random &Rng, const GenConfig &Config,
+                                    const FieldInfo &Field,
+                                    const Shape &Space) {
+  int Radius = Rng.nextBool(Config.DeepRingProbability)
+                   ? Config.MaxRadius
+                   : static_cast<int>(Rng.nextInRange(0, Config.MaxRadius));
+  std::vector<size_t> Spanned;
+  for (size_t Dim = 0; Dim != Field.Mask.size(); ++Dim)
+    if (Field.Mask[Dim])
+      Spanned.push_back(Dim);
+
+  std::set<std::vector<int>> Seen;
+  int Taps = static_cast<int>(Rng.nextInRange(1, Config.MaxTapsPerField));
+  bool ForceCenter = Rng.nextBool(0.7);
+  for (int Tap = 0; Tap != Taps; ++Tap) {
+    std::vector<int> Off;
+    for (size_t Dim : Spanned) {
+      int MaxOff = static_cast<int>(
+          std::min<int64_t>(Radius, Space.extent(Dim) / 2 - 1));
+      if (MaxOff < 0)
+        MaxOff = 0;
+      Off.push_back(static_cast<int>(Rng.nextInRange(-MaxOff, MaxOff)));
+    }
+    Seen.insert(std::move(Off));
+  }
+  if (ForceCenter)
+    Seen.insert(std::vector<int>(Spanned.size(), 0));
+
+  std::vector<std::string> Out;
+  for (const std::vector<int> &Off : Seen)
+    Out.push_back(renderOffset(Field.Name, Off));
+  return Out;
+}
+
+/// Recursive random expression over the node's tap and local pools. Only
+/// shapes that keep values finite are emitted: division is by nonzero
+/// literals, sqrt goes through abs, exp through -abs, and comparisons
+/// appear only as ternary conditions.
+struct ExprBuilder {
+  Random &Rng;
+  const GenConfig &Config;
+  const std::vector<std::string> &Taps;
+  const std::vector<std::string> &Locals;
+
+  std::string leaf() {
+    double P = Rng.nextDouble();
+    if (P < 0.25 || Taps.empty())
+      return randomCoefficient(Rng, /*AllowZero=*/true);
+    if (P < 0.4 && !Locals.empty())
+      return Locals[Rng.nextBounded(Locals.size())];
+    return Taps[Rng.nextBounded(Taps.size())];
+  }
+
+  std::string build(int Depth) {
+    if (Depth <= 0)
+      return leaf();
+    double P = Rng.nextDouble();
+    if (P < 0.4) {
+      const char *Ops[] = {"+", "-", "*"};
+      return "(" + build(Depth - 1) + " " + Ops[Rng.nextBounded(3)] + " " +
+             build(Depth - 1) + ")";
+    }
+    P -= 0.4;
+    if (P < 0.1) {
+      const char *Divisors[] = {"1.25", "1.5", "2.0", "4.0"};
+      return "(" + build(Depth - 1) + " / " +
+             Divisors[Rng.nextBounded(4)] + ")";
+    }
+    P -= 0.1;
+    if (P < Config.IntrinsicProbability) {
+      switch (Rng.nextBounded(8)) {
+      case 0:
+        return "sqrt(abs(" + build(Depth - 1) + "))";
+      case 1:
+        return "abs(" + build(Depth - 1) + ")";
+      case 2:
+        return "tanh(" + build(Depth - 1) + ")";
+      case 3:
+        return "sin(" + build(Depth - 1) + ")";
+      case 4:
+        return "cos(" + build(Depth - 1) + ")";
+      case 5:
+        return "floor(" + build(Depth - 1) + ")";
+      case 6:
+        return "min(" + build(Depth - 1) + ", " + build(Depth - 1) + ")";
+      default:
+        return "max(" + build(Depth - 1) + ", " + build(Depth - 1) + ")";
+      }
+    }
+    P -= Config.IntrinsicProbability;
+    if (P < Config.SelectProbability) {
+      const char *Cmps[] = {">", "<", ">=", "<="};
+      return "((" + build(Depth - 1) + " " + Cmps[Rng.nextBounded(4)] + " " +
+             build(Depth - 1) + ") ? " + build(Depth - 1) + " : " +
+             build(Depth - 1) + ")";
+    }
+    return leaf();
+  }
+};
+
+/// Parses \p Source into node \p Name, analyzes it, and derives boundary
+/// conditions from the recovered accesses (the workload recipe).
+void addGeneratedStencil(Random &Rng, const GenConfig &Config,
+                         StencilProgram &Program, const std::string &Name,
+                         DataType Type, const std::string &Source) {
+  StencilNode Node;
+  Node.Name = Name;
+  Node.Type = Type;
+  Expected<StencilCode> Code = parseStencilCode(Source);
+  assert(Code && "generated stencil failed to parse");
+  Node.Code = Code.takeValue();
+  Program.Nodes.push_back(std::move(Node));
+  StencilNode &Added = Program.Nodes.back();
+  Error Err = analyzeNode(Program, Added);
+  assert(!Err && "generated stencil failed analysis");
+  (void)Err;
+  for (const FieldAccesses &FA : Added.Accesses) {
+    bool HasCenter = false;
+    for (const Offset &Off : FA.Offsets)
+      HasCenter |= std::all_of(Off.begin(), Off.end(),
+                               [](int O) { return O == 0; });
+    if (HasCenter && Rng.nextBool(Config.CopyBoundaryProbability))
+      Added.Boundaries[FA.Field] = BoundaryCondition::copy();
+    else
+      Added.Boundaries[FA.Field] = BoundaryCondition::constant(
+          static_cast<double>(Rng.nextInRange(-4, 4)) * 0.25);
+  }
+}
+
+} // namespace
+
+StencilProgram fuzz::generateProgram(uint64_t Seed, const GenConfig &Config) {
+  Random Rng(Seed);
+  StencilProgram Program;
+  Program.Name = formatString("fuzz_%llu",
+                              static_cast<unsigned long long>(Seed));
+
+  // Iteration space and vectorization. The innermost extent is rounded up
+  // to a multiple of the width so validate()'s divisibility rule holds.
+  size_t Rank = static_cast<size_t>(
+      Rng.nextInRange(Config.MinRank, Config.MaxRank));
+  std::vector<int64_t> Extents;
+  for (size_t Dim = 0; Dim != Rank; ++Dim)
+    Extents.push_back(Rng.nextInRange(Config.MinExtent, Config.MaxExtent));
+  int Width = 1;
+  if (Rng.nextBool(Config.VectorizeProbability))
+    Width = Rng.nextBool() ? 2 : 4;
+  Extents[Rank - 1] += (Width - Extents[Rank - 1] % Width) % Width;
+  Program.IterationSpace = Shape(std::move(Extents));
+  Program.VectorWidth = Width;
+
+  // Inputs: in0 is always full-rank (the time-loop feedback target);
+  // later inputs may span a single dimension.
+  std::vector<FieldInfo> Fields;
+  int NumInputs = static_cast<int>(Rng.nextInRange(1, Config.MaxInputs));
+  for (int I = 0; I != NumInputs; ++I) {
+    Field Input;
+    Input.Name = formatString("in%d", I);
+    Input.Type = Rng.nextBool(Config.Float64Probability)
+                     ? DataType::Float64
+                     : DataType::Float32;
+    Input.DimensionMask = std::vector<bool>(Rank, true);
+    if (I > 0 && Rank > 1 && Rng.nextBool(Config.LineInputProbability)) {
+      Input.DimensionMask.assign(Rank, false);
+      Input.DimensionMask[Rng.nextBounded(Rank)] = true;
+    }
+    // Mask the data seed to 53 bits: programToJson stores numbers as
+    // doubles, and reproducers must round-trip the seed exactly.
+    Input.Source = DataSource::random(Rng.nextUInt64() & ((1ull << 53) - 1));
+    Fields.push_back({Input.Name, Input.Type, Input.DimensionMask});
+    Program.Inputs.push_back(std::move(Input));
+  }
+
+  // Nodes, in dependency order: each consumes a backbone producer (the
+  // previous node for chains, any earlier field for wide DAGs) plus a few
+  // extra operands. All sampled taps appear in the final weighted sum, so
+  // every consumed field is genuinely read.
+  int NumNodes = static_cast<int>(
+      Rng.nextInRange(Config.MinNodes, Config.MaxNodes));
+  for (int N = 0; N != NumNodes; ++N) {
+    std::string Name = formatString("n%d", N);
+    DataType Type = Rng.nextBool(Config.Float64Probability)
+                        ? DataType::Float64
+                        : DataType::Float32;
+
+    size_t Backbone =
+        (N == 0 || Rng.nextBool(Config.WideDagProbability))
+            ? Rng.nextBounded(Fields.size())
+            : Fields.size() - 1;
+    std::vector<size_t> Consumed{Backbone};
+    int Extras = static_cast<int>(
+        Rng.nextInRange(0, Config.MaxExtraOperands));
+    for (int E = 0; E != Extras; ++E) {
+      size_t Pick = Rng.nextBounded(Fields.size());
+      if (std::find(Consumed.begin(), Consumed.end(), Pick) ==
+          Consumed.end())
+        Consumed.push_back(Pick);
+    }
+
+    std::string Source;
+    double Degenerate = Rng.nextDouble();
+    if (Degenerate < Config.CopyChainProbability) {
+      // Pure copy of the backbone's center value.
+      const FieldInfo &F = Fields[Backbone];
+      size_t SpannedDims = static_cast<size_t>(
+          std::count(F.Mask.begin(), F.Mask.end(), true));
+      Source = Name + " = " +
+               renderOffset(F.Name, std::vector<int>(SpannedDims, 0)) + ";";
+    } else if (Degenerate <
+               Config.CopyChainProbability + Config.ConstantNodeProbability) {
+      // Effectively constant: a zero-weighted access keeps the node legal
+      // (analysis rejects stencils that read no fields), and Simplify
+      // folds the tape down to the literal.
+      std::vector<std::string> Taps = sampleTaps(
+          Rng, Config, Fields[Backbone], Program.IterationSpace);
+      Source = Name + " = 0 * " + Taps.front() + " + " +
+               randomCoefficient(Rng, /*AllowZero=*/true) + ";";
+    } else {
+      std::vector<std::string> AllTaps;
+      for (size_t FieldIndex : Consumed)
+        for (std::string &Tap : sampleTaps(Rng, Config, Fields[FieldIndex],
+                                           Program.IterationSpace))
+          AllTaps.push_back(std::move(Tap));
+
+      std::vector<std::string> Locals;
+      int NumLocals = static_cast<int>(
+          Rng.nextInRange(0, Config.MaxLocals));
+      ExprBuilder Builder{Rng, Config, AllTaps, Locals};
+      for (int L = 0; L != NumLocals; ++L) {
+        std::string Local = formatString("l%d", L);
+        Source += Local + " = " +
+                  Builder.build(static_cast<int>(
+                      Rng.nextInRange(1, Config.MaxDepth))) +
+                  ";\n";
+        Locals.push_back(std::move(Local));
+      }
+
+      // Final statement: a weighted sum over every tap (so each consumed
+      // field is used) plus the last local when one exists.
+      Source += Name + " = ";
+      for (size_t Tap = 0; Tap != AllTaps.size(); ++Tap) {
+        bool Zero = Rng.nextBool(Config.ZeroCoefficientProbability);
+        Source += (Zero ? std::string("0")
+                        : randomCoefficient(Rng, /*AllowZero=*/false)) +
+                  " * " + AllTaps[Tap];
+        if (Tap + 1 != AllTaps.size() || !Locals.empty())
+          Source += " + ";
+      }
+      if (!Locals.empty())
+        Source += randomCoefficient(Rng, /*AllowZero=*/false) + " * " +
+                  Locals.back();
+      Source += ";";
+    }
+
+    addGeneratedStencil(Rng, Config, Program, Name, Type, Source);
+    Fields.push_back({Name, Type, std::vector<bool>(Rank, true)});
+  }
+
+  // Outputs: every sink (validate() requires each non-output node to have
+  // a consumer, and a DAG always has at least one sink).
+  for (const StencilNode &Node : Program.Nodes)
+    if (Program.consumersOf(Node.Name).empty())
+      Program.Outputs.push_back(Node.Name);
+
+  // Optional time loop: bind sinks back onto full-rank inputs. The bound
+  // node's type is forced to the input's so the binding satisfies the
+  // unroll legality rules (full-rank, same element type, bound once).
+  if (Rng.nextBool(Config.TimeLoopProbability)) {
+    std::vector<std::string> FreeInputs;
+    for (const Field &Input : Program.Inputs)
+      if (Input.isFullRank())
+        FreeInputs.push_back(Input.Name);
+    std::vector<std::string> FreeSinks = Program.Outputs;
+    while (!FreeInputs.empty() && !FreeSinks.empty()) {
+      std::string InputName = FreeInputs.front();
+      std::string SinkName = FreeSinks.front();
+      FreeInputs.erase(FreeInputs.begin());
+      FreeSinks.erase(FreeSinks.begin());
+      Program.findNode(SinkName)->Type =
+          Program.findInput(InputName)->Type;
+      Program.TimeLoop.push_back({SinkName, InputName});
+      if (!Rng.nextBool(Config.MultiBindingProbability))
+        break;
+    }
+  }
+
+  Error Err = analyzeProgram(Program);
+  assert(!Err && "generated program failed analysis");
+  (void)Err;
+  return Program;
+}

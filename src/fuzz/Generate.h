@@ -1,0 +1,139 @@
+//===- fuzz/Generate.h - Seeded random stencil programs -----------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic random `StencilProgram` generator. Every
+/// generated program is valid *by construction*: stencil code is built as
+/// source text, parsed by the real frontend, analyzed per node, and the
+/// boundary conditions are derived from the recovered accesses — exactly
+/// the recipe the hand-written workloads use — so the result always
+/// passes `SemanticAnalysis` and `StencilProgram::validate()`.
+///
+/// The generator samples the whole program shape: dimensionality (1D-3D),
+/// per-dimension extents, vectorization, access radius (0-4, the deep
+/// ring-buffer regime no hand-written workload covers), operand counts,
+/// boundary-condition kinds (constant / copy), element types
+/// (float32/float64), multi-stencil DAG topologies (chains, fan-out,
+/// fan-in), optional lower-dimensional inputs, and optional `time_loop`
+/// feedback bindings so the temporal-blocking axis gets coverage too.
+///
+/// `GenConfig` is the knob surface: CI can bias the distribution toward
+/// deep rings (large radii on narrow chains) or wide DAGs (heavy fan-out),
+/// or toward the degenerate tapes (zero coefficients, copy chains,
+/// effectively-constant nodes) that stress compute/Simplify.
+///
+/// Determinism contract: the same (Seed, GenConfig) pair produces the
+/// same program on every platform — the generator draws exclusively from
+/// support/Random.h and never consults global state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_FUZZ_GENERATE_H
+#define STENCILFLOW_FUZZ_GENERATE_H
+
+#include "ir/StencilProgram.h"
+
+#include <cstdint>
+
+namespace stencilflow {
+namespace fuzz {
+
+/// Distribution knobs of the random program generator. Defaults describe
+/// a balanced mix; the named presets below bias specific regimes.
+struct GenConfig {
+  // --- Iteration space -----------------------------------------------------
+  int MinRank = 1;
+  int MaxRank = 3;
+  int64_t MinExtent = 4;
+  int64_t MaxExtent = 16;
+
+  /// Probability of a vectorized program (width 2 or 4; the innermost
+  /// extent is rounded up to a multiple of the width).
+  double VectorizeProbability = 0.25;
+
+  // --- DAG topology --------------------------------------------------------
+  int MinNodes = 1;
+  int MaxNodes = 5;
+  int MaxInputs = 3;
+
+  /// Extra consumed fields per node beyond the backbone producer.
+  int MaxExtraOperands = 2;
+
+  /// Probability that a node's backbone producer is drawn uniformly from
+  /// *all* earlier fields instead of the immediately preceding node —
+  /// higher values produce wide, bushy DAGs instead of deep chains.
+  double WideDagProbability = 0.35;
+
+  /// Probability of a lower-dimensional (line) input when rank > 1.
+  double LineInputProbability = 0.2;
+
+  // --- Stencil shape -------------------------------------------------------
+  /// Access radius is sampled in [0, MaxRadius] (clamped per dimension so
+  /// offsets stay within extent/2 - 1, the same envelope the buffer
+  /// analysis sizes for).
+  int MaxRadius = 4;
+
+  /// Probability of forcing the sampled radius to MaxRadius — bias toward
+  /// the deep-ring regime.
+  double DeepRingProbability = 0.25;
+
+  /// Offsets sampled per consumed field (deduplicated).
+  int MaxTapsPerField = 5;
+
+  /// Local temporaries per node (the final statement rides on top).
+  int MaxLocals = 3;
+
+  /// Expression depth of each local temporary.
+  int MaxDepth = 3;
+
+  // --- Feature probabilities ----------------------------------------------
+  double SelectProbability = 0.2;
+  double IntrinsicProbability = 0.2;
+  double CopyBoundaryProbability = 0.3;
+  double Float64Probability = 0.3;
+  double TimeLoopProbability = 0.4;
+
+  /// Probability of a second feedback binding when the program has
+  /// a time loop plus enough sinks and full-rank inputs.
+  double MultiBindingProbability = 0.3;
+
+  // --- Degenerate tapes (compute/Simplify coverage) ------------------------
+  /// Per-term probability of a zero coefficient in a node's final
+  /// weighted sum.
+  double ZeroCoefficientProbability = 0.05;
+
+  /// Probability that a node is a pure copy of one producer
+  /// (`n = f[0,...];`).
+  double CopyChainProbability = 0.05;
+
+  /// Probability that a node is effectively constant: `0 * f[...] + c`
+  /// (a literal-only node is illegal — analysis requires every stencil to
+  /// read at least one field — so this is the closest legal shape, and
+  /// Simplify folds it to the constant).
+  double ConstantNodeProbability = 0.05;
+
+  /// Deep rings: maximal radii on long, narrow chains — the regime that
+  /// stresses ring-buffer sizing and fusion legality.
+  static GenConfig deepRings();
+
+  /// Wide DAGs: heavy fan-out/fan-in with many inputs and small radii —
+  /// the regime that stresses channel routing and partitioning.
+  static GenConfig wideDags();
+
+  /// Degenerate tapes: mostly copies, zero coefficients, and
+  /// effectively-constant nodes — the regime that stresses
+  /// compute/Simplify folding.
+  static GenConfig degenerate();
+};
+
+/// Generates a valid, fully analyzed program from \p Seed. Same seed and
+/// config, same program — on every platform.
+StencilProgram generateProgram(uint64_t Seed, const GenConfig &Config = {});
+
+} // namespace fuzz
+} // namespace stencilflow
+
+#endif // STENCILFLOW_FUZZ_GENERATE_H

@@ -1,0 +1,46 @@
+//===- fuzz/Minimize.h - Greedy fuzz-finding reduction ------------*- C++ -*-==//
+//
+// Part of the StencilFlow reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A greedy test-case minimizer for fuzz findings. Starting from a
+/// reproducer program, it repeatedly tries simplifying mutations — drop a
+/// sink stencil, shrink the iteration space, pull accesses toward the
+/// center, collapse coefficients to one, drop local temporaries — and
+/// keeps a mutation only while the finding still reproduces with the
+/// same kind under the same failing configuration. Every accepted
+/// candidate is re-analyzed and re-validated, so the minimized program
+/// is itself a well-formed reproducer that replays through `sf_fuzz
+/// --replay`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENCILFLOW_FUZZ_MINIMIZE_H
+#define STENCILFLOW_FUZZ_MINIMIZE_H
+
+#include "fuzz/Differential.h"
+
+namespace stencilflow {
+namespace fuzz {
+
+/// The outcome of a minimization run.
+struct MinimizeResult {
+  FuzzFinding Finding; ///< The minimized reproducer (kind preserved).
+  int Steps = 0;       ///< Accepted mutations.
+  int Attempts = 0;    ///< Mutations tried (including rejected ones).
+};
+
+/// Greedily shrinks \p Finding's program while `runConfig` keeps
+/// reproducing a finding of the same kind under the finding's
+/// configuration. \p MaxAttempts bounds the total number of candidate
+/// executions. Returns the (possibly unchanged) minimized finding.
+MinimizeResult minimizeFinding(const FuzzFinding &Finding,
+                               const DiffOptions &Options,
+                               int MaxAttempts = 200);
+
+} // namespace fuzz
+} // namespace stencilflow
+
+#endif // STENCILFLOW_FUZZ_MINIMIZE_H

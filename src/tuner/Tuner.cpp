@@ -202,6 +202,10 @@ stencilflow::tuner::tuneProgram(const StencilProgram &Program,
           static_cast<double>(R.SimulatedCycles);
   }
 
+  // Refit the first-order slowdown factors against this run's simulated
+  // ground truth; observable via report.Calibration and the JSON dump.
+  calibrateSlowdowns(Report);
+
   // The plan: fastest simulated candidate that passed bit-exact
   // validation against the reference executor.
   int BestJob = -1;

@@ -9,6 +9,9 @@
 #include "support/JsonWriter.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <cmath>
+
 using namespace stencilflow;
 using namespace stencilflow::tuner;
 
@@ -35,6 +38,76 @@ stencilflow::tuner::paretoFront(const std::vector<CandidateRecord> &Records) {
       Front.push_back(I);
   }
   return Front;
+}
+
+void stencilflow::tuner::calibrateSlowdowns(TuningReport &Report) {
+  // Calibration samples: simulated, feasible, non-failed candidates. A
+  // sample is memory-class when the memory slowdown dominates (ties go to
+  // memory — both at 1 means no correction and the sample is inert).
+  struct Accumulator {
+    double SumExtraSq = 0.0, SumExtraResidual = 0.0;
+    int Samples = 0;
+  } Memory, Network;
+  auto IsSample = [](const CandidateRecord &R) {
+    return R.Simulated && R.SimulationError.empty() &&
+           R.SimulatedCycles > 0 && R.Cost.Feasible;
+  };
+  auto IsMemoryBound = [](const CandidateRecord &R) {
+    return R.Cost.MemorySlowdown >= R.Cost.NetworkSlowdown;
+  };
+  for (const CandidateRecord &R : Report.Candidates) {
+    if (!IsSample(R))
+      continue;
+    double Extra = static_cast<double>(R.Cost.PredictedCycles) -
+                   static_cast<double>(R.Cost.ModelCycles);
+    double Residual = static_cast<double>(R.SimulatedCycles) -
+                      static_cast<double>(R.Cost.ModelCycles);
+    Accumulator &Acc = IsMemoryBound(R) ? Memory : Network;
+    ++Acc.Samples;
+    if (Extra <= 0.0)
+      continue; // No correction to scale; contributes nothing to the fit.
+    Acc.SumExtraSq += Extra * Extra;
+    Acc.SumExtraResidual += Extra * Residual;
+  }
+
+  SlowdownCalibration &C = Report.Calibration;
+  C.MemorySamples = Memory.Samples;
+  C.NetworkSamples = Network.Samples;
+  // Closed-form least squares; a negative fit (simulator faster than the
+  // uncorrected model) clamps to 0 rather than predicting a speedup from
+  // congestion.
+  if (Memory.SumExtraSq > 0.0) {
+    C.MemoryFactor = std::max(0.0, Memory.SumExtraResidual / Memory.SumExtraSq);
+    C.Fitted = true;
+  }
+  if (Network.SumExtraSq > 0.0) {
+    C.NetworkFactor =
+        std::max(0.0, Network.SumExtraResidual / Network.SumExtraSq);
+    C.Fitted = true;
+  }
+
+  double ErrBefore = 0.0, ErrAfter = 0.0;
+  int Samples = 0;
+  for (CandidateRecord &R : Report.Candidates) {
+    if (!IsSample(R))
+      continue;
+    double Factor = IsMemoryBound(R) ? C.MemoryFactor : C.NetworkFactor;
+    double Extra = static_cast<double>(R.Cost.PredictedCycles) -
+                   static_cast<double>(R.Cost.ModelCycles);
+    R.CalibratedPredictedCycles =
+        static_cast<double>(R.Cost.ModelCycles) + Factor * std::max(0.0, Extra);
+    R.CalibratedErrorPct =
+        100.0 * std::abs(R.CalibratedPredictedCycles -
+                         static_cast<double>(R.SimulatedCycles)) /
+        static_cast<double>(R.SimulatedCycles);
+    ErrBefore += R.ModelErrorPct;
+    ErrAfter += R.CalibratedErrorPct;
+    ++Samples;
+  }
+  if (Samples > 0) {
+    C.MeanErrorPctBefore = ErrBefore / Samples;
+    C.MeanErrorPctAfter = ErrAfter / Samples;
+  }
 }
 
 namespace {
@@ -72,6 +145,11 @@ void writeCandidate(json::JsonWriter &W, const CandidateRecord &R) {
       W.attribute("simulated_cycles", R.SimulatedCycles);
       W.attribute("simulated_seconds", R.SimulatedSeconds);
       W.attribute("model_error_pct", R.ModelErrorPct);
+      if (R.CalibratedPredictedCycles > 0.0) {
+        W.attribute("calibrated_predicted_cycles",
+                    R.CalibratedPredictedCycles);
+        W.attribute("calibrated_error_pct", R.CalibratedErrorPct);
+      }
     }
   }
   W.endObject();
@@ -100,6 +178,18 @@ std::string TuningReport::toJson() const {
   for (size_t Index : ParetoFront)
     W.value(Index);
   W.endArray();
+  W.key("calibration");
+  W.beginObject();
+  W.attribute("fitted", Calibration.Fitted);
+  W.attribute("memory_factor", Calibration.MemoryFactor);
+  W.attribute("network_factor", Calibration.NetworkFactor);
+  W.attribute("memory_samples",
+              static_cast<int64_t>(Calibration.MemorySamples));
+  W.attribute("network_samples",
+              static_cast<int64_t>(Calibration.NetworkSamples));
+  W.attribute("mean_error_pct_before", Calibration.MeanErrorPctBefore);
+  W.attribute("mean_error_pct_after", Calibration.MeanErrorPctAfter);
+  W.endObject();
   W.attribute("best_index", static_cast<int64_t>(BestIndex));
   W.attribute("default_index", static_cast<int64_t>(DefaultIndex));
   if (const CandidateRecord *B = best())
@@ -132,5 +222,12 @@ std::string TuningReport::summary() const {
         static_cast<long long>(D->SimulatedCycles),
         static_cast<double>(D->SimulatedCycles) /
             static_cast<double>(B->SimulatedCycles));
+  if (Calibration.Fitted)
+    Out += formatString(
+        "calibration: memory x%.3f (%d sample(s)), network x%.3f "
+        "(%d sample(s)), mean model error %.2f%% -> %.2f%%\n",
+        Calibration.MemoryFactor, Calibration.MemorySamples,
+        Calibration.NetworkFactor, Calibration.NetworkSamples,
+        Calibration.MeanErrorPctBefore, Calibration.MeanErrorPctAfter);
   return Out;
 }

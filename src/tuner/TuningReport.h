@@ -50,14 +50,53 @@ struct CandidateRecord {
   /// 100 * |predicted - simulated| / simulated cycles.
   double ModelErrorPct = 0.0;
 
+  /// The prediction with the run's fitted slowdown factors applied
+  /// (\ref calibrateSlowdowns), and its error against the simulator.
+  /// Zero until calibration runs.
+  double CalibratedPredictedCycles = 0.0;
+  double CalibratedErrorPct = 0.0;
+
   /// Non-empty when the simulation itself failed (deadlock, cycle limit).
   std::string SimulationError;
+};
+
+/// A least-squares refit of the cost model's first-order slowdown terms
+/// against this run's simulated candidates. The model predicts
+/// PredictedCycles = ModelCycles + Extra, where Extra is the
+/// bandwidth/network correction; calibration finds the factor f minimizing
+/// sum((ModelCycles + f*Extra - SimulatedCycles)^2), fitted separately for
+/// memory-bound and network-bound candidates (their corrections have
+/// independent physical causes). A factor near 1 means the analytic
+/// correction already matches the simulator; the high-order workloads,
+/// whose deep halos shift the memory/compute balance, are the intended
+/// calibration diet (bench/highorder).
+struct SlowdownCalibration {
+  /// True once at least one class had a sample with a non-zero correction.
+  bool Fitted = false;
+
+  /// Fitted multipliers on the model's correction term (1 = keep as-is;
+  /// a class with no samples keeps 1).
+  double MemoryFactor = 1.0;
+  double NetworkFactor = 1.0;
+  int MemorySamples = 0;
+  int NetworkSamples = 0;
+
+  /// Mean ModelErrorPct over the calibration samples, before and after
+  /// applying the fitted factors.
+  double MeanErrorPctBefore = 0.0;
+  double MeanErrorPctAfter = 0.0;
 };
 
 /// Indices of the non-dominated feasible records, minimizing the triple
 /// (PredictedSeconds, Devices, PeakUtilization). Deterministic: ascending
 /// index order; duplicates of an objective vector all survive.
 std::vector<size_t> paretoFront(const std::vector<CandidateRecord> &Records);
+
+/// Fits \c Report.Calibration against the report's simulated candidates
+/// and fills every such candidate's CalibratedPredictedCycles /
+/// CalibratedErrorPct. Safe on reports with no simulations (stays
+/// unfitted). Runs automatically at the end of tuneProgram.
+void calibrateSlowdowns(struct TuningReport &Report);
 
 /// The complete, machine-readable outcome of one tuning run.
 struct TuningReport {
@@ -75,6 +114,10 @@ struct TuningReport {
 
   /// Every explored candidate, in exploration order (the trajectory).
   std::vector<CandidateRecord> Candidates;
+
+  /// Slowdown-factor refit over the simulated candidates (all-defaults
+  /// until \ref calibrateSlowdowns runs).
+  SlowdownCalibration Calibration;
 
   /// Indices into \c Candidates of the Pareto-optimal feasible mappings.
   std::vector<size_t> ParetoFront;

@@ -165,6 +165,149 @@ StencilProgram workloads::diffusion3dChain(int Length, int64_t K, int64_t J,
   return finish(std::move(Program));
 }
 
+namespace {
+
+/// Central-difference coefficients for the second derivative at accuracy
+/// order 2*Radius: C[0] is the center weight, C[k] the symmetric weight at
+/// distance k.
+const double *secondDerivativeCoefficients(int Radius) {
+  static const double R1[] = {-2.0, 1.0};
+  static const double R2[] = {-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0};
+  static const double R3[] = {-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0,
+                              1.0 / 90.0};
+  static const double R4[] = {-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0,
+                              8.0 / 315.0, -1.0 / 560.0};
+  switch (Radius) {
+  case 1: return R1;
+  case 2: return R2;
+  case 3: return R3;
+  case 4: return R4;
+  }
+  assert(false && "finite-difference radius must be 1..4");
+  return R1;
+}
+
+/// Renders `field[0,..,off,..,0]` with \p Off in dimension \p Dim.
+std::string axisAccess(const std::string &Field, size_t Rank, size_t Dim,
+                       int Off) {
+  std::string Text = Field + "[";
+  for (size_t D = 0; D < Rank; ++D) {
+    if (D)
+      Text += ",";
+    Text += formatString("%d", D == Dim ? Off : 0);
+  }
+  return Text + "]";
+}
+
+/// Renders the order-2*Radius discrete laplacian of \p Field: the center
+/// weight applies once per dimension, the ring weights once per distance
+/// per dimension.
+std::string laplacian(const std::string &Field, size_t Rank, int Radius) {
+  const double *C = secondDerivativeCoefficients(Radius);
+  std::string Text =
+      formatString("%.17g * %s", static_cast<double>(Rank) * C[0],
+                   axisAccess(Field, Rank, 0, 0).c_str());
+  for (int Distance = 1; Distance <= Radius; ++Distance) {
+    std::string Ring;
+    for (size_t Dim = 0; Dim < Rank; ++Dim) {
+      if (!Ring.empty())
+        Ring += " + ";
+      Ring += axisAccess(Field, Rank, Dim, -Distance) + " + " +
+              axisAccess(Field, Rank, Dim, Distance);
+    }
+    Text += formatString(" + %.17g * (%s)", C[Distance], Ring.c_str());
+  }
+  return "(" + Text + ")";
+}
+
+/// Shared body of the 2D/3D wave chains: two time levels in, two time
+/// levels out, `Length` leapfrog steps in between.
+StencilProgram waveChain(const char *NameFormat, Shape Space, int Radius,
+                         int Length, int VectorWidth) {
+  assert(Length >= 1);
+  assert(Radius >= 1 && Radius <= 4);
+  size_t Rank = Space.rank();
+  StencilProgram Program;
+  Program.Name = formatString(NameFormat, Radius, Length);
+  Program.IterationSpace = std::move(Space);
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "u0", 23); // u(t-1)
+  addInput(Program, "u1", 29); // u(t)
+  const double CourantSq = 0.1; // (c * dt / dx)^2, well inside stability
+  // Time levels advance along the chain: level(0) = u0, level(1) = u1,
+  // level(s+1) = w<s>.
+  auto Level = [&](int S) {
+    if (S == 0)
+      return std::string("u0");
+    if (S == 1)
+      return std::string("u1");
+    return formatString("w%d", S - 1);
+  };
+  for (int Step = 1; Step <= Length; ++Step) {
+    std::string Out = formatString("w%d", Step);
+    std::string Cur = Level(Step), Prev = Level(Step - 1);
+    addStencil(Program, Out,
+               formatString("%s = 2.0 * %s - %s + %.17g * %s;", Out.c_str(),
+                            axisAccess(Cur, Rank, 0, 0).c_str(),
+                            axisAccess(Prev, Rank, 0, 0).c_str(), CourantSq,
+                            laplacian(Cur, Rank, Radius).c_str()));
+  }
+  // The next iteration's previous level is this iteration's last current
+  // level; a pass-through copy exposes it as a program output.
+  addStencil(Program, "up",
+             formatString("up = %s;",
+                          axisAccess(Level(Length), Rank, 0, 0).c_str()));
+  Program.Outputs = {formatString("w%d", Length), "up"};
+  Program.TimeLoop = {{Program.Outputs.front(), "u1"}, {"up", "u0"}};
+  return finish(std::move(Program));
+}
+
+} // namespace
+
+StencilProgram workloads::wave2dChain(int Radius, int Length, int64_t J,
+                                      int64_t I, int VectorWidth) {
+  return waveChain("wave2d_r%d_x%d", Shape({J, I}), Radius, Length,
+                   VectorWidth);
+}
+
+StencilProgram workloads::wave3dChain(int Radius, int Length, int64_t K,
+                                      int64_t J, int64_t I, int VectorWidth) {
+  return waveChain("wave3d_r%d_x%d", Shape({K, J, I}), Radius, Length,
+                   VectorWidth);
+}
+
+StencilProgram workloads::hotspot2dChain(int Length, int64_t J, int64_t I,
+                                         int VectorWidth) {
+  assert(Length >= 1);
+  StencilProgram Program;
+  Program.Name = formatString("hotspot2d_x%d", Length);
+  Program.IterationSpace = Shape({J, I});
+  Program.VectorWidth = VectorWidth;
+  addInput(Program, "t0", 31); // temperature
+  addInput(Program, "p", 37);  // static power density
+  // HotSpot-style explicit update; cap folds the time step and thermal
+  // capacitance, the R* terms the lateral/vertical thermal resistances.
+  const double Cap = 0.01, RxInv = 0.1, RyInv = 0.1, RzInv = 0.05;
+  const double Ambient = 80.0;
+  for (int Step = 0; Step < Length; ++Step) {
+    std::string In = formatString("t%d", Step);
+    std::string Out = formatString("t%d", Step + 1);
+    addStencil(
+        Program, Out,
+        formatString(
+            "lat = %.17g * (%s[0,-1] + %s[0,1] - 2.0 * %s[0,0]) + "
+            "%.17g * (%s[-1,0] + %s[1,0] - 2.0 * %s[0,0]);"
+            "vert = %.17g * (%.17g - %s[0,0]);"
+            "%s = %s[0,0] + %.17g * (p[0,0] + lat + vert);",
+            RxInv, In.c_str(), In.c_str(), In.c_str(), RyInv, In.c_str(),
+            In.c_str(), In.c_str(), RzInv, Ambient, In.c_str(), Out.c_str(),
+            In.c_str(), Cap));
+  }
+  Program.Outputs = {formatString("t%d", Length)};
+  Program.TimeLoop = {{Program.Outputs.front(), "t0"}};
+  return finish(std::move(Program));
+}
+
 StencilProgram workloads::horizontalDiffusion(int64_t K, int64_t J,
                                               int64_t I, int VectorWidth) {
   StencilProgram Program;

@@ -63,6 +63,43 @@ StencilProgram diffusion3dChain(int Length, int64_t K, int64_t J, int64_t I,
 StencilProgram horizontalDiffusion(int64_t K = 80, int64_t J = 128,
                                    int64_t I = 128, int VectorWidth = 1);
 
+//===----------------------------------------------------------------------===//
+// High-order workload family
+//===----------------------------------------------------------------------===//
+//
+// Wide-halo stencils that stress the deep on-chip line buffers the paper's
+// buffer analysis (Sec. V) sizes: a radius-R access needs R full grid
+// lines (2D) or planes (3D) of buffering per direction, so radius 2-4
+// kernels exercise a very different memory/compute balance than the
+// radius-1 chains above.
+
+/// A chain of \p Length second-order-in-time wave-equation steps using
+/// central finite differences of half-width \p Radius (1-4, accuracy
+/// order 2*Radius):
+///
+///   w = 2*u(t) - u(t-1) + c^2 * lap_R(u(t))
+///
+/// Two time levels (`u0` = previous, `u1` = current) feed the chain; the
+/// outputs `w<Length>` (new current) and the pass-through `up` (new
+/// previous) close the time loop.
+StencilProgram wave2dChain(int Radius, int Length, int64_t J, int64_t I,
+                           int VectorWidth = 1);
+
+/// The 3D variant of \ref wave2dChain.
+StencilProgram wave3dChain(int Radius, int Length, int64_t K, int64_t J,
+                           int64_t I, int VectorWidth = 1);
+
+/// A chain of \p Length HotSpot-style thermal-simulation steps: each cell
+/// integrates its static power density `p` plus resistive exchange with
+/// the 4-neighborhood and the ambient:
+///
+///   t' = t + cap * (p + (E + W - 2t)/Rx + (N + S - 2t)/Ry + (amb - t)/Rz)
+///
+/// The temperature output feeds back (`t<Length>` -> `t0`); the power map
+/// stays fixed across time steps.
+StencilProgram hotspot2dChain(int Length, int64_t J, int64_t I,
+                              int VectorWidth = 1);
+
 } // namespace workloads
 } // namespace stencilflow
 

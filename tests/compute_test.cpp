@@ -310,6 +310,138 @@ TEST(SimplifyTest, ReducesOpCensus) {
 }
 
 //===----------------------------------------------------------------------===//
+// Degenerate tapes: simplified vs unsimplified, across tiers
+//===----------------------------------------------------------------------===//
+//
+// Degenerate shapes — constant-only subexpressions, zero coefficients,
+// copy chains — are what the fuzzer's `degenerate` profile generates and
+// what the tape compiler's folding/DRE passes rewrite most aggressively.
+// Every tier must stay bit-exact with the scalar interpreter on them, and
+// simplifying first (compute/Simplify.h) must not change a single bit.
+
+#include "compute/Engine.h"
+
+namespace {
+
+/// Deterministic awkward input value for one cell, keyed by the slot's
+/// (field, offset) identity so simplification-induced slot renumbering
+/// cannot shift the grid: not exactly representable in float32,
+/// sign-varying.
+double cellValue(const KernelInput &Slot, int Lane) {
+  size_t H = std::hash<std::string>{}(Slot.Field);
+  for (int C : Slot.Off)
+    H = H * 31 + static_cast<size_t>(C + 7);
+  double Salt = static_cast<double>(H % 97);
+  return 0.1 + 0.7 * Salt - 1.3 * static_cast<double>(Lane) + 1e-7 * Salt;
+}
+
+/// Evaluates \p K under \p Engine at width \p Lanes on the cellValue grid.
+std::vector<double> evalTiered(const Kernel &K, KernelEngine Engine,
+                               int Lanes) {
+  KernelEvaluator E = KernelEvaluator::compile(K, Engine, Lanes);
+  std::vector<double> SoA(K.inputs().size() * static_cast<size_t>(Lanes));
+  for (size_t Slot = 0; Slot != K.inputs().size(); ++Slot)
+    for (int Lane = 0; Lane != Lanes; ++Lane)
+      SoA[Slot * static_cast<size_t>(Lanes) + static_cast<size_t>(Lane)] =
+          cellValue(K.inputs()[Slot], Lane);
+  std::vector<double> Out(static_cast<size_t>(Lanes));
+  std::vector<double> Scratch(std::max<size_t>(1, E.scratchDoubles()));
+  E.evaluate(SoA.data(), Out.data(), Scratch.data());
+  return Out;
+}
+
+/// Builds the node, compiles it as-is and after simplification, and
+/// asserts all tiers at widths {1, 4} agree bit-exactly on both.
+void expectDegenerateParity(const std::string &Source, DataType Type,
+                            const std::string &What) {
+  StencilProgram P;
+  P.IterationSpace = Shape({8, 8});
+  addInput(P, "a");
+  addInput(P, "b");
+  addStencil(P, "out", Source, Type);
+  P.Outputs = {"out"};
+  ASSERT_FALSE(analyzeProgram(P)) << What;
+  StencilNode &Node = P.Nodes[0];
+
+  auto Unsimplified = Kernel::compile(Node);
+  ASSERT_TRUE(Unsimplified) << What;
+  compute::simplifyNodeCode(Node);
+  ASSERT_FALSE(analyzeNode(P, Node)) << What;
+  auto Simplified = Kernel::compile(Node);
+  ASSERT_TRUE(Simplified) << What;
+
+  for (int Lanes : {1, 4}) {
+    // The scalar interpreter on the unsimplified kernel is the reference
+    // everything else must hit bit-for-bit.
+    std::vector<double> Want =
+        evalTiered(*Unsimplified, KernelEngine::Scalar, Lanes);
+    for (KernelEngine Engine :
+         {KernelEngine::Scalar, KernelEngine::Batched,
+          KernelEngine::Specialized, KernelEngine::Jit, KernelEngine::Auto})
+      for (const Kernel *K : {&*Unsimplified, &*Simplified}) {
+        std::vector<double> Got = evalTiered(*K, Engine, Lanes);
+        ASSERT_EQ(Got.size(), Want.size());
+        for (size_t I = 0; I != Got.size(); ++I)
+          ASSERT_EQ(Got[I], Want[I])
+              << What << " tier " << kernelEngineName(Engine) << " lanes "
+              << Lanes << " (simplified: " << (K == &*Simplified) << ")";
+      }
+  }
+}
+
+} // namespace
+
+TEST(SimplifyTest, DegenerateZeroCoefficientParity) {
+  for (DataType Type : {DataType::Float32, DataType::Float64})
+    expectDegenerateParity("out = a[0, 0] * 1.0 + b[0, 0] * 0.0;", Type,
+                           "zero-coefficient");
+}
+
+TEST(SimplifyTest, DegenerateCopyChainParity) {
+  for (DataType Type : {DataType::Float32, DataType::Float64})
+    expectDegenerateParity(
+        "t1 = a[0, 0]; t2 = t1 * 1.0; t3 = t2 + 0.0; out = t3;", Type,
+        "copy-chain");
+}
+
+TEST(SimplifyTest, DegenerateConstantSelectParity) {
+  for (DataType Type : {DataType::Float32, DataType::Float64})
+    expectDegenerateParity(
+        "c = 1.0 * 4.0; out = (0.0 ? b[0, 0] : a[0, 0]) + c * 0.0;", Type,
+        "constant-select");
+}
+
+TEST(SimplifyTest, DegenerateConstantOnlyLocalParity) {
+  // The local folds to a constant inside the tape; the field read keeps
+  // the node legal.
+  for (DataType Type : {DataType::Float32, DataType::Float64})
+    expectDegenerateParity(
+        "c = 2.0 + 3.0; d = c * 0.5; out = a[0, 0] + d - d;", Type,
+        "constant-only-local");
+}
+
+TEST(KernelEngineTest, JitRoundsPureCopyTapes) {
+  // Regression: a pure-copy tape of a float32 node must round its input
+  // load to float32 in every tier. The JIT's (double)(float)x round-trip
+  // was folded into a plain copy by the host compiler's vectorizer at
+  // lanes >= 2 until -fno-tree-vectorize joined the JIT compile flags
+  // (found by sf_fuzz; see runCompiler in compute/Jit.cpp).
+  Kernel K = compileKernel("out = a[0, 0];");
+  ASSERT_EQ(K.elementType(), DataType::Float32);
+  for (int Lanes : {1, 2, 4, 8}) {
+    KernelEvaluator Jit =
+        KernelEvaluator::compile(K, KernelEngine::Jit, Lanes);
+    std::vector<double> SoA(static_cast<size_t>(Lanes), 0.1);
+    std::vector<double> Out(static_cast<size_t>(Lanes));
+    std::vector<double> Scratch(std::max<size_t>(1, Jit.scratchDoubles()));
+    Jit.evaluate(SoA.data(), Out.data(), Scratch.data());
+    for (double V : Out)
+      EXPECT_EQ(V, static_cast<double>(static_cast<float>(0.1)))
+          << "lanes " << Lanes;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Latency configuration
 //===----------------------------------------------------------------------===//
 

@@ -386,6 +386,70 @@ TEST(LoaderTest, RejectsUnknownBoundary) {
   EXPECT_FALSE(programFromJsonText(Json));
 }
 
+TEST(LoaderTest, ErrorsNameTheFieldPathAndOffendingJson) {
+  // Malformed descriptions fail with the JSON path of the offending field
+  // and the value found there, so the message pinpoints what to fix.
+  struct Case {
+    const char *Json;
+    const char *ExpectedFragment;
+  } Cases[] = {
+      {R"({"dimensions": [8, "x"], "program": {}})",
+       "dimensions: must contain positive integers (got \"x\")"},
+      {R"({"dimensions": [8, 8], "vectorization": -2,
+           "program": {"b": {"computation": "b = 1.0;"}}})",
+       "vectorization: must be a positive integer (got -2)"},
+      {R"({"dimensions": [8, 8],
+           "inputs": {"a": {"data": {"kind": 1}}},
+           "program": {"b": {"computation": "b = a[0,0];"}}})",
+       "inputs.a.data: data source requires a string 'kind' "
+       "(got {\"kind\":1})"},
+      {R"({"dimensions": [8, 8],
+           "inputs": {"a": {"data": {"kind": "random", "seed": "x"}}},
+           "program": {"b": {"computation": "b = a[0,0];"}}})",
+       "inputs.a.data.seed: random data source 'seed' must be a number "
+       "(got \"x\")"},
+      {R"({"dimensions": [8, 8],
+           "inputs": {"a": {"dimensions": ["z"]}},
+           "program": {"b": {"computation": "b = a[0,0];"}}})",
+       "inputs.a.dimensions: unknown dimension name 'z' "
+       "(this program has: j, i)"},
+      {R"({"dimensions": [8, 8], "inputs": {"a": {}},
+           "program": {"b": {}}})",
+       "program.b.computation: stencil requires a 'computation' string "
+       "(missing)"},
+      {R"({"dimensions": [8, 8], "inputs": {"a": {}},
+           "program": {"b": {"computation": "b = a[0,0];",
+                             "boundary_conditions": {"a": 3}}}})",
+       "program.b.boundary_conditions.a: boundary condition must be an "
+       "object (got 3)"},
+      {R"({"dimensions": [8, 8], "inputs": {"a": {}}, "outputs": ["b"],
+           "program": {"b": {"computation": "b = a[0,0];"}},
+           "time_loop": [{"output": "b"}]})",
+       "time_loop[0]: 'time_loop' entries require 'output' and 'input' "
+       "field names"},
+  };
+  for (const Case &C : Cases) {
+    auto Program = programFromJsonText(C.Json);
+    ASSERT_FALSE(Program) << C.Json;
+    EXPECT_NE(Program.message().find(C.ExpectedFragment), std::string::npos)
+        << "message: " << Program.message()
+        << "\nexpected fragment: " << C.ExpectedFragment;
+    EXPECT_EQ(Program.code(), ErrorCode::InvalidInput) << C.Json;
+  }
+}
+
+TEST(LoaderTest, ErrorContextTruncatesLargeValues) {
+  // A huge offending value must not turn the diagnostic into a dump.
+  std::string Big = R"({"dimensions": [8, 8], "inputs": {"a": {"data": )";
+  Big += R"({"kind": ")" + std::string(500, 'x') + R"("}}},)";
+  Big += R"("program": {"b": {"computation": "b = a[0,0];"}}})";
+  auto Program = programFromJsonText(Big);
+  ASSERT_FALSE(Program);
+  EXPECT_LT(Program.message().size(), 300u) << Program.message();
+  EXPECT_NE(Program.message().find("..."), std::string::npos)
+      << Program.message();
+}
+
 TEST(LoaderTest, RoundTripThroughJson) {
   auto Program = programFromJsonText(LaplaceJson);
   ASSERT_TRUE(Program);

@@ -541,6 +541,107 @@ TEST(TunerTest, ModelErrorWithinBoundAndTunedBeatsDefault) {
 }
 
 //===----------------------------------------------------------------------===//
+// Slowdown calibration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A synthetic simulated candidate for calibration fitting.
+CandidateRecord calibrationSample(double MemorySlowdown,
+                                  double NetworkSlowdown,
+                                  int64_t ModelCycles,
+                                  int64_t PredictedCycles,
+                                  int64_t SimulatedCycles) {
+  CandidateRecord R;
+  R.Cost.Feasible = true;
+  R.Cost.ModelCycles = ModelCycles;
+  R.Cost.PredictedCycles = PredictedCycles;
+  R.Cost.MemorySlowdown = MemorySlowdown;
+  R.Cost.NetworkSlowdown = NetworkSlowdown;
+  R.Simulated = true;
+  R.SimulatedCycles = SimulatedCycles;
+  R.ModelErrorPct = 100.0 *
+                    std::abs(static_cast<double>(PredictedCycles) -
+                             static_cast<double>(SimulatedCycles)) /
+                    static_cast<double>(SimulatedCycles);
+  return R;
+}
+
+} // namespace
+
+TEST(TunerTest, CalibrationFitsSyntheticResiduals) {
+  // Two memory-bound samples whose simulator needs exactly half the
+  // model's correction, and one network-bound sample needing a quarter:
+  // the closed-form fit must recover 0.5 / 0.25 and drive the calibrated
+  // error to zero.
+  TuningReport Report;
+  Report.Candidates.push_back(calibrationSample(2.0, 1.0, 1000, 2000, 1500));
+  Report.Candidates.push_back(calibrationSample(2.0, 1.0, 2000, 3000, 2500));
+  Report.Candidates.push_back(calibrationSample(1.0, 3.0, 1000, 1400, 1100));
+  calibrateSlowdowns(Report);
+
+  const SlowdownCalibration &C = Report.Calibration;
+  EXPECT_TRUE(C.Fitted);
+  EXPECT_EQ(C.MemorySamples, 2);
+  EXPECT_EQ(C.NetworkSamples, 1);
+  EXPECT_NEAR(C.MemoryFactor, 0.5, 1e-9);
+  EXPECT_NEAR(C.NetworkFactor, 0.25, 1e-9);
+  EXPECT_GT(C.MeanErrorPctBefore, 10.0);
+  EXPECT_NEAR(C.MeanErrorPctAfter, 0.0, 1e-9);
+  EXPECT_NEAR(Report.Candidates[0].CalibratedPredictedCycles, 1500.0, 1e-9);
+  EXPECT_NEAR(Report.Candidates[2].CalibratedPredictedCycles, 1100.0, 1e-9);
+}
+
+TEST(TunerTest, CalibrationClampsNegativeFits) {
+  // A simulator *faster* than the uncorrected model would fit a negative
+  // factor; the calibration clamps to 0 (drop the correction entirely).
+  TuningReport Report;
+  Report.Candidates.push_back(calibrationSample(2.0, 1.0, 1000, 2000, 800));
+  calibrateSlowdowns(Report);
+  EXPECT_TRUE(Report.Calibration.Fitted);
+  EXPECT_EQ(Report.Calibration.MemoryFactor, 0.0);
+  EXPECT_NEAR(Report.Candidates[0].CalibratedPredictedCycles, 1000.0, 1e-9);
+}
+
+TEST(TunerTest, CalibrationSkipsReportsWithoutSimulations) {
+  TuningReport Report;
+  CandidateRecord R;
+  R.Cost.Feasible = true;
+  R.Cost.ModelCycles = 100;
+  R.Cost.PredictedCycles = 150;
+  Report.Candidates.push_back(std::move(R)); // Never simulated.
+  calibrateSlowdowns(Report);
+  EXPECT_FALSE(Report.Calibration.Fitted);
+  EXPECT_EQ(Report.Calibration.MemorySamples, 0);
+  EXPECT_EQ(Report.Candidates[0].CalibratedPredictedCycles, 0.0);
+}
+
+TEST(TunerTest, CalibrationPopulatesHighOrderTuningReport) {
+  // End to end on a high-order workload: tuneProgram calibrates
+  // automatically, fills per-candidate calibrated predictions, and
+  // serializes the calibration block.
+  TuneOptions Opts;
+  Opts.TopK = 3;
+  TuningOutcome Out =
+      tuneOrDie(workloads::wave2dChain(2, 1, 16, 32), Opts);
+  for (const CandidateRecord &R : Out.Report.Candidates) {
+    if (!R.Simulated || !R.SimulationError.empty())
+      continue;
+    EXPECT_GT(R.CalibratedPredictedCycles, 0.0) << R.Mapping.id();
+  }
+  Expected<json::Value> Doc = json::parse(Out.Report.toJson());
+  ASSERT_TRUE(Doc) << Doc.message();
+  const json::Object &Root = Doc->getObject();
+  ASSERT_TRUE(Root.contains("calibration"));
+  const json::Object &Cal = Root.get("calibration")->getObject();
+  EXPECT_TRUE(Cal.contains("fitted"));
+  EXPECT_TRUE(Cal.contains("memory_factor"));
+  EXPECT_TRUE(Cal.contains("network_factor"));
+  EXPECT_TRUE(Cal.contains("mean_error_pct_before"));
+  EXPECT_TRUE(Cal.contains("mean_error_pct_after"));
+}
+
+//===----------------------------------------------------------------------===//
 // Report serialization and facade
 //===----------------------------------------------------------------------===//
 

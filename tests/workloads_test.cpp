@@ -5,14 +5,76 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/RuntimeModel.h"
+#include "runtime/InputData.h"
+#include "runtime/Iterate.h"
 #include "runtime/Pipeline.h"
 #include "sdfg/StencilFusion.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 using namespace stencilflow;
 using namespace stencilflow::workloads;
+
+namespace {
+
+/// Iterates the single-step \p Program \p Steps times through off-chip
+/// memory with the reference executor — the parity oracle.
+std::map<std::string, std::vector<double>>
+referenceAfterSteps(const StencilProgram &Program, int Steps) {
+  auto Compiled = CompiledProgram::compile(Program.clone(), {});
+  EXPECT_TRUE(Compiled) << Compiled.message();
+  auto Inputs = materializeInputs(Compiled->program());
+  auto Result = iterateReference(*Compiled, Inputs,
+                                 Compiled->program().TimeLoop, Steps);
+  EXPECT_TRUE(Result) << Result.message();
+  std::map<std::string, std::vector<double>> Fields;
+  for (const std::string &Output : Program.Outputs)
+    Fields[Output] = Result->field(Output);
+  return Fields;
+}
+
+/// Largest absolute access offset over every node of \p Program.
+int maxAccessRadius(const StencilProgram &Program) {
+  int Max = 0;
+  for (const StencilNode &Node : Program.Nodes)
+    for (const FieldAccesses &FA : Node.Accesses)
+      for (const Offset &Off : FA.Offsets)
+        for (int C : Off)
+          Max = std::max(Max, std::abs(C));
+  return Max;
+}
+
+/// Runs \p Program under \p Engine/\p Tier at temporal degree \p T and
+/// asserts bit-exact agreement with iterating the reference T times.
+void expectHighOrderParity(const StencilProgram &Program, int T,
+                           sim::SimEngine Engine,
+                           compute::KernelEngine Tier,
+                           const std::string &What) {
+  PipelineOptions Options;
+  Options.TemporalDegree = T;
+  Options.Simulator.UnconstrainedMemory = true;
+  Options.Simulator.Engine = Engine;
+  Options.Simulator.KernelExec = Tier;
+  auto Result = runPipeline(Program.clone(), Options);
+  ASSERT_TRUE(Result) << What << ": " << Result.message();
+  EXPECT_TRUE(Result->ValidationPassed) << What;
+  auto Want = referenceAfterSteps(Program, T);
+  for (const std::string &Output : Program.Outputs) {
+    const std::vector<double> &Got = Result->Simulation.Outputs.at(Output);
+    const std::vector<double> &Ref = Want.at(Output);
+    ASSERT_EQ(Got.size(), Ref.size()) << What << " output " << Output;
+    for (size_t I = 0; I != Got.size(); ++I)
+      ASSERT_EQ(Got[I], Ref[I]) << What << " output " << Output
+                                << " diverges at element " << I;
+  }
+}
+
+} // namespace
 
 TEST(WorkloadsTest, JacobiChainOpCounts) {
   StencilProgram P = jacobi3dChain(3, 8, 8, 8);
@@ -147,4 +209,99 @@ TEST(WorkloadsTest, VectorizedWorkloadsValid) {
   EXPECT_FALSE(jacobi3dChain(2, 4, 8, 16, 4).validate());
   EXPECT_FALSE(diffusion2dChain(2, 8, 32, 8).validate());
   EXPECT_FALSE(horizontalDiffusion(4, 16, 16, 8).validate());
+}
+
+//===----------------------------------------------------------------------===//
+// High-order family
+//===----------------------------------------------------------------------===//
+
+TEST(HighOrderTest, WaveStructure) {
+  for (int Radius : {1, 2, 3, 4}) {
+    StencilProgram P = wave2dChain(Radius, 2, 24, 24);
+    // Two steps plus the pass-through for the second time level.
+    EXPECT_EQ(P.Nodes.size(), 3u) << "radius " << Radius;
+    EXPECT_EQ(maxAccessRadius(P), Radius);
+    ASSERT_EQ(P.Outputs.size(), 2u);
+    EXPECT_EQ(P.Outputs[0], "w2");
+    EXPECT_EQ(P.Outputs[1], "up");
+    ASSERT_EQ(P.TimeLoop.size(), 2u);
+    EXPECT_EQ(P.TimeLoop[0].Output, "w2");
+    EXPECT_EQ(P.TimeLoop[0].Input, "u1");
+    EXPECT_EQ(P.TimeLoop[1].Output, "up");
+    EXPECT_EQ(P.TimeLoop[1].Input, "u0");
+    EXPECT_FALSE(P.validate());
+  }
+  // The 3D stencil reads 2*3*Radius ring points plus both centers.
+  StencilProgram P3 = wave3dChain(2, 1, 8, 8, 8);
+  EXPECT_EQ(maxAccessRadius(P3), 2);
+  const StencilNode *W1 = P3.findNode("w1");
+  ASSERT_NE(W1, nullptr);
+  const FieldAccesses *Cur = W1->accessesFor("u1");
+  ASSERT_NE(Cur, nullptr);
+  EXPECT_EQ(Cur->Offsets.size(), 2u * 3u * 2u + 1u);
+}
+
+TEST(HighOrderTest, HotspotStructure) {
+  StencilProgram P = hotspot2dChain(3, 16, 16);
+  EXPECT_EQ(P.Nodes.size(), 3u);
+  EXPECT_EQ(P.Inputs.size(), 2u); // temperature + static power
+  EXPECT_EQ(maxAccessRadius(P), 1);
+  ASSERT_EQ(P.TimeLoop.size(), 1u);
+  EXPECT_EQ(P.TimeLoop[0].Output, "t3");
+  EXPECT_EQ(P.TimeLoop[0].Input, "t0");
+  // The power map is read by every step but never rebound.
+  for (const StencilNode &Node : P.Nodes)
+    EXPECT_NE(Node.accessesFor("p"), nullptr) << Node.Name;
+  EXPECT_FALSE(P.validate());
+}
+
+TEST(HighOrderTest, AllRadiiRunAndValidate) {
+  PipelineOptions Options;
+  Options.Simulator.UnconstrainedMemory = true;
+  for (int Radius : {1, 2, 3, 4}) {
+    auto Result = runPipeline(wave2dChain(Radius, 1, 24, 24), Options);
+    ASSERT_TRUE(Result) << "radius " << Radius << ": " << Result.message();
+    EXPECT_TRUE(Result->ValidationPassed) << "radius " << Radius;
+  }
+  auto Result3d = runPipeline(wave3dChain(2, 1, 8, 8, 8), Options);
+  ASSERT_TRUE(Result3d) << Result3d.message();
+  EXPECT_TRUE(Result3d->ValidationPassed);
+  auto Hotspot = runPipeline(hotspot2dChain(2, 16, 16), Options);
+  ASSERT_TRUE(Hotspot) << Hotspot.message();
+  EXPECT_TRUE(Hotspot->ValidationPassed);
+}
+
+TEST(HighOrderTest, ParityAcrossEnginesAndTiers) {
+  StencilProgram Wave = wave2dChain(4, 1, 24, 24);
+  StencilProgram Hotspot = hotspot2dChain(1, 16, 16);
+  for (sim::SimEngine Engine :
+       {sim::SimEngine::Serial, sim::SimEngine::Parallel})
+    for (compute::KernelEngine Tier :
+         {compute::KernelEngine::Scalar, compute::KernelEngine::Specialized,
+          compute::KernelEngine::Jit}) {
+      std::string What =
+          std::string(Engine == sim::SimEngine::Parallel ? "parallel"
+                                                         : "serial") +
+          "/" + std::to_string(static_cast<int>(Tier));
+      expectHighOrderParity(Wave, 2, Engine, Tier, "wave2d_r4 " + What);
+      expectHighOrderParity(Hotspot, 2, Engine, Tier, "hotspot " + What);
+    }
+}
+
+TEST(HighOrderTest, WaveTemporalDegreesMatchHostLoop) {
+  // Two time levels per step stress the unroller's binding bookkeeping.
+  StencilProgram P = wave2dChain(2, 1, 16, 16);
+  for (int T : {1, 2, 4})
+    expectHighOrderParity(P, T, sim::SimEngine::Serial,
+                          compute::KernelEngine::Specialized,
+                          "wave2d_r2 T=" + std::to_string(T));
+  expectHighOrderParity(wave3dChain(2, 1, 8, 8, 8), 2,
+                        sim::SimEngine::Serial,
+                        compute::KernelEngine::Specialized, "wave3d_r2 T=2");
+}
+
+TEST(HighOrderTest, VectorizedHighOrderValid) {
+  EXPECT_FALSE(wave2dChain(3, 1, 16, 16, 4).validate());
+  EXPECT_FALSE(wave3dChain(2, 1, 6, 8, 8, 4).validate());
+  EXPECT_FALSE(hotspot2dChain(2, 16, 16, 4).validate());
 }
